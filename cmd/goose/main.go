@@ -1,0 +1,48 @@
+// goose checks a Go package against the Goose subset (§6) and, when it
+// conforms, translates it into its Coq-flavoured Perennial model (§7).
+//
+// Usage:
+//
+//	goose [-check-only] <package-dir>
+//
+// Diagnostics go to stderr; the translated model goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/goose"
+)
+
+func main() {
+	checkOnly := flag.Bool("check-only", false, "report subset violations without translating")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: goose [-check-only] <package-dir>")
+		os.Exit(2)
+	}
+	pkg, err := goose.LoadDir(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goose: %v\n", err)
+		os.Exit(1)
+	}
+	diags := goose.Check(pkg)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	if *checkOnly {
+		fmt.Fprintf(os.Stderr, "goose: %s is within the Goose subset\n", flag.Arg(0))
+		return
+	}
+	out, err := goose.Translate(pkg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goose: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,78 @@
+// mailbench reproduces Figure 11: throughput of Mailboat, GoMail, and
+// (simulated) CMAIL under the §9.3 mixed workload — equal parts
+// SMTP-style delivery and POP3-style pickup+delete, 100 users, one
+// closed-loop client per core, fixed total requests — on a RAM-backed
+// store, sweeping the number of cores.
+//
+// Usage:
+//
+//	mailbench [-cores 1,2,4,8] [-requests N] [-users N] [-servers a,b,c] [-dir path]
+//
+// Servers: mailboat (verified library, direct calls — the paper's
+// measurement method), gomail, cmail (simulated), and mailboat-net (the
+// same library behind real SMTP/POP3 over loopback TCP, quantifying the
+// protocol overhead §9.3 excluded).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/postal"
+)
+
+func main() {
+	coresFlag := flag.String("cores", defaultCores(), "comma-separated core counts to sweep")
+	requests := flag.Int("requests", 20000, "total requests per measurement")
+	users := flag.Uint64("users", 100, "number of user mailboxes")
+	servers := flag.String("servers", "mailboat,gomail,cmail", "comma-separated servers to measure")
+	dir := flag.String("dir", "", "scratch directory (default: RAM-backed)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var cores []int
+	for _, s := range strings.Split(*coresFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "mailbench: bad core count %q\n", s)
+			os.Exit(2)
+		}
+		cores = append(cores, n)
+	}
+
+	points, err := postal.Sweep(postal.SweepOptions{
+		Servers:          strings.Split(*servers, ","),
+		Cores:            cores,
+		Users:            *users,
+		RequestsPerPoint: *requests,
+		BaseDir:          *dir,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mailbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(postal.FormatSweep(points))
+	fmt.Printf("\nstore: %s; workload: %d requests/point, %d users, 50/50 deliver:pickup\n",
+		storeDesc(*dir), *requests, *users)
+}
+
+func defaultCores() string {
+	max := runtime.NumCPU()
+	var cs []string
+	for c := 1; c <= max && c <= 12; c *= 2 {
+		cs = append(cs, strconv.Itoa(c))
+	}
+	return strings.Join(cs, ",")
+}
+
+func storeDesc(dir string) string {
+	if dir == "" {
+		return postal.RAMDir() + " (RAM-backed)"
+	}
+	return dir
+}

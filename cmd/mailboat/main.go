@@ -1,0 +1,48 @@
+// mailboat runs the verified mail server with its SMTP and POP3 front
+// ends over a real directory (§8.2's deployment). On startup it runs
+// Recover, so restarting after a crash is always safe.
+//
+// Usage:
+//
+//	mailboat [-dir path] [-users N] [-smtp addr] [-pop3 addr]
+//
+// Deliver mail to userN@any-domain over SMTP; read it back by
+// authenticating as userN over POP3 (any password).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/mailboatd"
+	"repro/internal/pop3"
+	"repro/internal/smtp"
+)
+
+func main() {
+	dir := flag.String("dir", "./mailboat-data", "mail store directory")
+	users := flag.Uint64("users", 100, "number of user mailboxes")
+	smtpAddr := flag.String("smtp", "127.0.0.1:2525", "SMTP listen address")
+	popAddr := flag.String("pop3", "127.0.0.1:2110", "POP3 listen address")
+	flag.Parse()
+
+	adapter, err := mailboatd.New(*dir, *users, time.Now().UnixNano())
+	if err != nil {
+		log.Fatalf("mailboat: %v", err)
+	}
+	defer adapter.Close()
+	log.Printf("mailboat: store %s recovered, %d users", *dir, *users)
+
+	errs := make(chan error, 2)
+	ss := smtp.NewServer(adapter, *users)
+	go func() { errs <- fmt.Errorf("smtp: %w", ss.ListenAndServe(*smtpAddr)) }()
+	log.Printf("mailboat: SMTP on %s", *smtpAddr)
+
+	ps := pop3.NewServer(adapter, *users)
+	go func() { errs <- fmt.Errorf("pop3: %w", ps.ListenAndServe(*popAddr)) }()
+	log.Printf("mailboat: POP3 on %s", *popAddr)
+
+	log.Fatal(<-errs)
+}

@@ -1,0 +1,90 @@
+// perennial-check runs the verification suite: every verified example's
+// model-checking scenario (replicated disk, shadow copy, write-ahead
+// log, group commit, Mailboat) plus the seeded-bug variants that must
+// produce counterexamples. It is the reproduction's analog of running
+// coqc over the paper's proofs — exit status 0 means every check came
+// out as expected.
+//
+// Usage:
+//
+//	perennial-check [-pattern substr] [-max N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/suite"
+)
+
+func main() {
+	pattern := flag.String("pattern", "", "only run scenarios whose pattern or name contains this substring")
+	maxExec := flag.Int("max", 0, "override per-scenario execution budget")
+	verbose := flag.Bool("v", false, "print counterexamples for expected bugs too")
+	minimize := flag.Bool("min", false, "minimize counterexample choice sequences before printing")
+	flag.Parse()
+
+	entries := suite.All()
+	failed := 0
+	ran := 0
+	for _, e := range entries {
+		if *pattern != "" &&
+			!strings.Contains(e.Pattern, *pattern) &&
+			!strings.Contains(e.Scenario.Name, *pattern) {
+			continue
+		}
+		ran++
+		opts := e.Opts
+		if *maxExec > 0 {
+			opts.MaxExecutions = *maxExec
+		}
+		start := time.Now()
+		rep := explore.Run(e.Scenario, opts)
+		elapsed := time.Since(start).Round(time.Millisecond)
+
+		status := "PASS"
+		switch {
+		case e.WantViolation && rep.OK():
+			status = "FAIL (expected a counterexample, found none)"
+			failed++
+		case !e.WantViolation && !rep.OK():
+			status = "FAIL"
+			failed++
+		case e.WantViolation:
+			status = "PASS (bug found as expected)"
+		}
+		fmt.Printf("%-34s %-38s %v\n", e.Scenario.Name, status, elapsed)
+		fmt.Printf("    %s\n", rep.String())
+		if rep.Counterexample != nil && (!e.WantViolation || *verbose) {
+			if *minimize {
+				min := explore.Minimize(e.Scenario, rep.Counterexample.Choices)
+				trace, hist, reason := explore.Replay(e.Scenario, min)
+				fmt.Printf("    minimized to %d choices (from %d): %v\n",
+					len(min), len(rep.Counterexample.Choices), min)
+				fmt.Printf("    %s\n", reason)
+				fmt.Println(indent(hist.Format(), "    "))
+				for _, l := range trace {
+					fmt.Printf("      %s\n", l)
+				}
+			} else {
+				fmt.Println(indent(rep.Counterexample.Format(), "    "))
+			}
+		}
+	}
+	fmt.Printf("\n%d scenarios, %d failed\n", ran, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,69 @@
+// Package goosedemo is a self-contained package inside the Goose subset
+// (§6): uint64s, slices, structs, pointers, per-object locks, and
+// goroutines — no interfaces, no first-class functions, no channels, no
+// defer, no floating point. Run the translator on it:
+//
+//	go run ./cmd/goose examples/goosedemo
+package goosedemo
+
+import "sync"
+
+// MaxAccounts bounds the bank size.
+const MaxAccounts = 64
+
+// Bank is a set of accounts protected by one lock.
+type Bank struct {
+	mu       *sync.Mutex
+	balances []uint64
+}
+
+// NewBank allocates a bank with n zero accounts.
+func NewBank(n uint64) *Bank {
+	b := &Bank{}
+	b.mu = new(sync.Mutex)
+	b.balances = make([]uint64, n)
+	return b
+}
+
+// Deposit adds amt to account a.
+func (b *Bank) Deposit(a uint64, amt uint64) {
+	b.mu.Lock()
+	b.balances[a] = b.balances[a] + amt
+	b.mu.Unlock()
+}
+
+// Transfer moves amt from one account to another, atomically; it
+// reports whether the source had sufficient funds.
+func (b *Bank) Transfer(from uint64, to uint64, amt uint64) bool {
+	b.mu.Lock()
+	ok := false
+	if b.balances[from] >= amt {
+		b.balances[from] = b.balances[from] - amt
+		b.balances[to] = b.balances[to] + amt
+		ok = true
+	}
+	b.mu.Unlock()
+	return ok
+}
+
+// Sum returns the total balance across accounts.
+func (b *Bank) Sum() uint64 {
+	b.mu.Lock()
+	var total uint64
+	for i := uint64(0); i < uint64(len(b.balances)); i++ {
+		total = total + b.balances[i]
+	}
+	b.mu.Unlock()
+	return total
+}
+
+// DepositAll spawns one goroutine per account depositing amt, the
+// Goose-style use of goroutines.
+func DepositAll(b *Bank, amt uint64) {
+	for i := uint64(0); i < uint64(len(b.balances)); i++ {
+		a := i
+		go func() {
+			b.Deposit(a, amt)
+		}()
+	}
+}

@@ -1,0 +1,147 @@
+// A self-contained Mailboat deployment (§8.2): boot the verified
+// library on a temporary directory, serve SMTP and POP3 on loopback,
+// deliver two messages over SMTP, read them back over POP3, delete one,
+// then "crash" and recover to show delivered mail survives.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"repro/internal/mailboatd"
+	"repro/internal/pop3"
+	"repro/internal/smtp"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "mailboat-demo-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	adapter, err := mailboatd.New(dir, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	smtpLn := listen()
+	popLn := listen()
+	go smtp.NewServer(adapter, 4).Serve(smtpLn)
+	go pop3.NewServer(adapter, 4).Serve(popLn)
+	fmt.Printf("SMTP on %s, POP3 on %s, store in %s\n\n", smtpLn.Addr(), popLn.Addr(), dir)
+
+	// Deliver two messages over SMTP.
+	fmt.Println("== delivering two messages to user1 over SMTP ==")
+	c := dialOrDie(smtpLn.Addr().String())
+	c.expect("220")
+	for i, body := range []string{"first message", "second message"} {
+		c.send("MAIL FROM:<demo@example.org>")
+		c.expect("250")
+		c.send("RCPT TO:<user1@example.org>")
+		c.expect("250")
+		c.send("DATA")
+		c.expect("354")
+		c.send(fmt.Sprintf("Subject: demo %d\r\n\r\n%s\r\n.", i+1, body))
+		c.expect("250")
+	}
+	c.send("QUIT")
+	c.expect("221")
+
+	// Read them back over POP3 and delete the first.
+	fmt.Println("\n== reading them back over POP3 ==")
+	p := dialOrDie(popLn.Addr().String())
+	p.expect("+OK")
+	p.send("USER user1")
+	p.expect("+OK")
+	p.send("PASS anything")
+	fmt.Println("  " + p.expect("+OK"))
+	p.send("RETR 1")
+	p.expect("+OK")
+	for _, line := range p.multiline() {
+		fmt.Println("  | " + line)
+	}
+	p.send("DELE 1")
+	p.expect("+OK")
+	p.send("QUIT")
+	p.expect("+OK")
+
+	// Crash and recover: the remaining message must survive.
+	fmt.Println("\n== simulated crash + recovery (new process over the same store) ==")
+	adapter.Close()
+	adapter2, err := mailboatd.New(dir, 4, 2) // New always runs Recover
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer adapter2.Close()
+	msgs, err := adapter2.Pickup(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after recovery, user1 has %d message(s):\n", len(msgs))
+	for _, m := range msgs {
+		fmt.Printf("  %s: %q\n", m.ID, firstLine(m.Contents))
+	}
+	adapter2.Unlock(1)
+}
+
+func listen() net.Listener {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ln
+}
+
+type lineClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialOrDie(addr string) *lineClient {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &lineClient{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *lineClient) send(line string) {
+	fmt.Fprintf(c.conn, "%s\r\n", line)
+}
+
+func (c *lineClient) expect(prefix string) string {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		log.Fatalf("expected %q, got error %v", prefix, err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if !strings.HasPrefix(line, prefix) {
+		log.Fatalf("expected %q, got %q", prefix, line)
+	}
+	return line
+}
+
+func (c *lineClient) multiline() []string {
+	var lines []string
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			log.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "." {
+			return lines
+		}
+		lines = append(lines, strings.TrimPrefix(line, "."))
+	}
+}
+
+func firstLine(s string) string {
+	line, _, _ := strings.Cut(s, "\n")
+	return line
+}

@@ -1,0 +1,79 @@
+package cmail
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDeliverPickupDeleteRoundTrip(t *testing.T) {
+	s, err := New(t.TempDir(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := s.Deliver(rng, 1, []byte("mail body")); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := s.Pickup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].Contents != "mail body" {
+		t.Fatalf("msgs=%+v", msgs)
+	}
+	if err := s.Delete(1, msgs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	s.Unlock(1)
+	msgs, _ = s.Pickup(1)
+	s.Unlock(1)
+	if len(msgs) != 0 {
+		t.Fatalf("delete did not apply: %+v", msgs)
+	}
+}
+
+func TestOverheadLoopsSlowOperationsDown(t *testing.T) {
+	// The simulated extraction overhead must cost measurable CPU time:
+	// a high-loop server's burn is proportionally slower than a
+	// low-loop one.
+	fast, err := New(t.TempDir(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := New(t.TempDir(), 1, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(s *Server) time.Duration {
+		start := time.Now()
+		for i := 0; i < 20; i++ {
+			s.burn()
+		}
+		return time.Since(start)
+	}
+	tFast, tSlow := measure(fast), measure(slow)
+	if tSlow < tFast*10 {
+		t.Fatalf("overhead not burning: fast=%v slow=%v", tFast, tSlow)
+	}
+}
+
+func TestZeroSelectsDefaultOverhead(t *testing.T) {
+	s, err := New(t.TempDir(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.loops != DefaultOverheadLoops {
+		t.Fatalf("loops=%d", s.loops)
+	}
+}
+
+func TestRecoverDelegates(t *testing.T) {
+	s, err := New(t.TempDir(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+}

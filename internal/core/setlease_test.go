@@ -1,0 +1,143 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestSetLeaseInsertWithoutLease(t *testing.T) {
+	res, _, _ := runGhost(t, func(mt *machine.T, c *Ctx) {
+		ms, _ := c.NewDurableSet(mt, "u0", nil)
+		// Insert requires no lease: concurrent delivery (§8.3).
+		ms.Insert(mt, "msg1", nil)
+		ms.Insert(mt, "msg2", nil)
+		if got := ms.Elems(mt); !reflect.DeepEqual(got, []string{"msg1", "msg2"}) {
+			mt.Failf("elems=%v", got)
+		}
+	})
+	if res.Outcome != machine.Done {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestSetLeaseDoubleInsertFails(t *testing.T) {
+	res, _, _ := runGhost(t, func(mt *machine.T, c *Ctx) {
+		ms, _ := c.NewDurableSet(mt, "u0", nil)
+		ms.Insert(mt, "x", nil)
+		ms.Insert(mt, "x", nil)
+	})
+	wantViolation(t, res, "already present")
+}
+
+func TestSetLeaseRemoveRequiresLowerBound(t *testing.T) {
+	res, _, _ := runGhost(t, func(mt *machine.T, c *Ctx) {
+		ms, ls := c.NewDurableSet(mt, "u0", nil)
+		ms.Insert(mt, "msg1", nil) // inserted after the lease was minted
+		// The lease's lower bound does not include msg1 yet.
+		ms.Remove(mt, ls, "msg1", nil)
+	})
+	wantViolation(t, res, "not in the lease's lower bound")
+}
+
+func TestSetLeaseRefreshThenRemove(t *testing.T) {
+	res, _, _ := runGhost(t, func(mt *machine.T, c *Ctx) {
+		ms, ls := c.NewDurableSet(mt, "u0", nil)
+		ms.Insert(mt, "msg1", nil)
+		ls.Refresh(mt, ms) // the List under the mailbox lock
+		if !ls.Contains(mt, "msg1") {
+			mt.Failf("lower bound missing msg1 after refresh")
+		}
+		ms.Remove(mt, ls, "msg1", nil)
+		if len(ms.Elems(mt)) != 0 {
+			mt.Failf("remove did not apply")
+		}
+	})
+	if res.Outcome != machine.Done {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestSetLeaseInitialElementsAreInLowerBound(t *testing.T) {
+	res, _, _ := runGhost(t, func(mt *machine.T, c *Ctx) {
+		ms, ls := c.NewDurableSet(mt, "u0", []string{"a", "b"})
+		ms.Remove(mt, ls, "a", nil)
+		if got := ls.Lower(mt); !reflect.DeepEqual(got, []string{"b"}) {
+			mt.Failf("lower=%v", got)
+		}
+	})
+	if res.Outcome != machine.Done {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestSetLeaseStaleAfterCrash(t *testing.T) {
+	m := machine.New(machine.Options{})
+	c := NewCtx(m)
+	var ls *SetLease
+	m.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+		var ms *SetMaster
+		ms, ls = c.NewDurableSet(mt, "u0", []string{"a"})
+		c.DepositSetMaster(mt, ms)
+	})
+	m.CrashReset()
+	res := m.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+		_ = ls.Lower(mt)
+	})
+	wantViolation(t, res, "stale lower-bound lease")
+}
+
+func TestSetMasterLostWithoutDeposit(t *testing.T) {
+	m := machine.New(machine.Options{})
+	c := NewCtx(m)
+	var ms *SetMaster
+	m.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+		ms, _ = c.NewDurableSet(mt, "u0", []string{"a"})
+		// not deposited
+	})
+	m.CrashReset()
+	res := m.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+		_ = ms.Elems(mt)
+	})
+	wantViolation(t, res, "lost at a crash")
+}
+
+func TestSetMasterResynthesizeAfterCrash(t *testing.T) {
+	m := machine.New(machine.Options{})
+	c := NewCtx(m)
+	var ms *SetMaster
+	m.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+		ms, _ = c.NewDurableSet(mt, "u0", []string{"a", "b"})
+		c.DepositSetMaster(mt, ms)
+	})
+	m.CrashReset()
+	res := m.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+		ms2, ls2 := ms.Resynthesize(mt)
+		if got := ms2.Elems(mt); !reflect.DeepEqual(got, []string{"a", "b"}) {
+			mt.Failf("elems after resynthesize: %v", got)
+		}
+		// Recovery's fresh lease starts with the full lower bound.
+		ms2.Remove(mt, ls2, "a", nil)
+	})
+	if res.Outcome != machine.Done {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestSetMasterResynthesizeWithoutCrashFails(t *testing.T) {
+	res, _, _ := runGhost(t, func(mt *machine.T, c *Ctx) {
+		ms, _ := c.NewDurableSet(mt, "u0", nil)
+		ms.Resynthesize(mt)
+	})
+	wantViolation(t, res, "without an intervening crash")
+}
+
+func TestSetLeaseMismatchedPairFails(t *testing.T) {
+	res, _, _ := runGhost(t, func(mt *machine.T, c *Ctx) {
+		ma, _ := c.NewDurableSet(mt, "a", []string{"x"})
+		_, lb := c.NewDurableSet(mt, "b", []string{"x"})
+		ma.Remove(mt, lb, "x", nil)
+	})
+	wantViolation(t, res, "lease b against master a")
+}

@@ -1,0 +1,66 @@
+package replicateddisk
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// This file contains deliberately buggy variants of the replicated-disk
+// library. They carry no ghost annotations (they are "unverified"); the
+// black-box refinement checker in internal/explore finds counterexample
+// executions for each of them, demonstrating that the checker catches
+// the classes of mistakes the paper's proofs rule out (§1, §3.1, §9.5).
+
+// Reboot rebuilds the volatile state (per-address locks) after a crash
+// without repairing the disks — the missing-recovery variant from §3.1.
+// A crash between the two disk writes leaves the disks out of sync, and
+// a later disk-1 failure exposes the stale value on disk 2.
+func Reboot(t *machine.T, old *RD) *RD {
+	rd := &RD{size: old.size, d1: old.d1, d2: old.d2}
+	rd.locks = make([]*machine.Lock, old.size)
+	for a := uint64(0); a < old.size; a++ {
+		rd.locks[a] = machine.NewLock(t, fmt.Sprintf("rd[%d]", a))
+	}
+	return rd
+}
+
+// RecoverByZeroing is the wrong recovery procedure called out in §1: it
+// makes the disks consistent by zeroing both, which reverts completed
+// writes and violates durability.
+func RecoverByZeroing(t *machine.T, old *RD) *RD {
+	rd := Reboot(t, old)
+	for a := uint64(0); a < old.size; a++ {
+		old.d1.Write(t, a, 0)
+		old.d2.Write(t, a, 0)
+	}
+	return rd
+}
+
+// WriteNoLock writes both disks without acquiring the per-address lock.
+// Two concurrent writers can interleave so that disk 1 and disk 2
+// disagree on the final value; a disk-1 failure then exposes
+// non-linearizable reads.
+func (rd *RD) WriteNoLock(t *machine.T, a, v uint64) {
+	rd.d1.Write(t, a, v)
+	rd.d2.Write(t, a, v)
+}
+
+// WriteD1Only "replicates" to disk 1 only. Reads served by disk 1 look
+// fine until it fails, after which disk 2 returns stale data.
+func (rd *RD) WriteD1Only(t *machine.T, a, v uint64) {
+	rd.locks[a].Acquire(t)
+	rd.d1.Write(t, a, v)
+	rd.locks[a].Release(t)
+}
+
+// ReadNoLock reads without the lock. Because disk reads are atomic and
+// full-block, this is benign for reads of a healthy disk 1 — but
+// combined with WriteNoLock it widens the windows the checker explores.
+func (rd *RD) ReadNoLock(t *machine.T, a uint64) uint64 {
+	v, ok := rd.d1.Read(t, a)
+	if !ok {
+		v, _ = rd.d2.Read(t, a)
+	}
+	return v
+}

@@ -1,0 +1,247 @@
+// Package replicateddisk is the paper's running example (Figures 1 and
+// 3–6): a concurrent disk-replication library that sends writes to two
+// physical disks and falls back to the second disk when a read on the
+// first fails, with a per-address lock for linearizability and a
+// recovery procedure that copies disk 1 onto disk 2 to complete or
+// discard writes interrupted by a crash.
+//
+// The verified implementation threads a core.Ctx through its code: each
+// (disk, address) pair has a master/lease capability, masters live in
+// the crash invariant, leases are protected by the per-address locks,
+// and an in-flight write deposits its j ⤇ op token in the crash
+// invariant so recovery may complete it (recovery helping, §5.4).
+//
+// Buggy variants used by the tests and the bug-finding benchmarks live
+// in bugs.go; they skip the ghost annotations (they are "unverified")
+// and are caught by the black-box refinement checker instead.
+package replicateddisk
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/machine"
+	"repro/internal/spec"
+	"repro/internal/tsl"
+)
+
+// State is the specification state of Figure 3: one logical disk, a
+// mapping from addresses to block values.
+type State struct {
+	Blocks []uint64
+}
+
+func (s State) clone() State {
+	out := State{Blocks: make([]uint64, len(s.Blocks))}
+	copy(out.Blocks, s.Blocks)
+	return out
+}
+
+// OpRead is rd_read(a).
+type OpRead struct{ A uint64 }
+
+func (o OpRead) String() string { return fmt.Sprintf("rd_read(%d)", o.A) }
+
+// OpWrite is rd_write(a, v).
+type OpWrite struct{ A, V uint64 }
+
+func (o OpWrite) String() string { return fmt.Sprintf("rd_write(%d, %d)", o.A, o.V) }
+
+// Spec builds the Figure 3 transition system for a disk of the given
+// size. Out-of-bounds operations are undefined behaviour; the crash
+// transition is the identity (no data may be lost).
+func Spec(size uint64) spec.Interface {
+	return &spec.TSL[State]{
+		SpecName: "replicated-disk",
+		Initial:  State{Blocks: make([]uint64, size)},
+		OpTransition: func(op spec.Op) tsl.Transition[State, spec.Ret] {
+			switch o := op.(type) {
+			case OpRead:
+				return tsl.If(func(s State) bool { return o.A < uint64(len(s.Blocks)) },
+					tsl.Gets(func(s State) spec.Ret { return s.Blocks[o.A] }),
+					tsl.Undefined[State, spec.Ret]())
+			case OpWrite:
+				return tsl.If(func(s State) bool { return o.A < uint64(len(s.Blocks)) },
+					tsl.Then(
+						tsl.Modify(func(s State) State {
+							n := s.clone()
+							n.Blocks[o.A] = o.V
+							return n
+						}),
+						tsl.Ret[State, spec.Ret](nil)),
+					tsl.Undefined[State, spec.Ret]())
+			default:
+				panic(fmt.Sprintf("replicateddisk: unknown op %T", op))
+			}
+		},
+		// crash: transition State unit := ret tt — nothing is lost.
+		CrashTransition: nil,
+		KeyOf:           func(s State) string { return fmt.Sprintf("%v", s.Blocks) },
+	}
+}
+
+// RD is the replicated-disk library state for one era: per-address
+// locks (volatile) plus the ghost capabilities for both disks' blocks.
+// After a crash, Recover builds a fresh RD from the old one's masters.
+type RD struct {
+	size   uint64
+	d1, d2 *disk.Disk
+	locks  []*machine.Lock
+
+	// ghost state (nil g means an unverified variant)
+	g        *core.Ctx
+	masters1 []*core.Master
+	leases1  []*core.Lease
+	masters2 []*core.Master
+	leases2  []*core.Lease
+}
+
+// New boots the library on two fresh disks: it allocates the per-address
+// locks and, when g is non-nil, the master/lease pairs for every block
+// of both disks, depositing all masters in the crash invariant (the
+// MsgsInv-style leasing strategy of §8.3 applied to blocks).
+func New(t *machine.T, g *core.Ctx, d1, d2 *disk.Disk, size uint64) *RD {
+	rd := &RD{size: size, d1: d1, d2: d2, g: g}
+	rd.locks = make([]*machine.Lock, size)
+	for a := uint64(0); a < size; a++ {
+		rd.locks[a] = machine.NewLock(t, fmt.Sprintf("rd[%d]", a))
+	}
+	if g != nil {
+		rd.masters1 = make([]*core.Master, size)
+		rd.leases1 = make([]*core.Lease, size)
+		rd.masters2 = make([]*core.Master, size)
+		rd.leases2 = make([]*core.Lease, size)
+		for a := uint64(0); a < size; a++ {
+			rd.masters1[a], rd.leases1[a] = g.NewDurable(t, fmt.Sprintf("d1[%d]", a), d1.Peek(a))
+			rd.masters2[a], rd.leases2[a] = g.NewDurable(t, fmt.Sprintf("d2[%d]", a), d2.Peek(a))
+			g.DepositMaster(t, rd.masters1[a])
+			g.DepositMaster(t, rd.masters2[a])
+		}
+	}
+	return rd
+}
+
+// Read is rd_read (Figure 4): under the per-address lock, read disk 1
+// and fall back to disk 2 on failure. The ghost simulation step (the
+// linearization point) happens inside the critical section, and the
+// value read from a healthy disk is checked against the lease's
+// asserted value — the executable meaning of d₁[a] ↦ v.
+func (rd *RD) Read(t *machine.T, j *core.JTok, a uint64) uint64 {
+	rd.locks[a].Acquire(t)
+	v, ok := rd.d1.Read(t, a)
+	if !ok {
+		v, _ = rd.d2.Read(t, a)
+		if rd.g != nil {
+			if want := rd.leases2[a].Value(t).(uint64); want != v {
+				t.Failf("capability mismatch: d2[%d] holds %d but lease asserts %d", a, v, want)
+			}
+		}
+	} else if rd.g != nil {
+		if want := rd.leases1[a].Value(t).(uint64); want != v {
+			t.Failf("capability mismatch: d1[%d] holds %d but lease asserts %d", a, v, want)
+		}
+	}
+	if rd.g != nil && j != nil {
+		rd.g.StepSim(t, j, v)
+	}
+	rd.locks[a].Release(t)
+	return v
+}
+
+// Write is rd_write (Figure 4): under the per-address lock, write disk 1
+// then disk 2. Before touching disk 1 the operation deposits its
+// j ⤇ op token in the crash invariant; once both disks hold the new
+// value it withdraws the token and simulates its own spec step. A crash
+// in between leaves the token for recovery helping.
+func (rd *RD) Write(t *machine.T, j *core.JTok, a, v uint64) {
+	rd.locks[a].Acquire(t)
+	if rd.g != nil && j != nil {
+		rd.g.DepositHelping(t, j)
+	}
+	rd.d1.Write(t, a, v)
+	if rd.g != nil {
+		rd.g.Update(t, rd.masters1[a], rd.leases1[a], v, nil)
+	}
+	rd.d2.Write(t, a, v)
+	if rd.g != nil {
+		rd.g.Update(t, rd.masters2[a], rd.leases2[a], v, nil)
+	}
+	if rd.g != nil && j != nil {
+		rd.g.WithdrawHelping(t, j)
+		rd.g.StepSim(t, j, nil)
+	}
+	rd.locks[a].Release(t)
+}
+
+// Recover is rd_recover (Figure 5): copy every readable block of disk 1
+// onto disk 2. In ghost terms it resynthesizes the master/lease pairs at
+// the new memory version, uses recovery helping to justify completing
+// any write that crashed between its two disk writes, and finally
+// discharges the spec-level crash step. It returns the rebooted library.
+func Recover(t *machine.T, old *RD) *RD {
+	rd := &RD{size: old.size, d1: old.d1, d2: old.d2, g: old.g}
+	rd.locks = make([]*machine.Lock, old.size)
+	for a := uint64(0); a < old.size; a++ {
+		rd.locks[a] = machine.NewLock(t, fmt.Sprintf("rd[%d]", a))
+	}
+	g := old.g
+	if g != nil {
+		rd.masters1 = make([]*core.Master, old.size)
+		rd.leases1 = make([]*core.Lease, old.size)
+		rd.masters2 = make([]*core.Master, old.size)
+		rd.leases2 = make([]*core.Lease, old.size)
+	}
+
+	for a := uint64(0); a < old.size; a++ {
+		var m1 *core.Master
+		var m2 *core.Master
+		if g != nil {
+			m1, rd.leases1[a] = old.masters1[a].Resynthesize(t)
+			m2, rd.leases2[a] = old.masters2[a].Resynthesize(t)
+			rd.masters1[a], rd.masters2[a] = m1, m2
+			// Keep the masters in the crash invariant for crashes during
+			// recovery (the idempotence condition of §5.5).
+			g.DepositMaster(t, m1)
+			g.DepositMaster(t, m2)
+		}
+		v, ok := old.d1.Read(t, a)
+		if !ok {
+			continue
+		}
+		old.d2.Write(t, a, v)
+		// The ghost accounting below happens in the same atomic turn as
+		// the d2 write's effect, so no crash can separate the real copy
+		// from its justification.
+		if g != nil {
+			v1 := m1.Value(t).(uint64)
+			v2 := m2.Value(t).(uint64)
+			if v != v1 {
+				t.Failf("capability mismatch: recovery read d1[%d]=%d but master asserts %d", a, v, v1)
+			}
+			if v1 != v2 {
+				// The disks differ: some write crashed between its two
+				// disk writes, so its token must be deposited. Recovery
+				// helps it (completes the operation on the dead thread's
+				// behalf), which is what justifies the copy as a spec
+				// transition (§5.4).
+				helped := false
+				for _, tok := range g.HelpingTokens() {
+					if w, isW := tok.Op().(OpWrite); isW && w.A == a && w.V == v1 {
+						g.Help(t, tok)
+						helped = true
+						break
+					}
+				}
+				if !helped {
+					t.Failf("recovery found d1[%d]=%d ≠ d2[%d]=%d with no helping token", a, v1, a, v2)
+				}
+			}
+			g.Update(t, m2, rd.leases2[a], v, nil)
+		}
+	}
+	if g != nil && g.CrashPending() {
+		g.CrashSim(t)
+	}
+	return rd
+}

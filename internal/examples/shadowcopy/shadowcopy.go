@@ -1,0 +1,193 @@
+// Package shadowcopy implements the shadow-copy crash-safety pattern of
+// §9.1 (Table 3): an atomic update of a pair of disk blocks performed by
+// first writing the new pair into an inactive region and then atomically
+// installing it by flipping a pointer block. A crash before the install
+// leaves the old pair visible; a crash after leaves the new pair
+// visible; no intermediate state is ever observable, so no repair work
+// is needed at recovery (recovery merely re-establishes the ghost
+// capabilities). Mailboat uses this same pattern for message files
+// (spool + atomic link, §8.2).
+//
+// Disk layout (single disk, no failures):
+//
+//	block 0: pointer (0 selects region A, 1 selects region B)
+//	blocks 1,2: region A
+//	blocks 3,4: region B
+package shadowcopy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/machine"
+	"repro/internal/spec"
+	"repro/internal/tsl"
+)
+
+// DiskSize is the number of blocks the pattern uses.
+const DiskSize = 5
+
+// State is the spec state: the logical pair.
+type State struct {
+	V1, V2 uint64
+}
+
+// OpRead reads the pair atomically.
+type OpRead struct{}
+
+func (OpRead) String() string { return "read_pair()" }
+
+// OpWrite sets the pair atomically.
+type OpWrite struct{ V1, V2 uint64 }
+
+func (o OpWrite) String() string { return fmt.Sprintf("write_pair(%d, %d)", o.V1, o.V2) }
+
+// Pair is OpRead's return value.
+type Pair struct{ V1, V2 uint64 }
+
+// Spec is the atomic-pair specification; its crash transition is the
+// identity (a completed write is never lost).
+func Spec() spec.Interface {
+	return &spec.TSL[State]{
+		SpecName: "shadow-copy-pair",
+		Initial:  State{},
+		OpTransition: func(op spec.Op) tsl.Transition[State, spec.Ret] {
+			switch o := op.(type) {
+			case OpRead:
+				return tsl.Gets(func(s State) spec.Ret { return Pair{V1: s.V1, V2: s.V2} })
+			case OpWrite:
+				return tsl.Then(
+					tsl.Modify(func(State) State { return State{V1: o.V1, V2: o.V2} }),
+					tsl.Ret[State, spec.Ret](nil))
+			default:
+				panic(fmt.Sprintf("shadowcopy: unknown op %T", op))
+			}
+		},
+	}
+}
+
+// SC is the shadow-copy object for one era.
+type SC struct {
+	d    *disk.Disk
+	lock *machine.Lock
+
+	g       *core.Ctx
+	masters [DiskSize]*core.Master
+	leases  [DiskSize]*core.Lease
+}
+
+// New boots the object on a fresh disk (pointer 0, both regions zero).
+func New(t *machine.T, g *core.Ctx, d *disk.Disk) *SC {
+	sc := &SC{d: d, g: g}
+	sc.lock = machine.NewLock(t, "sc")
+	if g != nil {
+		for a := 0; a < DiskSize; a++ {
+			sc.masters[a], sc.leases[a] = g.NewDurable(t, fmt.Sprintf("sc[%d]", a), d.Peek(uint64(a)))
+			g.DepositMaster(t, sc.masters[a])
+		}
+	}
+	return sc
+}
+
+func regionBase(ptr uint64) uint64 { return 1 + 2*ptr }
+
+// ReadPair returns the current pair under the object lock. The
+// linearization point is the pointer read; the ghost check compares the
+// blocks read against the lease-asserted values.
+func (sc *SC) ReadPair(t *machine.T, j *core.JTok) Pair {
+	sc.lock.Acquire(t)
+	ptr, _ := sc.d.Read(t, 0)
+	base := regionBase(ptr)
+	v1, _ := sc.d.Read(t, base)
+	v2, _ := sc.d.Read(t, base+1)
+	if sc.g != nil {
+		if w := sc.leases[base].Value(t).(uint64); w != v1 {
+			t.Failf("capability mismatch: sc[%d]=%d, lease asserts %d", base, v1, w)
+		}
+		if w := sc.leases[base+1].Value(t).(uint64); w != v2 {
+			t.Failf("capability mismatch: sc[%d]=%d, lease asserts %d", base+1, v2, w)
+		}
+		if j != nil {
+			sc.g.StepSim(t, j, Pair{V1: v1, V2: v2})
+		}
+	}
+	sc.lock.Release(t)
+	return Pair{V1: v1, V2: v2}
+}
+
+// WritePair writes the pair into the inactive region and installs it by
+// flipping the pointer. The pointer write is the linearization point;
+// the spec step is simulated in the same atomic turn as its effect, so
+// no recovery helping is needed for this pattern — a crash before the
+// install simply drops the operation.
+func (sc *SC) WritePair(t *machine.T, j *core.JTok, v1, v2 uint64) {
+	sc.lock.Acquire(t)
+	ptr, _ := sc.d.Read(t, 0)
+	newPtr := 1 - ptr
+	base := regionBase(newPtr)
+
+	sc.d.Write(t, base, v1)
+	if sc.g != nil {
+		sc.g.Update(t, sc.masters[base], sc.leases[base], v1, nil)
+	}
+	sc.d.Write(t, base+1, v2)
+	if sc.g != nil {
+		sc.g.Update(t, sc.masters[base+1], sc.leases[base+1], v2, nil)
+	}
+
+	sc.d.Write(t, 0, newPtr) // atomic install
+	if sc.g != nil {
+		sc.g.Update(t, sc.masters[0], sc.leases[0], newPtr, nil)
+		if j != nil {
+			sc.g.StepSim(t, j, nil)
+		}
+	}
+	sc.lock.Release(t)
+}
+
+// Recover reboots the object: the shadow region needs no repair (a crash
+// either installed the write or left it invisible), so recovery only
+// resynthesizes the capabilities, discharges the spec crash step, and
+// rebuilds the lock.
+func Recover(t *machine.T, old *SC) *SC {
+	sc := &SC{d: old.d, g: old.g}
+	sc.lock = machine.NewLock(t, "sc")
+	if old.g != nil {
+		for a := 0; a < DiskSize; a++ {
+			sc.masters[a], sc.leases[a] = old.masters[a].Resynthesize(t)
+			old.g.DepositMaster(t, sc.masters[a])
+		}
+		if old.g.CrashPending() {
+			old.g.CrashSim(t)
+		}
+	}
+	return sc
+}
+
+// WriteInPlace is the buggy variant: it updates the active region
+// directly. A crash between the two block writes leaves a torn pair
+// visible after recovery — the exact failure shadow copies exist to
+// prevent. Unverified (no ghost annotations).
+func (sc *SC) WriteInPlace(t *machine.T, v1, v2 uint64) {
+	sc.lock.Acquire(t)
+	ptr, _ := sc.d.Read(t, 0)
+	base := regionBase(ptr)
+	sc.d.Write(t, base, v1)
+	sc.d.Write(t, base+1, v2)
+	sc.lock.Release(t)
+}
+
+// WriteInstallFirst is the buggy variant that flips the pointer before
+// copying the data: readers (and crashes) observe the stale shadow
+// region. Unverified.
+func (sc *SC) WriteInstallFirst(t *machine.T, v1, v2 uint64) {
+	sc.lock.Acquire(t)
+	ptr, _ := sc.d.Read(t, 0)
+	newPtr := 1 - ptr
+	base := regionBase(newPtr)
+	sc.d.Write(t, 0, newPtr)
+	sc.d.Write(t, base, v1)
+	sc.d.Write(t, base+1, v2)
+	sc.lock.Release(t)
+}

@@ -1,0 +1,258 @@
+// Package wal implements the write-ahead-logging crash-safety pattern of
+// §9.1 (Table 3): an atomic update of a pair of disk blocks that first
+// records the new values in a log, commits them by setting a flag, and
+// then applies them to the data blocks. Recovery completes a committed
+// but unapplied transaction by copying the log to the data blocks — the
+// proof of that copy uses recovery helping (§5.4): the transaction's
+// j ⤇ op token is deposited in the crash invariant at commit time, and
+// recovery withdraws it to simulate the operation on the dead thread's
+// behalf.
+//
+// Disk layout (single disk, no failures):
+//
+//	block 0: commit flag (0 = empty log, 1 = committed)
+//	blocks 1,2: log entries
+//	blocks 3,4: data blocks
+package wal
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/machine"
+	"repro/internal/spec"
+	"repro/internal/tsl"
+)
+
+// DiskSize is the number of blocks the pattern uses.
+const DiskSize = 5
+
+const (
+	addrFlag  = 0
+	addrLog1  = 1
+	addrLog2  = 2
+	addrData1 = 3
+	addrData2 = 4
+)
+
+// State is the spec state: the logical pair.
+type State struct {
+	V1, V2 uint64
+}
+
+// OpRead reads the pair atomically.
+type OpRead struct{}
+
+func (OpRead) String() string { return "read_pair()" }
+
+// OpWrite sets the pair atomically.
+type OpWrite struct{ V1, V2 uint64 }
+
+func (o OpWrite) String() string { return fmt.Sprintf("txn_write(%d, %d)", o.V1, o.V2) }
+
+// Pair is OpRead's return value.
+type Pair struct{ V1, V2 uint64 }
+
+// Spec is the same atomic-pair specification as shadowcopy's: writes
+// are atomic and durable once they return; crash loses nothing.
+func Spec() spec.Interface {
+	return &spec.TSL[State]{
+		SpecName: "wal-pair",
+		Initial:  State{},
+		OpTransition: func(op spec.Op) tsl.Transition[State, spec.Ret] {
+			switch o := op.(type) {
+			case OpRead:
+				return tsl.Gets(func(s State) spec.Ret { return Pair{V1: s.V1, V2: s.V2} })
+			case OpWrite:
+				return tsl.Then(
+					tsl.Modify(func(State) State { return State{V1: o.V1, V2: o.V2} }),
+					tsl.Ret[State, spec.Ret](nil))
+			default:
+				panic(fmt.Sprintf("wal: unknown op %T", op))
+			}
+		},
+	}
+}
+
+// WAL is the logged pair object for one era.
+type WAL struct {
+	d    *disk.Disk
+	lock *machine.Lock
+
+	g       *core.Ctx
+	masters [DiskSize]*core.Master
+	leases  [DiskSize]*core.Lease
+}
+
+// New boots the object on a fresh disk (flag 0, everything zero).
+func New(t *machine.T, g *core.Ctx, d *disk.Disk) *WAL {
+	w := &WAL{d: d, g: g}
+	w.lock = machine.NewLock(t, "wal")
+	if g != nil {
+		for a := 0; a < DiskSize; a++ {
+			w.masters[a], w.leases[a] = g.NewDurable(t, fmt.Sprintf("wal[%d]", a), d.Peek(uint64(a)))
+			g.DepositMaster(t, w.masters[a])
+		}
+	}
+	return w
+}
+
+// ReadPair returns the current pair under the object lock. Because the
+// lock serializes transactions, the data blocks are authoritative
+// whenever the lock is free; a reader that takes the lock mid-crash
+// cannot exist (crashes kill all threads).
+func (w *WAL) ReadPair(t *machine.T, j *core.JTok) Pair {
+	w.lock.Acquire(t)
+	v1, _ := w.d.Read(t, addrData1)
+	v2, _ := w.d.Read(t, addrData2)
+	if w.g != nil {
+		if want := w.leases[addrData1].Value(t).(uint64); want != v1 {
+			t.Failf("capability mismatch: data1=%d, lease asserts %d", v1, want)
+		}
+		if want := w.leases[addrData2].Value(t).(uint64); want != v2 {
+			t.Failf("capability mismatch: data2=%d, lease asserts %d", v2, want)
+		}
+		if j != nil {
+			w.g.StepSim(t, j, Pair{V1: v1, V2: v2})
+		}
+	}
+	w.lock.Release(t)
+	return Pair{V1: v1, V2: v2}
+}
+
+// WritePair runs one transaction: log the new values, commit by setting
+// the flag, apply to the data blocks, and clear the flag. The j ⤇ op
+// token is deposited just before the commit write; if the transaction
+// completes, it withdraws the token and simulates its own step in the
+// same atomic turn as the flag-clear effect. A crash in the committed
+// window leaves the token for recovery helping.
+func (w *WAL) WritePair(t *machine.T, j *core.JTok, v1, v2 uint64) {
+	w.lock.Acquire(t)
+
+	// Log the transaction.
+	w.d.Write(t, addrLog1, v1)
+	if w.g != nil {
+		w.g.Update(t, w.masters[addrLog1], w.leases[addrLog1], v1, nil)
+	}
+	w.d.Write(t, addrLog2, v2)
+	if w.g != nil {
+		w.g.Update(t, w.masters[addrLog2], w.leases[addrLog2], v2, nil)
+		if j != nil {
+			w.g.DepositHelping(t, j)
+		}
+	}
+
+	// Commit.
+	w.d.Write(t, addrFlag, 1)
+	if w.g != nil {
+		w.g.Update(t, w.masters[addrFlag], w.leases[addrFlag], uint64(1), nil)
+	}
+
+	// Apply.
+	w.d.Write(t, addrData1, v1)
+	if w.g != nil {
+		w.g.Update(t, w.masters[addrData1], w.leases[addrData1], v1, nil)
+	}
+	w.d.Write(t, addrData2, v2)
+	if w.g != nil {
+		w.g.Update(t, w.masters[addrData2], w.leases[addrData2], v2, nil)
+	}
+
+	// Clear the flag; the transaction's spec step happens in the same
+	// atomic turn as this write's effect.
+	w.d.Write(t, addrFlag, 0)
+	if w.g != nil {
+		w.g.Update(t, w.masters[addrFlag], w.leases[addrFlag], uint64(0), nil)
+		if j != nil {
+			w.g.WithdrawHelping(t, j)
+			w.g.StepSim(t, j, nil)
+		}
+	}
+	w.lock.Release(t)
+}
+
+// Recover reboots the object. If the commit flag is set, some
+// transaction committed but did not finish applying: recovery copies the
+// log onto the data blocks and clears the flag, using the deposited
+// helping token to justify the transaction's spec step (§5.4). Recovery
+// is idempotent: a crash mid-recovery leaves the flag set and the log
+// intact, so the rerun redoes the copy.
+func Recover(t *machine.T, old *WAL) *WAL {
+	w := &WAL{d: old.d, g: old.g}
+	w.lock = machine.NewLock(t, "wal")
+	g := old.g
+	if g != nil {
+		for a := 0; a < DiskSize; a++ {
+			w.masters[a], w.leases[a] = old.masters[a].Resynthesize(t)
+			g.DepositMaster(t, w.masters[a])
+		}
+	}
+
+	flag, _ := w.d.Read(t, addrFlag)
+	if flag == 1 {
+		v1, _ := w.d.Read(t, addrLog1)
+		v2, _ := w.d.Read(t, addrLog2)
+
+		w.d.Write(t, addrData1, v1)
+		if g != nil {
+			g.Update(t, w.masters[addrData1], w.leases[addrData1], v1, nil)
+		}
+		w.d.Write(t, addrData2, v2)
+		if g != nil {
+			g.Update(t, w.masters[addrData2], w.leases[addrData2], v2, nil)
+		}
+
+		w.d.Write(t, addrFlag, 0)
+		if g != nil {
+			// Ghost-atomically with the flag clear: complete the crashed
+			// transaction via its helping token, unless an earlier
+			// recovery attempt already helped it (crash mid-recovery).
+			helped := false
+			for _, tok := range g.HelpingTokens() {
+				if wr, isW := tok.Op().(OpWrite); isW && wr.V1 == v1 && wr.V2 == v2 {
+					g.Help(t, tok)
+					helped = true
+					break
+				}
+			}
+			if !helped && !alreadyApplied(g, v1, v2) {
+				t.Failf("recovery found committed txn (%d,%d) with no helping token", v1, v2)
+			}
+			g.Update(t, w.masters[addrFlag], w.leases[addrFlag], uint64(0), nil)
+		}
+	}
+	if g != nil && g.CrashPending() {
+		g.CrashSim(t)
+	}
+	return w
+}
+
+// alreadyApplied reports whether the source state already reflects the
+// committed transaction — the case where a previous recovery attempt
+// helped the token and then crashed between the data writes and the
+// flag clear.
+func alreadyApplied(g *core.Ctx, v1, v2 uint64) bool {
+	s, ok := g.Source().(State)
+	return ok && s.V1 == v1 && s.V2 == v2
+}
+
+// WriteNoLog is the buggy variant that skips the log entirely and
+// updates the data blocks in place: a crash between the two writes
+// leaves a torn pair. Unverified.
+func (w *WAL) WriteNoLog(t *machine.T, v1, v2 uint64) {
+	w.lock.Acquire(t)
+	w.d.Write(t, addrData1, v1)
+	w.d.Write(t, addrData2, v2)
+	w.lock.Release(t)
+}
+
+// RecoverClearOnly is the buggy recovery that clears the commit flag
+// without applying the log: a committed transaction that crashed
+// mid-apply leaves a torn pair behind. Unverified.
+func RecoverClearOnly(t *machine.T, old *WAL) *WAL {
+	w := &WAL{d: old.d}
+	w.lock = machine.NewLock(t, "wal")
+	w.d.Write(t, addrFlag, 0)
+	return w
+}

@@ -1,0 +1,516 @@
+// Package explore is the executable stand-in for Perennial's Theorem 2
+// (recovery forward simulation): a stateless model checker that
+// enumerates thread interleavings and crash points of an implementation
+// running on the modeled machine, runs the recovery procedure after
+// every crash (including crashes during recovery, exercising the
+// idempotence side condition of §5.5), and checks every execution's
+// history for concurrent recovery refinement against the specification.
+//
+// Where the paper proves the refinement once for all executions with
+// Hoare triples, the explorer checks the same judgment on every
+// execution in a bounded space, and the companion capability runtime in
+// internal/core enforces the per-step ghost rules (Table 1) along the
+// way. A randomized stress mode extends coverage beyond the systematic
+// bound.
+package explore
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/history"
+	"repro/internal/machine"
+	"repro/internal/spec"
+)
+
+// Harness is handed to scenario workloads for recording operations in
+// the history. Ops wrap the implementation call so that invocations and
+// responses (or the absence of a response when a crash kills the
+// thread) are recorded faithfully.
+type Harness struct {
+	rec history.Recorder
+}
+
+// Op records op's invocation, runs impl, and records its response. If a
+// crash kills the thread inside impl, the response is never recorded and
+// the operation stays pending at the crash, exactly as the checker
+// expects.
+func (h *Harness) Op(op spec.Op, impl func() spec.Ret) spec.Ret {
+	id := h.rec.Invoke(op)
+	ret := impl()
+	h.rec.Return(id, ret)
+	return ret
+}
+
+// History exposes the recorded history (for custom scenario checks).
+func (h *Harness) History() history.History { return h.rec.History() }
+
+// Scenario describes one checkable system: how to build its world on a
+// fresh machine, the concurrent workload, the recovery procedure, and an
+// optional post-recovery observation phase.
+type Scenario struct {
+	// Name identifies the scenario in reports.
+	Name string
+	// Spec is the specification the history must refine.
+	Spec spec.Interface
+	// MachineOpts configures each execution's machine.
+	MachineOpts machine.Options
+	// Setup builds devices and durable state on a fresh machine and
+	// returns a world handle passed to the other phases. It runs outside
+	// any thread (no machine steps).
+	Setup func(m *machine.Machine) any
+	// Init runs as a crash-free era before the workload, modeling the
+	// paper's requirement that the caller run Init before any operations
+	// (§8.1). Crashes are only injected once the workload starts.
+	Init func(t *machine.T, w any)
+	// Main is the workload era: it runs as thread 0 and typically spawns
+	// worker threads that perform harness-recorded operations.
+	Main func(t *machine.T, w any, h *Harness)
+	// Recover runs as a fresh era after every crash. nil means the system
+	// needs no recovery.
+	Recover func(t *machine.T, w any)
+	// Post runs after the workload (and any crash/recovery cycles) as a
+	// crash-free observation era, typically reading back state through
+	// harness-recorded operations.
+	Post func(t *machine.T, w any, h *Harness)
+	// MaxCrashes bounds the number of injected crashes per execution.
+	MaxCrashes int
+	// RandPolicy, when non-nil, resolves "rand" choices (machine
+	// RandUint64 calls) deterministically per call index instead of
+	// branching the search on them. Use it for random *name allocation*
+	// (Mailboat's spool names): exploring every possible random name
+	// multiplies the search space without exercising new logic, and
+	// unbounded retry-on-collision loops would otherwise give the DFS an
+	// infinite choice tree. A cycling policy (call % n) still exercises
+	// the collision-retry path whenever the counter wraps onto a taken
+	// name. Applied in systematic, stress, and replay modes alike so
+	// counterexample choices stay aligned.
+	RandPolicy func(call, n int) int
+	// Invariant, if non-nil, is checked between eras (after Setup, after
+	// each crash+recovery, and at the end); it may inspect durable state
+	// directly. Returning an error is a violation.
+	Invariant func(m *machine.Machine, w any) error
+}
+
+// Counterexample captures one failing execution.
+type Counterexample struct {
+	// Choices is the decision sequence that reproduces the execution.
+	Choices []int
+	// Trace is the machine's event trace.
+	Trace []string
+	// History is the recorded operation history.
+	History history.History
+	// Reason describes the failure.
+	Reason string
+}
+
+// Format renders the counterexample for humans.
+func (c *Counterexample) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reason: %s\n", c.Reason)
+	fmt.Fprintf(&b, "choices: %v\n", c.Choices)
+	b.WriteString("history:\n")
+	b.WriteString(c.History.Format())
+	b.WriteString("trace:\n")
+	for _, l := range c.Trace {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	return b.String()
+}
+
+// Report summarizes an exploration.
+type Report struct {
+	// Scenario is the scenario name.
+	Scenario string
+	// Executions is the number of executions run.
+	Executions int
+	// CrashedExecutions counts executions with at least one crash.
+	CrashedExecutions int
+	// Complete is true when the systematic search exhausted the whole
+	// bounded space (rather than hitting the execution budget).
+	Complete bool
+	// Counterexample is the first failure found, nil if none.
+	Counterexample *Counterexample
+	// CheckedStates sums the refinement checker's explored states.
+	CheckedStates int
+}
+
+// OK reports whether no violation was found.
+func (r *Report) OK() bool { return r.Counterexample == nil }
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	status := "OK"
+	if !r.OK() {
+		status = "VIOLATION"
+	}
+	complete := "complete"
+	if !r.Complete {
+		complete = "budget-bounded"
+	}
+	return fmt.Sprintf("%s: %s (%d executions, %d crashed, %s, %d checker states)",
+		r.Scenario, status, r.Executions, r.CrashedExecutions, complete, r.CheckedStates)
+}
+
+// Options configures an exploration.
+type Options struct {
+	// MaxExecutions bounds the systematic search. 0 means 20000.
+	MaxExecutions int
+	// StressExecutions adds randomized executions after (or instead of)
+	// the systematic search.
+	StressExecutions int
+	// StressSeed seeds the randomized mode.
+	StressSeed int64
+	// StressCrashWeight makes the random chooser crash with probability
+	// 1/weight at each step when crashes are allowed. 0 means 20.
+	StressCrashWeight int
+	// StressParallelism runs stress executions on this many OS-parallel
+	// workers (each execution uses its own machine, so they are
+	// independent). 0 or 1 means sequential. The reported counterexample
+	// is the one with the smallest seed offset, keeping results
+	// deterministic regardless of scheduling.
+	StressParallelism int
+}
+
+// Run performs a systematic DFS over the scenario's choice space, then
+// optional randomized stress, and returns a report.
+func Run(s *Scenario, opts Options) *Report {
+	if opts.MaxExecutions == 0 {
+		opts.MaxExecutions = 20000
+	}
+	if opts.StressCrashWeight == 0 {
+		opts.StressCrashWeight = 20
+	}
+	rep := &Report{Scenario: s.Name}
+
+	// Systematic DFS over choice sequences.
+	d := &dfsChooser{}
+	for rep.Executions < opts.MaxExecutions {
+		rep.Executions++
+		d.reset()
+		cx := runOne(s, d, rep)
+		if cx != nil {
+			cx.Choices = d.taken()
+			rep.Counterexample = cx
+			return rep
+		}
+		if !d.next() {
+			rep.Complete = true
+			break
+		}
+	}
+
+	// Randomized stress.
+	if opts.StressParallelism <= 1 {
+		for i := 0; i < opts.StressExecutions; i++ {
+			rep.Executions++
+			cx := stressOne(s, opts, i, rep)
+			if cx != nil {
+				rep.Counterexample = cx
+				return rep
+			}
+		}
+		return rep
+	}
+	runStressParallel(s, opts, rep)
+	return rep
+}
+
+// stressOne runs one randomized execution at seed offset i.
+func stressOne(s *Scenario, opts Options, i int, rep *Report) *Counterexample {
+	rc := machine.NewRandChooser(opts.StressSeed + int64(i))
+	rc.CrashWeight = opts.StressCrashWeight
+	rc.CrashOption = s.MaxCrashes > 0
+	rec := &recordingChooser{inner: rc}
+	cx := runOne(s, rec, rep)
+	if cx != nil {
+		cx.Choices = rec.choices
+	}
+	return cx
+}
+
+// runStressParallel fans the stress executions across workers. Each
+// worker accumulates into a private Report; the aggregates are summed
+// and the smallest-offset counterexample wins (deterministic output).
+func runStressParallel(s *Scenario, opts Options, rep *Report) {
+	type result struct {
+		offset int
+		cx     *Counterexample
+	}
+	workers := opts.StressParallelism
+	var mu sync.Mutex
+	best := result{offset: -1}
+	reps := make([]*Report, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		reps[w] = &Report{}
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < opts.StressExecutions; i += workers {
+				mu.Lock()
+				stop := best.offset != -1 && best.offset < i
+				mu.Unlock()
+				if stop {
+					return
+				}
+				reps[w].Executions++
+				if cx := stressOne(s, opts, i, reps[w]); cx != nil {
+					mu.Lock()
+					if best.offset == -1 || i < best.offset {
+						best = result{offset: i, cx: cx}
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, r := range reps {
+		rep.Executions += r.Executions
+		rep.CrashedExecutions += r.CrashedExecutions
+		rep.CheckedStates += r.CheckedStates
+	}
+	rep.Counterexample = best.cx
+}
+
+// runOne executes the scenario once under the given chooser and checks
+// the resulting history. It returns a counterexample on violation.
+func runOne(s *Scenario, ch machine.Chooser, rep *Report) *Counterexample {
+	if s.RandPolicy != nil {
+		ch = &randPolicyChooser{inner: ch, policy: s.RandPolicy}
+	}
+	m := machine.New(s.MachineOpts)
+	w := s.Setup(m)
+	h := &Harness{}
+
+	fail := func(reason string) *Counterexample {
+		return &Counterexample{
+			Trace:   append([]string{}, m.Trace()...),
+			History: h.rec.History(),
+			Reason:  reason,
+		}
+	}
+	checkInv := func(when string) *Counterexample {
+		if s.Invariant == nil {
+			return nil
+		}
+		if err := s.Invariant(m, w); err != nil {
+			return fail(fmt.Sprintf("invariant violated %s: %v", when, err))
+		}
+		return nil
+	}
+
+	if s.Init != nil {
+		res := m.RunEra(ch, false, func(t *machine.T) { s.Init(t, w) })
+		if res.Outcome == machine.Violation {
+			return fail("machine violation in init phase: " + res.Err.Error())
+		}
+	}
+	if cx := checkInv("after setup"); cx != nil {
+		return cx
+	}
+
+	crashesLeft := s.MaxCrashes
+	res := m.RunEra(ch, crashesLeft > 0, func(t *machine.T) { s.Main(t, w, h) })
+	crashed := false
+	for res.Outcome == machine.Crashed {
+		if !crashed {
+			crashed = true
+			rep.CrashedExecutions++
+		}
+		crashesLeft--
+		h.rec.Crash()
+		m.CrashReset()
+		if s.Recover == nil {
+			res = machine.EraResult{Outcome: machine.Done}
+			break
+		}
+		res = m.RunEra(ch, crashesLeft > 0, func(t *machine.T) { s.Recover(t, w) })
+		if res.Outcome == machine.Done {
+			if cx := checkInv("after recovery"); cx != nil {
+				return cx
+			}
+		}
+	}
+	if res.Outcome == machine.Violation {
+		return fail("machine violation: " + res.Err.Error())
+	}
+
+	if s.Post != nil {
+		res = m.RunEra(ch, false, func(t *machine.T) { s.Post(t, w, h) })
+		if res.Outcome == machine.Violation {
+			return fail("machine violation in post phase: " + res.Err.Error())
+		}
+	}
+
+	if cx := checkInv("at end"); cx != nil {
+		return cx
+	}
+
+	chk := history.Check(s.Spec, h.rec.History())
+	rep.CheckedStates += chk.StatesExplored
+	if !chk.OK {
+		return fail("refinement failure: " + chk.Reason)
+	}
+	return nil
+}
+
+// dfsChooser drives a depth-first enumeration of choice sequences. Each
+// execution replays a prefix of recorded choices and extends with option
+// 0; next() advances the last choice point with untried options,
+// backtracking exhausted suffixes.
+type dfsChooser struct {
+	points []choicePoint
+	pos    int
+}
+
+type choicePoint struct {
+	n      int
+	chosen int
+	tag    string
+}
+
+func (d *dfsChooser) reset() { d.pos = 0 }
+
+// Choose implements machine.Chooser.
+func (d *dfsChooser) Choose(n int, tag string) int {
+	if d.pos < len(d.points) {
+		p := d.points[d.pos]
+		if p.n != n {
+			// The machine must be deterministic given prior choices; a
+			// mismatch indicates harness nondeterminism (e.g. map
+			// iteration leaking into the model). Re-seat the point.
+			d.points = d.points[:d.pos]
+			d.points = append(d.points, choicePoint{n: n, tag: tag})
+		}
+		c := d.points[d.pos].chosen
+		d.pos++
+		return c
+	}
+	d.points = append(d.points, choicePoint{n: n, tag: tag})
+	d.pos++
+	return 0
+}
+
+// next advances to the next unexplored choice sequence, returning false
+// when the space is exhausted.
+func (d *dfsChooser) next() bool {
+	// Discard choice points beyond those actually consumed this run.
+	d.points = d.points[:d.pos]
+	for len(d.points) > 0 {
+		last := &d.points[len(d.points)-1]
+		if last.chosen+1 < last.n {
+			last.chosen++
+			return true
+		}
+		d.points = d.points[:len(d.points)-1]
+	}
+	return false
+}
+
+func (d *dfsChooser) taken() []int {
+	out := make([]int, d.pos)
+	for i := 0; i < d.pos; i++ {
+		out[i] = d.points[i].chosen
+	}
+	return out
+}
+
+// randPolicyChooser resolves "rand"-tagged choices with a deterministic
+// per-call policy and forwards everything else.
+type randPolicyChooser struct {
+	inner  machine.Chooser
+	policy func(call, n int) int
+	calls  int
+}
+
+// Choose implements machine.Chooser.
+func (r *randPolicyChooser) Choose(n int, tag string) int {
+	if tag == "rand" {
+		c := r.policy(r.calls, n) % n
+		if c < 0 {
+			c = 0
+		}
+		r.calls++
+		return c
+	}
+	return r.inner.Choose(n, tag)
+}
+
+// recordingChooser wraps a chooser and records the choices it made, so
+// randomized counterexamples are reproducible.
+type recordingChooser struct {
+	inner   machine.Chooser
+	choices []int
+}
+
+// Choose implements machine.Chooser.
+func (r *recordingChooser) Choose(n int, tag string) int {
+	c := r.inner.Choose(n, tag)
+	r.choices = append(r.choices, c)
+	return c
+}
+
+// Replay runs the scenario once with an explicit choice script (e.g. a
+// counterexample's Choices) and returns the machine trace and history.
+// Useful for debugging a failure interactively.
+func Replay(s *Scenario, choices []int) (trace []string, h history.History, reason string) {
+	rep := &Report{}
+	sc := &machine.ScriptChooser{Script: choices}
+	cx := runOne(s, sc, rep)
+	if cx != nil {
+		return cx.Trace, cx.History, cx.Reason
+	}
+	return nil, nil, ""
+}
+
+// Minimize shrinks a failing choice sequence (delta-debugging lite): it
+// repeatedly tries truncating the suffix and lowering individual
+// choices to smaller options, keeping any variant that still fails.
+// Because ScriptChooser treats exhausted and out-of-range entries as
+// option 0, every candidate is a valid schedule. The result reproduces
+// a failure (not necessarily the same one) and is usually much easier
+// to read.
+func Minimize(s *Scenario, choices []int) []int {
+	fails := func(c []int) bool {
+		rep := &Report{}
+		return runOne(s, &machine.ScriptChooser{Script: append([]int{}, c...)}, rep) != nil
+	}
+	if !fails(choices) {
+		return choices
+	}
+	cur := append([]int{}, choices...)
+
+	// Truncate the suffix as far as possible (binary search on length).
+	lo, hi := 0, len(cur) // invariant: fails(cur[:hi])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if fails(cur[:mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cur = cur[:hi]
+
+	// Lower individual choices toward 0.
+	for i := range cur {
+		for cur[i] > 0 {
+			trial := append([]int{}, cur...)
+			trial[i]--
+			if !fails(trial) {
+				break
+			}
+			cur = trial
+		}
+	}
+
+	// A final truncation pass (lowering may have enabled shorter runs).
+	for len(cur) > 0 && fails(cur[:len(cur)-1]) {
+		cur = cur[:len(cur)-1]
+	}
+	return cur
+}

@@ -1,0 +1,91 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatInterleaving renders a machine trace as one column per thread,
+// CHESS-style, so a counterexample's interleaving can be read at a
+// glance: each row is one step, placed in its thread's column; scheduler
+// events (crash injection, version bumps) span the full width.
+func FormatInterleaving(trace []string) string {
+	type step struct {
+		tid  int // -1 for scheduler/global lines
+		text string
+	}
+	var steps []step
+	tids := map[int]bool{}
+	for _, line := range trace {
+		var tid int
+		var rest string
+		if n, _ := fmt.Sscanf(line, "t%d:", &tid); n == 1 {
+			if idx := strings.Index(line, ": "); idx >= 0 {
+				rest = line[idx+2:]
+			}
+			steps = append(steps, step{tid: tid, text: rest})
+			tids[tid] = true
+		} else {
+			steps = append(steps, step{tid: -1, text: line})
+		}
+	}
+	if len(tids) == 0 {
+		return strings.Join(trace, "\n") + "\n"
+	}
+
+	order := make([]int, 0, len(tids))
+	for t := range tids {
+		order = append(order, t)
+	}
+	sort.Ints(order)
+	col := map[int]int{}
+	for i, t := range order {
+		col[t] = i
+	}
+
+	const width = 28
+	var b strings.Builder
+	for _, t := range order {
+		fmt.Fprintf(&b, "%-*s", width, fmt.Sprintf("thread %d", t))
+	}
+	b.WriteString("\n")
+	for range order {
+		fmt.Fprintf(&b, "%-*s", width, strings.Repeat("-", width-2))
+	}
+	b.WriteString("\n")
+	for _, s := range steps {
+		if s.tid == -1 {
+			fmt.Fprintf(&b, "%s\n", center(s.text, width*len(order)))
+			continue
+		}
+		for i := range order {
+			if i == col[s.tid] {
+				fmt.Fprintf(&b, "%-*s", width, truncate(s.text, width-2))
+			} else {
+				fmt.Fprintf(&b, "%-*s", width, "")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}
+
+func center(s string, width int) string {
+	s = "== " + s + " =="
+	if len(s) >= width {
+		return s
+	}
+	pad := (width - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}

@@ -1,0 +1,307 @@
+package gfs
+
+import (
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// Model is the modeled file-system backend. It registers itself as a
+// durable device on the machine: directories, directory entries, and
+// inode contents survive crashes; open file descriptors do not.
+//
+// The directory layout is fixed at creation (§6.2: "a subdirectory of
+// the operating system's file system with a fixed layout since
+// directories cannot be renamed or created"). Operating on an unknown
+// directory is undefined behaviour.
+type Model struct {
+	m      *machine.Machine
+	dirs   map[string]map[string]inodeID
+	inodes map[inodeID][]byte
+	next   inodeID
+	open   int
+
+	// buffered enables deferred durability (§6.2's future-work
+	// extension): appends beyond an inode's synced prefix are lost at a
+	// crash unless Sync is called. Directory operations stay atomic and
+	// durable (journaled-metadata style).
+	buffered bool
+	synced   map[inodeID]int
+}
+
+type inodeID int
+
+type modelFD struct {
+	version uint64
+	ino     inodeID
+	append_ bool
+	closed  bool
+	name    string
+}
+
+// NewModel creates a modeled file system with the given (fixed) set of
+// directories and registers it on m. Durability is strict: every append
+// is durable immediately (the paper's process-crash model).
+func NewModel(m *machine.Machine, dirs []string) *Model {
+	fs := &Model{
+		m:      m,
+		dirs:   map[string]map[string]inodeID{},
+		inodes: map[inodeID][]byte{},
+		synced: map[inodeID]int{},
+		next:   1,
+	}
+	for _, d := range dirs {
+		fs.dirs[d] = map[string]inodeID{}
+	}
+	m.RegisterDevice(fs)
+	return fs
+}
+
+// NewBufferedModel creates a modeled file system with deferred
+// durability: a crash truncates every inode back to its last-synced
+// prefix, modeling whole-machine crashes with a buffer cache (the
+// extension §6.2 describes as future work). Code that is crash-safe
+// here must Sync file contents before publishing them.
+func NewBufferedModel(m *machine.Machine, dirs []string) *Model {
+	fs := NewModel(m, dirs)
+	fs.buffered = true
+	return fs
+}
+
+// Crash implements machine.Device: file data is durable, descriptors
+// are volatile (they are version-stamped, so the version bump kills
+// them).
+func (fs *Model) Crash() {
+	fs.open = 0
+	if fs.buffered {
+		for ino, data := range fs.inodes {
+			if n := fs.synced[ino]; n < len(data) {
+				fs.inodes[ino] = data[:n]
+			}
+		}
+	}
+}
+
+// OpenFDs returns the number of descriptors opened and not yet closed
+// in the current version. Perennial's proofs do not cover resource
+// leaks (§9.5 found one by other means); tests can assert on this
+// counter instead.
+func (fs *Model) OpenFDs() int { return fs.open }
+
+func (fs *Model) thread(t T) *machine.T {
+	mt, ok := t.(*machine.T)
+	if !ok {
+		panic("gfs.Model used with a non-modeled thread")
+	}
+	if mt.Machine() != fs.m {
+		mt.Failf("gfs.Model used from a different machine")
+	}
+	return mt
+}
+
+func (fs *Model) dir(mt *machine.T, op, dir string) map[string]inodeID {
+	d, ok := fs.dirs[dir]
+	if !ok {
+		mt.Failf("fs.%s on unknown directory %q (fixed layout)", op, dir)
+	}
+	return d
+}
+
+func (fs *Model) fd(mt *machine.T, op string, fd FD, wantAppend bool) *modelFD {
+	f, ok := fd.(*modelFD)
+	if !ok || f == nil {
+		mt.Failf("fs.%s on a non-file descriptor", op)
+		return nil
+	}
+	if f.version != fs.m.Version() {
+		mt.Failf("fs.%s on file descriptor %q from version %d (lost at crash, now %d)",
+			op, f.name, f.version, fs.m.Version())
+	}
+	if f.closed {
+		mt.Failf("fs.%s on closed descriptor %q", op, f.name)
+	}
+	if f.append_ != wantAppend {
+		if wantAppend {
+			mt.Failf("fs.%s needs an append-mode descriptor, %q is read-mode", op, f.name)
+		} else {
+			mt.Failf("fs.%s needs a read-mode descriptor, %q is append-mode", op, f.name)
+		}
+	}
+	return f
+}
+
+// NewLock implements System using a modeled machine lock.
+func (fs *Model) NewLock(t T, name string) Lock {
+	mt := fs.thread(t)
+	return &modelLock{l: machine.NewLock(mt, name)}
+}
+
+type modelLock struct{ l *machine.Lock }
+
+func (ml *modelLock) Acquire(t T) { ml.l.Acquire(t.(*machine.T)) }
+func (ml *modelLock) Release(t T) { ml.l.Release(t.(*machine.T)) }
+
+// Create implements System.
+func (fs *Model) Create(t T, dir, name string) (FD, bool) {
+	mt := fs.thread(t)
+	mt.Step("fs.create")
+	d := fs.dir(mt, "create", dir)
+	if _, exists := d[name]; exists {
+		mt.Tracef("fs.create %s/%s -> exists", dir, name)
+		return nil, false
+	}
+	ino := fs.next
+	fs.next++
+	fs.inodes[ino] = nil
+	d[name] = ino
+	fs.open++
+	mt.Tracef("fs.create %s/%s -> ino %d", dir, name, ino)
+	return &modelFD{version: fs.m.Version(), ino: ino, append_: true, name: dir + "/" + name}, true
+}
+
+// Open implements System.
+func (fs *Model) Open(t T, dir, name string) (FD, bool) {
+	mt := fs.thread(t)
+	mt.Step("fs.open")
+	d := fs.dir(mt, "open", dir)
+	ino, ok := d[name]
+	if !ok {
+		mt.Tracef("fs.open %s/%s -> absent", dir, name)
+		return nil, false
+	}
+	fs.open++
+	mt.Tracef("fs.open %s/%s -> ino %d", dir, name, ino)
+	return &modelFD{version: fs.m.Version(), ino: ino, name: dir + "/" + name}, true
+}
+
+// Append implements System.
+func (fs *Model) Append(t T, fd FD, data []byte) bool {
+	mt := fs.thread(t)
+	mt.Step("fs.append")
+	f := fs.fd(mt, "append", fd, true)
+	if len(data) > MaxAppend {
+		mt.Failf("fs.append of %d bytes exceeds the %d-byte atomic limit", len(data), MaxAppend)
+	}
+	fs.inodes[f.ino] = append(fs.inodes[f.ino], data...)
+	mt.Tracef("fs.append %s += %d bytes", f.name, len(data))
+	return true
+}
+
+// Close implements System.
+func (fs *Model) Close(t T, fd FD) {
+	mt := fs.thread(t)
+	mt.Step("fs.close")
+	f, ok := fd.(*modelFD)
+	if !ok || f == nil {
+		mt.Failf("fs.close on a non-file descriptor")
+		return
+	}
+	if f.closed {
+		mt.Failf("fs.close on already-closed descriptor %q", f.name)
+	}
+	f.closed = true
+	if f.version == fs.m.Version() {
+		fs.open--
+	}
+}
+
+// ReadAt implements System.
+func (fs *Model) ReadAt(t T, fd FD, off, n uint64) []byte {
+	mt := fs.thread(t)
+	mt.Step("fs.readat")
+	f := fs.fd(mt, "readat", fd, false)
+	data := fs.inodes[f.ino]
+	if off >= uint64(len(data)) {
+		return nil
+	}
+	end := off + n
+	if end > uint64(len(data)) {
+		end = uint64(len(data))
+	}
+	out := make([]byte, end-off)
+	copy(out, data[off:end])
+	return out
+}
+
+// Size implements System.
+func (fs *Model) Size(t T, fd FD) uint64 {
+	mt := fs.thread(t)
+	mt.Step("fs.size")
+	f, ok := fd.(*modelFD)
+	if !ok || f == nil {
+		mt.Failf("fs.size on a non-file descriptor")
+		return 0
+	}
+	if f.version != fs.m.Version() || f.closed {
+		mt.Failf("fs.size on dead descriptor %q", f.name)
+	}
+	return uint64(len(fs.inodes[f.ino]))
+}
+
+// Sync implements System: the inode's current contents become durable.
+func (fs *Model) Sync(t T, fd FD) {
+	mt := fs.thread(t)
+	mt.Step("fs.sync")
+	f := fs.fd(mt, "sync", fd, true)
+	fs.synced[f.ino] = len(fs.inodes[f.ino])
+	mt.Tracef("fs.sync %s @ %d bytes", f.name, fs.synced[f.ino])
+}
+
+// Delete implements System.
+func (fs *Model) Delete(t T, dir, name string) bool {
+	mt := fs.thread(t)
+	mt.Step("fs.delete")
+	d := fs.dir(mt, "delete", dir)
+	if _, ok := d[name]; !ok {
+		mt.Tracef("fs.delete %s/%s -> absent", dir, name)
+		return false
+	}
+	delete(d, name)
+	mt.Tracef("fs.delete %s/%s", dir, name)
+	return true
+}
+
+// Link implements System.
+func (fs *Model) Link(t T, oldDir, oldName, newDir, newName string) bool {
+	mt := fs.thread(t)
+	mt.Step("fs.link")
+	od := fs.dir(mt, "link", oldDir)
+	nd := fs.dir(mt, "link", newDir)
+	ino, ok := od[oldName]
+	if !ok {
+		mt.Failf("fs.link source %s/%s does not exist", oldDir, oldName)
+		return false
+	}
+	if _, exists := nd[newName]; exists {
+		mt.Tracef("fs.link %s/%s -> %s/%s: target exists", oldDir, oldName, newDir, newName)
+		return false
+	}
+	nd[newName] = ino
+	mt.Tracef("fs.link %s/%s -> %s/%s (ino %d)", oldDir, oldName, newDir, newName, ino)
+	return true
+}
+
+// List implements System. The listing is atomic and sorted, keeping the
+// model deterministic for the explorer.
+func (fs *Model) List(t T, dir string) []string {
+	mt := fs.thread(t)
+	mt.Step("fs.list")
+	d := fs.dir(mt, "list", dir)
+	out := make([]string, 0, len(d))
+	for name := range d {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	mt.Tracef("fs.list %s -> %d entries", dir, len(out))
+	return out
+}
+
+// PeekDir returns dir's entries without a machine step, for harness
+// invariant checks between eras.
+func (fs *Model) PeekDir(dir string) map[string][]byte {
+	out := map[string][]byte{}
+	for name, ino := range fs.dirs[dir] {
+		out[name] = append([]byte{}, fs.inodes[ino]...)
+	}
+	return out
+}

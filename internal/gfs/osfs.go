@@ -1,0 +1,183 @@
+package gfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Native is the thread handle for real goroutines using the OS backend.
+// Each goroutine should use its own Native (the PRNG is not locked).
+type Native struct {
+	rng *rand.Rand
+}
+
+// NewNative returns a native thread handle seeded from seed.
+func NewNative(seed int64) *Native {
+	return &Native{rng: rand.New(rand.NewSource(seed))}
+}
+
+// RandUint64 implements T.
+func (n *Native) RandUint64(bound uint64) uint64 {
+	if bound == 0 {
+		panic("gfs: RandUint64 with zero bound")
+	}
+	return uint64(n.rng.Int63n(int64(bound)))
+}
+
+// nativeLock adapts sync.Mutex to Lock.
+type nativeLock struct{ mu sync.Mutex }
+
+func (l *nativeLock) Acquire(T) { l.mu.Lock() }
+func (l *nativeLock) Release(T) { l.mu.Unlock() }
+
+// OS is the real-file-system backend. It keeps one cached os.Root per
+// directory and performs every lookup relative to it — the Goose
+// library's directory-descriptor caching that §9.3 measures.
+type OS struct {
+	path  string
+	roots map[string]*os.Root
+}
+
+type osFD struct {
+	f       *os.File
+	append_ bool
+}
+
+// NewOS prepares (creating if necessary) the fixed directory layout
+// under path and opens a cached handle for each directory.
+func NewOS(path string, dirs []string) (*OS, error) {
+	o := &OS{path: path, roots: map[string]*os.Root{}}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("gfs: preparing root: %w", err)
+	}
+	for _, d := range dirs {
+		full := filepath.Join(path, d)
+		if err := os.MkdirAll(full, 0o755); err != nil {
+			return nil, fmt.Errorf("gfs: preparing %s: %w", d, err)
+		}
+		r, err := os.OpenRoot(full)
+		if err != nil {
+			return nil, fmt.Errorf("gfs: opening %s: %w", d, err)
+		}
+		o.roots[d] = r
+	}
+	return o, nil
+}
+
+// CloseAll releases the cached directory handles.
+func (o *OS) CloseAll() {
+	for _, r := range o.roots {
+		r.Close()
+	}
+}
+
+// Path returns the backing directory.
+func (o *OS) Path() string { return o.path }
+
+func (o *OS) root(dir string) *os.Root {
+	r, ok := o.roots[dir]
+	if !ok {
+		panic(fmt.Sprintf("gfs: unknown directory %q (fixed layout)", dir))
+	}
+	return r
+}
+
+// NewLock implements System with a sync.Mutex.
+func (o *OS) NewLock(T, string) Lock { return &nativeLock{} }
+
+// Create implements System (O_CREATE|O_EXCL, append mode).
+func (o *OS) Create(_ T, dir, name string) (FD, bool) {
+	f, err := o.root(dir).OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, false
+	}
+	return &osFD{f: f, append_: true}, true
+}
+
+// Open implements System (read mode).
+func (o *OS) Open(_ T, dir, name string) (FD, bool) {
+	f, err := o.root(dir).Open(name)
+	if err != nil {
+		return nil, false
+	}
+	return &osFD{f: f}, true
+}
+
+// Append implements System.
+func (o *OS) Append(_ T, fd FD, data []byte) bool {
+	f := fd.(*osFD)
+	if !f.append_ {
+		panic("gfs: append on read-mode descriptor")
+	}
+	if len(data) > MaxAppend {
+		panic("gfs: append exceeds atomic limit")
+	}
+	_, err := f.f.Write(data)
+	return err == nil
+}
+
+// Close implements System.
+func (o *OS) Close(_ T, fd FD) {
+	fd.(*osFD).f.Close()
+}
+
+// ReadAt implements System.
+func (o *OS) ReadAt(_ T, fd FD, off, n uint64) []byte {
+	f := fd.(*osFD)
+	buf := make([]byte, n)
+	read, err := f.f.ReadAt(buf, int64(off))
+	if err != nil && err != io.EOF {
+		return nil
+	}
+	return buf[:read]
+}
+
+// Size implements System.
+func (o *OS) Size(_ T, fd FD) uint64 {
+	st, err := fd.(*osFD).f.Stat()
+	if err != nil {
+		return 0
+	}
+	return uint64(st.Size())
+}
+
+// Sync implements System via fsync.
+func (o *OS) Sync(_ T, fd FD) {
+	fd.(*osFD).f.Sync()
+}
+
+// Delete implements System.
+func (o *OS) Delete(_ T, dir, name string) bool {
+	return o.root(dir).Remove(name) == nil
+}
+
+// Link implements System. os.Root has no Link in this Go version, so the
+// link itself uses full paths; EEXIST (or any failure) reports false.
+func (o *OS) Link(_ T, oldDir, oldName, newDir, newName string) bool {
+	oldPath := filepath.Join(o.path, oldDir, oldName)
+	newPath := filepath.Join(o.path, newDir, newName)
+	return os.Link(oldPath, newPath) == nil
+}
+
+// List implements System, sorted like the model.
+func (o *OS) List(_ T, dir string) []string {
+	entries, err := fs.ReadDir(o.root(dir).FS(), ".")
+	if err != nil {
+		return nil
+	}
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		out = append(out, e.Name())
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,248 @@
+package gfs
+
+import (
+	"repro/internal/machine"
+	"testing"
+)
+
+func newOSFS(t *testing.T, dirs []string) *OS {
+	t.Helper()
+	o, err := NewOS(t.TempDir(), dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.CloseAll)
+	return o
+}
+
+func TestOSCreateWriteReadBack(t *testing.T) {
+	o := newOSFS(t, []string{"spool"})
+	n := NewNative(1)
+	fd, ok := o.Create(n, "spool", "msg")
+	if !ok {
+		t.Fatal("create failed")
+	}
+	o.Append(n, fd, []byte("hello "))
+	o.Append(n, fd, []byte("world"))
+	o.Close(n, fd)
+
+	rfd, ok := o.Open(n, "spool", "msg")
+	if !ok {
+		t.Fatal("open failed")
+	}
+	defer o.Close(n, rfd)
+	if got := o.Size(n, rfd); got != 11 {
+		t.Fatalf("size=%d", got)
+	}
+	if got := string(o.ReadAt(n, rfd, 0, 100)); got != "hello world" {
+		t.Fatalf("read %q", got)
+	}
+	if got := string(o.ReadAt(n, rfd, 6, 5)); got != "world" {
+		t.Fatalf("partial read %q", got)
+	}
+	if got := o.ReadAt(n, rfd, 11, 5); len(got) != 0 {
+		t.Fatalf("read past EOF: %q", got)
+	}
+}
+
+func TestOSCreateExistingFails(t *testing.T) {
+	o := newOSFS(t, []string{"d"})
+	n := NewNative(1)
+	fd, ok := o.Create(n, "d", "x")
+	if !ok {
+		t.Fatal("first create failed")
+	}
+	o.Close(n, fd)
+	if _, ok := o.Create(n, "d", "x"); ok {
+		t.Fatal("duplicate create succeeded")
+	}
+}
+
+func TestOSLinkAndDelete(t *testing.T) {
+	o := newOSFS(t, []string{"spool", "u0"})
+	n := NewNative(1)
+	fd, _ := o.Create(n, "spool", "tmp")
+	o.Append(n, fd, []byte("mail"))
+	o.Close(n, fd)
+	if !o.Link(n, "spool", "tmp", "u0", "msg1") {
+		t.Fatal("link failed")
+	}
+	if o.Link(n, "spool", "tmp", "u0", "msg1") {
+		t.Fatal("link over existing succeeded")
+	}
+	if !o.Delete(n, "spool", "tmp") {
+		t.Fatal("delete failed")
+	}
+	rfd, ok := o.Open(n, "u0", "msg1")
+	if !ok {
+		t.Fatal("open after unlink of other name failed")
+	}
+	defer o.Close(n, rfd)
+	if got := string(o.ReadAt(n, rfd, 0, 10)); got != "mail" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestOSListSortedAndSkipsDirs(t *testing.T) {
+	o := newOSFS(t, []string{"d"})
+	n := NewNative(1)
+	for _, name := range []string{"zz", "aa"} {
+		fd, _ := o.Create(n, "d", name)
+		o.Close(n, fd)
+	}
+	got := o.List(n, "d")
+	if len(got) != 2 || got[0] != "aa" || got[1] != "zz" {
+		t.Fatalf("list=%v", got)
+	}
+}
+
+func TestOSOpenMissingReturnsFalse(t *testing.T) {
+	o := newOSFS(t, []string{"d"})
+	n := NewNative(1)
+	if _, ok := o.Open(n, "d", "ghost"); ok {
+		t.Fatal("open of missing file succeeded")
+	}
+	if o.Delete(n, "d", "ghost") {
+		t.Fatal("delete of missing file succeeded")
+	}
+}
+
+func TestNativeRandBounded(t *testing.T) {
+	n := NewNative(7)
+	for i := 0; i < 1000; i++ {
+		if v := n.RandUint64(10); v >= 10 {
+			t.Fatalf("rand out of bounds: %d", v)
+		}
+	}
+}
+
+// TestBackendEquivalence drives identical valid operation sequences
+// against the model and the OS backend and requires identical observable
+// results — the reproduction's version of trusting that the Goose model
+// matches the running file system (§9.2's TCB discussion).
+func TestBackendEquivalence(t *testing.T) {
+	dirs := []string{"spool", "u0", "u1"}
+	names := []string{"a", "b", "c"}
+
+	for seed := int64(1); seed <= 40; seed++ {
+		osfs := newOSFS(t, dirs)
+		n := NewNative(seed)
+
+		// Generate a random but always-valid op script.
+		type rec struct {
+			op   string
+			outs []string
+		}
+		var osLog, mLog []rec
+
+		drive := func(sys System, th T, log *[]rec) {
+			rng := NewNative(seed) // same decisions on both backends
+			type open struct {
+				fd      FD
+				append_ bool
+			}
+			var fds []open
+			exists := map[string]bool{} // "dir/name"
+			for step := 0; step < 60; step++ {
+				dir := dirs[rng.RandUint64(uint64(len(dirs)))]
+				name := names[rng.RandUint64(uint64(len(names)))]
+				switch rng.RandUint64(7) {
+				case 0:
+					fd, ok := sys.Create(th, dir, name)
+					*log = append(*log, rec{op: "create " + dir + "/" + name, outs: []string{boolStr(ok)}})
+					if ok {
+						exists[dir+"/"+name] = true
+						fds = append(fds, open{fd: fd, append_: true})
+					}
+				case 1:
+					if len(fds) == 0 {
+						continue
+					}
+					f := fds[rng.RandUint64(uint64(len(fds)))]
+					if !f.append_ {
+						continue
+					}
+					data := []byte(name + "-data")
+					sys.Append(th, f.fd, data)
+					*log = append(*log, rec{op: "append"})
+				case 2:
+					fd, ok := sys.Open(th, dir, name)
+					*log = append(*log, rec{op: "open " + dir + "/" + name, outs: []string{boolStr(ok)}})
+					if ok {
+						fds = append(fds, open{fd: fd})
+					}
+				case 3:
+					if len(fds) == 0 {
+						continue
+					}
+					i := rng.RandUint64(uint64(len(fds)))
+					f := fds[i]
+					if f.append_ {
+						continue
+					}
+					data := sys.ReadAt(th, f.fd, 0, 64)
+					*log = append(*log, rec{op: "read", outs: []string{string(data)}})
+				case 4:
+					ok := sys.Delete(th, dir, name)
+					*log = append(*log, rec{op: "delete " + dir + "/" + name, outs: []string{boolStr(ok)}})
+					delete(exists, dir+"/"+name)
+				case 5:
+					dir2 := dirs[rng.RandUint64(uint64(len(dirs)))]
+					name2 := names[rng.RandUint64(uint64(len(names)))]
+					if !exists[dir+"/"+name] {
+						continue
+					}
+					ok := sys.Link(th, dir, name, dir2, name2)
+					*log = append(*log, rec{op: "link", outs: []string{boolStr(ok)}})
+					if ok {
+						exists[dir2+"/"+name2] = true
+					}
+				case 6:
+					ls := sys.List(th, dir)
+					*log = append(*log, rec{op: "list " + dir, outs: ls})
+				}
+			}
+			for _, f := range fds {
+				sys.Close(th, f.fd)
+			}
+		}
+
+		drive(osfs, n, &osLog)
+
+		// Model run inside one era.
+		mm := machine.New(machine.Options{})
+		mfs := NewModel(mm, dirs)
+		res := mm.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+			drive(mfs, mt, &mLog)
+		})
+		if res.Err != nil {
+			t.Fatalf("seed %d: model violation: %v", seed, res.Err)
+		}
+
+		if len(osLog) != len(mLog) {
+			t.Fatalf("seed %d: log lengths differ: os=%d model=%d", seed, len(osLog), len(mLog))
+		}
+		for i := range osLog {
+			if osLog[i].op != mLog[i].op {
+				t.Fatalf("seed %d step %d: ops diverge: %q vs %q", seed, i, osLog[i].op, mLog[i].op)
+			}
+			if len(osLog[i].outs) != len(mLog[i].outs) {
+				t.Fatalf("seed %d step %d (%s): outputs differ: %v vs %v",
+					seed, i, osLog[i].op, osLog[i].outs, mLog[i].outs)
+			}
+			for k := range osLog[i].outs {
+				if osLog[i].outs[k] != mLog[i].outs[k] {
+					t.Fatalf("seed %d step %d (%s): output %d differs: %q vs %q",
+						seed, i, osLog[i].op, k, osLog[i].outs[k], mLog[i].outs[k])
+				}
+			}
+		}
+	}
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

@@ -1,0 +1,156 @@
+// Package gomail reimplements GoMail, the unverified baseline mail
+// server from the CMAIL paper that §9.3 compares against: the same
+// Maildir-style semantics as Mailboat, but written "in a similar style
+// to CMAIL using file locks". The two performance-relevant differences
+// from Mailboat, both called out in §9.3, are reproduced here:
+//
+//   - per-user *file locks* (create-exclusive lock files) instead of
+//     in-memory mutexes, costing several file-system calls per
+//     acquire/release;
+//   - full-path lookups on every operation instead of lookups relative
+//     to cached directory descriptors.
+package gomail
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/mailboat"
+)
+
+// Server is one GoMail instance over a root directory.
+type Server struct {
+	root  string
+	users uint64
+}
+
+// New prepares the directory layout (spool, per-user mailboxes, lock
+// directory) under root.
+func New(root string, users uint64) (*Server, error) {
+	s := &Server{root: root, users: users}
+	dirs := []string{"spool", "locks"}
+	for u := uint64(0); u < users; u++ {
+		dirs = append(dirs, userDir(u))
+	}
+	for _, d := range dirs {
+		if err := os.MkdirAll(filepath.Join(root, d), 0o755); err != nil {
+			return nil, fmt.Errorf("gomail: %w", err)
+		}
+	}
+	return s, nil
+}
+
+func userDir(u uint64) string { return fmt.Sprintf("user%d", u) }
+
+func (s *Server) lockPath(u uint64) string {
+	return filepath.Join(s.root, "locks", fmt.Sprintf("user%d.lock", u))
+}
+
+// acquire takes the per-user file lock by exclusively creating the lock
+// file, spinning (with scheduler yields) while another process holds it
+// — the CMAIL/GoMail design the paper contrasts with Go locks.
+func (s *Server) acquire(u uint64) {
+	path := s.lockPath(u)
+	for {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+func (s *Server) release(u uint64) {
+	os.Remove(s.lockPath(u))
+}
+
+// Deliver spools and atomically links a message, Maildir-style, using
+// full-path system calls throughout.
+func (s *Server) Deliver(rng *rand.Rand, user uint64, msg []byte) error {
+	// Spool under a fresh name.
+	var spool string
+	var f *os.File
+	for {
+		spool = filepath.Join(s.root, "spool", fmt.Sprintf("tmp%d", rng.Int63()))
+		var err error
+		f, err = os.OpenFile(spool, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			break
+		}
+		if !os.IsExist(err) {
+			return fmt.Errorf("gomail: spool: %w", err)
+		}
+	}
+	if _, err := f.Write(msg); err != nil {
+		f.Close()
+		return fmt.Errorf("gomail: write: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("gomail: close: %w", err)
+	}
+	// Atomic publish.
+	for {
+		dst := filepath.Join(s.root, userDir(user), fmt.Sprintf("msg%d", rng.Int63()))
+		if err := os.Link(spool, dst); err == nil {
+			break
+		} else if !os.IsExist(err) {
+			return fmt.Errorf("gomail: link: %w", err)
+		}
+	}
+	return os.Remove(spool)
+}
+
+// Pickup takes the user's file lock and reads the whole mailbox.
+func (s *Server) Pickup(user uint64) ([]mailboat.Message, error) {
+	s.acquire(user)
+	dir := filepath.Join(s.root, userDir(user))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("gomail: list: %w", err)
+	}
+	msgs := make([]mailboat.Message, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		msgs = append(msgs, mailboat.Message{ID: e.Name(), Contents: string(data)})
+	}
+	return msgs, nil
+}
+
+// Delete removes a picked-up message; the caller must hold the lock.
+func (s *Server) Delete(user uint64, id string) error {
+	return os.Remove(filepath.Join(s.root, userDir(user), id))
+}
+
+// Unlock releases the user's file lock.
+func (s *Server) Unlock(user uint64) {
+	s.release(user)
+}
+
+// Recover cleans the spool directory after a crash, like Mailboat's
+// Recover, and clears stale lock files (the previous process is dead).
+func (s *Server) Recover() error {
+	for _, d := range []string{"spool", "locks"} {
+		dir := filepath.Join(s.root, d)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return nil
+}
+
+// Users returns the configured mailbox count.
+func (s *Server) Users() uint64 { return s.users }

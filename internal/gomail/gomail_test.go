@@ -1,0 +1,135 @@
+package gomail
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func newServer(t *testing.T, users uint64) *Server {
+	t.Helper()
+	s, err := New(t.TempDir(), users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDeliverPickupRoundTrip(t *testing.T) {
+	s := newServer(t, 4)
+	rng := rand.New(rand.NewSource(1))
+	if err := s.Deliver(rng, 2, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := s.Pickup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Unlock(2)
+	if len(msgs) != 1 || msgs[0].Contents != "hello" {
+		t.Fatalf("msgs=%+v", msgs)
+	}
+}
+
+func TestDeleteRemovesMessage(t *testing.T) {
+	s := newServer(t, 2)
+	rng := rand.New(rand.NewSource(2))
+	s.Deliver(rng, 0, []byte("a"))
+	msgs, _ := s.Pickup(0)
+	if err := s.Delete(0, msgs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	s.Unlock(0)
+	msgs, _ = s.Pickup(0)
+	s.Unlock(0)
+	if len(msgs) != 0 {
+		t.Fatalf("msgs=%+v", msgs)
+	}
+}
+
+func TestFileLockExcludesConcurrentPickup(t *testing.T) {
+	s := newServer(t, 1)
+	if _, err := s.Pickup(0); err != nil {
+		t.Fatal(err)
+	}
+	// A second pickup must block until Unlock.
+	done := make(chan struct{})
+	go func() {
+		s.Pickup(0)
+		s.Unlock(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("second pickup did not block on the file lock")
+	default:
+	}
+	s.Unlock(0)
+	<-done
+}
+
+func TestDeliveryIsAtomicNoSpoolVisible(t *testing.T) {
+	s := newServer(t, 1)
+	rng := rand.New(rand.NewSource(3))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		seed := int64(i)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			s.Deliver(r, 0, []byte("msg"))
+		}()
+	}
+	wg.Wait()
+	_ = rng
+	msgs, _ := s.Pickup(0)
+	s.Unlock(0)
+	if len(msgs) != 4 {
+		t.Fatalf("delivered %d", len(msgs))
+	}
+	for _, m := range msgs {
+		if m.Contents != "msg" {
+			t.Fatalf("partial message visible: %q", m.Contents)
+		}
+	}
+}
+
+func TestRecoverCleansSpoolAndLocks(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-delivery and mid-pickup: leftover spool file
+	// and a stale lock file.
+	if err := os.WriteFile(filepath.Join(dir, "spool", "tmp123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Pickup(0) // leaves the lock held, as if the process died
+	rng := rand.New(rand.NewSource(4))
+	s.Deliver(rng, 0, []byte("kept"))
+
+	s2, err := New(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(filepath.Join(dir, "spool"))
+	if len(entries) != 0 {
+		t.Fatalf("spool not cleaned: %d entries", len(entries))
+	}
+	// The stale lock is gone: pickup succeeds immediately.
+	msgs, err := s2.Pickup(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Unlock(0)
+	if len(msgs) != 1 || msgs[0].Contents != "kept" {
+		t.Fatalf("mail lost by recovery: %+v", msgs)
+	}
+}

@@ -1,0 +1,302 @@
+// Package goose is the reproduction's analog of the Goose translator
+// (§6, §7): a front end built on Go's own go/ast, go/parser, and
+// go/types packages — the paper relies on these official tools "to
+// reduce the chance of a mismatch between the translator and the Go
+// compiler" — that
+//
+//  1. checks that a Go package stays inside the Goose subset (no
+//     interfaces, no first-class functions, no channels, no defer, no
+//     floating point, no sync/atomic, no mutable globals, ...), and
+//  2. translates conforming packages into a Coq-flavoured model, one
+//     Definition per function in a monadic proc syntax, ready to reason
+//     about in the Perennial-style framework.
+//
+// Like the original, the translator is a trusted component: its output
+// is deliberately human-readable so it can be audited (§7).
+package goose
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one subset violation.
+type Diagnostic struct {
+	Pos token.Position
+	Msg string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s", d.Pos, d.Msg)
+}
+
+// Package is a parsed and type-checked Go package ready for checking
+// and translation.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// allowedImports is the Goose support surface: the paper's Goose
+// library exposes locks and a file-system API; here sync stands in for
+// locks and strconv/fmt-free string handling keeps examples honest.
+var allowedImports = map[string]bool{
+	"sync":    true,
+	"strconv": true,
+}
+
+// LoadSource parses and type-checks in-memory files (name → contents),
+// for tests and for translating single files.
+func LoadSource(pkgName string, files map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, n, files[n], parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("goose: parse %s: %w", n, err)
+		}
+		parsed = append(parsed, f)
+	}
+	return typecheck(pkgName, fset, parsed)
+}
+
+// LoadDir parses and type-checks all non-test .go files in a directory.
+func LoadDir(dir string) (*Package, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		name := fi.Name()
+		return !strings.HasSuffix(name, "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("goose: parse %s: %w", dir, err)
+	}
+	for name, pkg := range pkgs {
+		var files []*ast.File
+		fnames := make([]string, 0, len(pkg.Files))
+		for fn := range pkg.Files {
+			fnames = append(fnames, fn)
+		}
+		sort.Strings(fnames)
+		for _, fn := range fnames {
+			files = append(files, pkg.Files[fn])
+		}
+		return typecheck(name, fset, files)
+	}
+	return nil, fmt.Errorf("goose: no packages in %s", dir)
+}
+
+func typecheck(pkgName string, fset *token.FileSet, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	pkg, err := conf.Check(pkgName, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("goose: typecheck: %w", err)
+	}
+	return &Package{Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// Check reports every Goose-subset violation in the package. An empty
+// result means the package can be translated.
+func Check(p *Package) []Diagnostic {
+	c := &checker{p: p}
+	for _, f := range p.Files {
+		c.file(f)
+	}
+	sort.Slice(c.diags, func(i, j int) bool {
+		a, b := c.diags[i].Pos, c.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return c.diags
+}
+
+type checker struct {
+	p     *Package
+	diags []Diagnostic
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{
+		Pos: c.p.Fset.Position(pos),
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *checker) file(f *ast.File) {
+	for _, imp := range f.Imports {
+		path := imp.Path.Value
+		path = path[1 : len(path)-1]
+		if path == "sync/atomic" {
+			c.errorf(imp.Pos(), "sync/atomic is not supported by Goose (§6.1)")
+			continue
+		}
+		if !allowedImports[path] {
+			c.errorf(imp.Pos(), "import %q is outside the Goose support surface", path)
+		}
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			c.genDecl(d)
+		case *ast.FuncDecl:
+			c.funcDecl(d)
+		}
+	}
+}
+
+func (c *checker) genDecl(d *ast.GenDecl) {
+	switch d.Tok {
+	case token.CONST:
+		// constants are fine
+	case token.VAR:
+		c.errorf(d.Pos(), "package-level variables (mutable global state) are not supported")
+	case token.TYPE:
+		for _, s := range d.Specs {
+			ts := s.(*ast.TypeSpec)
+			c.typeExpr(ts.Type)
+		}
+	}
+}
+
+func (c *checker) funcDecl(d *ast.FuncDecl) {
+	if d.Type.TypeParams != nil {
+		c.errorf(d.Pos(), "generic functions are not supported")
+	}
+	c.fieldTypes(d.Type.Params)
+	c.fieldTypes(d.Type.Results)
+	if d.Recv != nil {
+		c.fieldTypes(d.Recv)
+	}
+	if d.Body != nil {
+		ast.Inspect(d.Body, c.node)
+	}
+}
+
+func (c *checker) fieldTypes(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		c.typeExpr(f.Type)
+	}
+}
+
+// typeExpr rejects type forms the Goose model cannot represent.
+func (c *checker) typeExpr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.InterfaceType:
+			c.errorf(t.Pos(), "interfaces are not supported (they require modeling function pointers, §3)")
+		case *ast.ChanType:
+			c.errorf(t.Pos(), "channels are not supported")
+		case *ast.FuncType:
+			// A FuncType here is a func-typed field/param: a first-class
+			// function value.
+			c.errorf(t.Pos(), "first-class functions are not supported (§6.1)")
+		case *ast.MapType:
+			c.checkMapKey(t)
+		case *ast.Ident:
+			switch t.Name {
+			case "float32", "float64", "complex64", "complex128":
+				c.errorf(t.Pos(), "floating-point types are not supported")
+			case "int8", "int16", "int32", "int64":
+				c.errorf(t.Pos(), "sized signed integers are not supported; use uint64")
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) node(n ast.Node) bool {
+	switch s := n.(type) {
+	case *ast.DeferStmt:
+		c.errorf(s.Pos(), "defer is not supported")
+	case *ast.SelectStmt:
+		c.errorf(s.Pos(), "select is not supported")
+	case *ast.SendStmt:
+		c.errorf(s.Pos(), "channel sends are not supported")
+	case *ast.ChanType:
+		c.errorf(s.Pos(), "channels are not supported")
+	case *ast.InterfaceType:
+		c.errorf(s.Pos(), "interfaces are not supported")
+	case *ast.GoStmt:
+		// Goroutines are allowed, but only as `go func() { ... }()` — a
+		// spawned closure, not a function value being passed around.
+		if _, ok := s.Call.Fun.(*ast.FuncLit); !ok {
+			if _, isIdent := s.Call.Fun.(*ast.Ident); !isIdent {
+				c.errorf(s.Pos(), "go statements must spawn a function literal or named function")
+			}
+		}
+		return true
+	case *ast.FuncLit:
+		// Function literals only appear under GoStmt (handled above by
+		// returning true and letting the body be inspected); anywhere
+		// else they are first-class function values.
+		if !c.underGo(s) {
+			c.errorf(s.Pos(), "function literals outside go statements are first-class functions, which are not supported (§6.1)")
+		}
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			c.errorf(s.Pos(), "goto is not supported")
+		}
+	case *ast.BasicLit:
+		if s.Kind == token.FLOAT || s.Kind == token.IMAG {
+			c.errorf(s.Pos(), "floating-point literals are not supported")
+		}
+	case *ast.TypeAssertExpr:
+		c.errorf(s.Pos(), "type assertions are not supported (no interfaces)")
+	case *ast.MapType:
+		c.checkMapKey(s)
+	}
+	return true
+}
+
+func (c *checker) checkMapKey(m *ast.MapType) {
+	if tv, ok := c.p.Info.Types[m.Key]; ok {
+		if b, isBasic := tv.Type.Underlying().(*types.Basic); !isBasic || b.Info()&types.IsOrdered == 0 {
+			c.errorf(m.Pos(), "map keys must be basic ordered types (modeled hashmaps)")
+		}
+	}
+}
+
+// underGo reports whether the function literal is the immediate callee
+// of a go statement. The checker records go-spawned literals during the
+// walk; since ast.Inspect visits GoStmt before its children, we track
+// them in a set.
+func (c *checker) underGo(lit *ast.FuncLit) bool {
+	found := false
+	for _, f := range c.p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				if g.Call.Fun == lit {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

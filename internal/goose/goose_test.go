@@ -1,0 +1,229 @@
+package goose
+
+import (
+	"strings"
+	"testing"
+)
+
+func load(t *testing.T, src string) *Package {
+	t.Helper()
+	p, err := LoadSource("demo", map[string]string{"demo.go": src})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return p
+}
+
+func mustCheck(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	return Check(load(t, src))
+}
+
+func wantDiag(t *testing.T, diags []Diagnostic, substr string) {
+	t.Helper()
+	for _, d := range diags {
+		if strings.Contains(d.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("no diagnostic mentions %q in %v", substr, diags)
+}
+
+const goodSrc = `package demo
+
+import "sync"
+
+const BlockSize = 4096
+
+type Pair struct {
+	A uint64
+	B uint64
+}
+
+type Obj struct {
+	mu   *sync.Mutex
+	vals []uint64
+}
+
+func Sum(xs []uint64) uint64 {
+	var total uint64
+	for i := uint64(0); i < uint64(len(xs)); i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+func (o *Obj) Get(i uint64) uint64 {
+	o.mu.Lock()
+	v := o.vals[i]
+	o.mu.Unlock()
+	return v
+}
+
+func Clamp(x uint64) uint64 {
+	if x > BlockSize {
+		return BlockSize
+	}
+	return x
+}
+
+func Spawn(o *Obj) {
+	go func() {
+		o.Get(0)
+	}()
+}
+`
+
+func TestGoodPackagePassesCheck(t *testing.T) {
+	diags := mustCheck(t, goodSrc)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+}
+
+func TestInterfaceRejected(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+type Reader interface{ Read() uint64 }
+`), "interfaces are not supported")
+}
+
+func TestFirstClassFunctionRejected(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+func Apply(f func(uint64) uint64, x uint64) uint64 { return f(x) }
+`), "first-class functions")
+}
+
+func TestFuncLitOutsideGoRejected(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+func F() uint64 {
+	g := func() uint64 { return 1 }
+	return g()
+}
+`), "first-class functions")
+}
+
+func TestChannelRejected(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+func F(c chan uint64) { c <- 1 }
+`), "channels are not supported")
+}
+
+func TestDeferRejected(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+func F() { defer G() }
+func G() {}
+`), "defer is not supported")
+}
+
+func TestSyncAtomicRejected(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+import "sync/atomic"
+func F(x *uint64) { atomic.AddUint64(x, 1) }
+`), "sync/atomic")
+}
+
+func TestGlobalVariableRejected(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+var counter uint64
+`), "mutable global state")
+}
+
+func TestFloatRejected(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+func F(x float64) float64 { return x * 2.0 }
+`), "floating-point")
+}
+
+func TestGotoRejected(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+func F() {
+loop:
+	goto loop
+}
+`), "goto is not supported")
+}
+
+func TestSelectRejected(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+func F() { select {} }
+`), "select is not supported")
+}
+
+func TestTypeAssertRejected(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+func F(x any) uint64 { return x.(uint64) }
+`), "type assertions")
+}
+
+func TestDisallowedImportRejected(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+import "os"
+func F() { os.Exit(1) }
+`), "outside the Goose support surface")
+}
+
+func TestGoWithNamedFunctionAllowed(t *testing.T) {
+	diags := mustCheck(t, `package demo
+func worker() {}
+func F() { go worker() }
+`)
+	if len(diags) != 0 {
+		t.Fatalf("diags: %v", diags)
+	}
+}
+
+func TestTranslateGoodPackage(t *testing.T) {
+	out, err := Translate(load(t, goodSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Module Demo.",
+		"Record Pair := mkPair {",
+		"A : uint64;",
+		"Definition Sum (xs: slice uint64) : proc uint64 :=",
+		"Definition Obj__Get",
+		"(lock.lock o.(mu))",   // o.mu.Lock()
+		"(lock.unlock o.(mu))", // o.mu.Unlock()
+		"Definition BlockSize : expr := #4096.",
+		"for: (",
+		"Fork (",
+		"ret (total)",
+		"if: (x > BlockSize)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("translation missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestTranslateRejectsViolations(t *testing.T) {
+	p := load(t, `package demo
+type I interface{ M() }
+`)
+	if _, err := Translate(p); err == nil {
+		t.Fatal("Translate accepted an interface")
+	}
+}
+
+func TestTranslateIsDeterministic(t *testing.T) {
+	a, err := Translate(load(t, goodSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Translate(load(t, goodSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("translations differ between runs")
+	}
+}
+
+func TestLoadSourceRejectsTypeErrors(t *testing.T) {
+	if _, err := LoadSource("demo", map[string]string{"d.go": `package demo
+func F() uint64 { return "not a number" }
+`}); err == nil {
+		t.Fatal("type error accepted")
+	}
+}

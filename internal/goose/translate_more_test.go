@@ -1,0 +1,188 @@
+package goose
+
+import (
+	"strings"
+	"testing"
+)
+
+// A kitchen-sink source exercising the translator's remaining statement
+// and expression forms.
+const sinkSrc = `package demo
+
+const Limit = 8
+
+type Cell struct {
+	v uint64
+}
+
+func Pick(flag bool, a uint64, b uint64) uint64 {
+	var out uint64
+	if flag {
+		out = a
+	} else if a > b {
+		out = b
+	} else {
+		out = a + b
+	}
+	return out
+}
+
+func Classify(x uint64) uint64 {
+	switch x {
+	case 0:
+		return 100
+	case 1, 2:
+		return 200
+	default:
+		return 300
+	}
+}
+
+func SumRange(xs []uint64) uint64 {
+	var total uint64
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+func CountDown(n uint64) uint64 {
+	for n > 0 {
+		n--
+		if n == 3 {
+			break
+		}
+		if n == 5 {
+			continue
+		}
+	}
+	return n
+}
+
+func Negate(b bool) bool {
+	return !b
+}
+
+func Deref(p *uint64) uint64 {
+	x := *p
+	*p = x + 1
+	return x
+}
+
+func Slice3(xs []uint64) []uint64 {
+	return xs[1:3]
+}
+
+func MakeCell(v uint64) Cell {
+	return Cell{v: v}
+}
+
+func SetIndex(xs []uint64, i uint64, v uint64) {
+	xs[i] = v
+}
+
+func AddrOf() *uint64 {
+	var x uint64
+	p := &x
+	return p
+}
+
+func UseMap(m map[string]uint64, k string) uint64 {
+	v := m[k]
+	delete(m, k)
+	return v
+}
+`
+
+func TestTranslateKitchenSink(t *testing.T) {
+	out, err := Translate(load(t, sinkSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Definition Pick",
+		"if: flag",
+		"(* switch *)",
+		"(* case #0 *)",
+		"(* case #1 | #2 *)",
+		"(* case default *)",
+		"ForEach xs (fun _ v => ",
+		"Break",
+		"Continue",
+		"(negb b)",
+		"(load p)",
+		"store p",
+		"(SliceSubslice xs #1 #3)",
+		"mkCell",
+		"SliceSet xs i v",
+		"(ref x)",
+		"(MapDelete m k)",
+		"Definition Limit : expr := #8.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("translation missing %q", want)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	diags := mustCheck(t, `package demo
+var global uint64
+`)
+	if len(diags) == 0 {
+		t.Fatal("expected a diagnostic")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "demo.go") || !strings.Contains(s, "global state") {
+		t.Fatalf("diag string: %q", s)
+	}
+}
+
+func TestCheckRejectsSizedSignedInts(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+func F(x int64) int64 { return x }
+`), "sized signed integers")
+}
+
+func TestCheckRejectsGenerics(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+func Id[T any](x T) T { return x }
+`), "generic functions")
+}
+
+func TestCheckRejectsMapWithStructKey(t *testing.T) {
+	wantDiag(t, mustCheck(t, `package demo
+type K struct{ a uint64 }
+func F(m map[K]uint64) uint64 { return m[K{}] }
+`), "map keys")
+}
+
+func TestTranslateNamedTypeAlias(t *testing.T) {
+	out, err := Translate(load(t, `package demo
+type Block = uint64
+type Blocks []uint64
+func First(b Blocks) uint64 { return b[0] }
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Definition Blocks := slice uint64.") {
+		t.Errorf("named slice type not translated:\n%s", out)
+	}
+}
+
+func TestTranslateCharAndStringLiterals(t *testing.T) {
+	out, err := Translate(load(t, `package demo
+func Greet() string { return "hello" }
+func IsDot(c byte) bool { return c == '.' }
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `#(str "hello")`) {
+		t.Errorf("string literal missing:\n%s", out)
+	}
+	if !strings.Contains(out, `#(byte '.')`) {
+		t.Errorf("char literal missing:\n%s", out)
+	}
+}

@@ -1,0 +1,388 @@
+// Package history records operation histories — invocations, responses,
+// and crash markers — and checks them for concurrent recovery
+// refinement (§3.1): every history must correspond to some interleaving
+// of atomic specification transitions, where a crash (plus its recovery)
+// simulates one atomic spec crash step, and operations that were in
+// flight at a crash either take effect before the crash (recovery
+// helping, §5.4) or never.
+//
+// For operations that completed, the spec step must allow the observed
+// return value; for operations killed by a crash, any allowed return is
+// acceptable (spec.Pending), since no caller observed one. This is
+// exactly the linearizability notion of Herlihy & Wing extended with the
+// paper's crash transitions.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/spec"
+)
+
+// OpID identifies one operation instance within a history.
+type OpID int
+
+// EventKind discriminates history events.
+type EventKind int
+
+const (
+	// Invoke is an operation invocation by some thread.
+	Invoke EventKind = iota
+	// Return is an operation response with its return value.
+	Return
+	// Crash marks a machine crash (recovery runs after it; recovery's
+	// internal steps are not history events, matching the paper's view of
+	// crash+recovery as a single atomic spec crash step).
+	Crash
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Invoke:
+		return "invoke"
+	case Return:
+		return "return"
+	case Crash:
+		return "crash"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one history event.
+type Event struct {
+	Kind EventKind
+	ID   OpID // Invoke and Return only
+	Op   spec.Op
+	Ret  spec.Ret // Return only
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case Invoke:
+		return fmt.Sprintf("invoke %d: %v", e.ID, e.Op)
+	case Return:
+		return fmt.Sprintf("return %d: %v -> %v", e.ID, e.Op, e.Ret)
+	case Crash:
+		return "crash"
+	default:
+		return "?"
+	}
+}
+
+// History is a sequence of events ordered by real time.
+type History []Event
+
+// Format renders the history one event per line.
+func (h History) Format() string {
+	var b strings.Builder
+	for i, e := range h {
+		fmt.Fprintf(&b, "%3d  %s\n", i, e.String())
+	}
+	return b.String()
+}
+
+// Recorder accumulates a history. It is safe for concurrent use; under
+// the modeled machine threads are serialized anyway, but benchmarks may
+// record from real goroutines.
+type Recorder struct {
+	mu     sync.Mutex
+	events History
+	nextID OpID
+}
+
+// Invoke records an invocation and returns its fresh OpID.
+func (r *Recorder) Invoke(op spec.Op) OpID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.nextID
+	r.nextID++
+	r.events = append(r.events, Event{Kind: Invoke, ID: id, Op: op})
+	return id
+}
+
+// Return records a response for a previously invoked operation.
+func (r *Recorder) Return(id OpID, ret spec.Ret) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var op spec.Op
+	for _, e := range r.events {
+		if e.Kind == Invoke && e.ID == id {
+			op = e.Op
+		}
+	}
+	r.events = append(r.events, Event{Kind: Return, ID: id, Op: op, Ret: ret})
+}
+
+// Crash records a crash marker.
+func (r *Recorder) Crash() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event{Kind: Crash})
+}
+
+// History returns the recorded history (shared slice; callers must not
+// mutate).
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events
+}
+
+// Reset clears the recorder for the next explored execution.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+	r.nextID = 0
+}
+
+// Result reports the outcome of checking one history.
+type Result struct {
+	// OK is true when the history is a valid concurrent recovery
+	// refinement of the spec (or vacuously true via UB).
+	OK bool
+	// UB is true when the spec declared some step undefined: the client
+	// broke the contract, so the history is vacuously accepted.
+	UB bool
+	// Reason explains a failure (empty on success).
+	Reason string
+	// StatesExplored counts search-node visits, a measure of checking
+	// work (with memoization each distinct state is visited once).
+	StatesExplored int
+}
+
+// Check verifies that h refines sp. See the package comment for the
+// judgment being checked.
+func Check(sp spec.Interface, h History) Result {
+	return CheckWith(sp, h, Options{})
+}
+
+// Options tunes the checker (for ablation studies; the defaults are
+// what everything else uses).
+type Options struct {
+	// DisableMemo turns off search-state memoization, degrading the
+	// checker to plain backtracking.
+	DisableMemo bool
+}
+
+// CheckWith is Check with explicit checker options.
+func CheckWith(sp spec.Interface, h History, opts Options) Result {
+	if err := validate(h); err != nil {
+		return Result{Reason: "malformed history: " + err.Error()}
+	}
+	c := &checker{sp: sp, h: h, memo: map[string]bool{}, noMemo: opts.DisableMemo}
+	c.index()
+	ok := c.dfs(0, sp.Init(), nil)
+	res := Result{OK: ok || c.ub, UB: c.ub, StatesExplored: c.visits}
+	if !res.OK {
+		res.Reason = fmt.Sprintf(
+			"no linearization found: search stuck before event %d (%s) in history:\n%s",
+			c.best, eventAt(h, c.best), h.Format())
+	}
+	return res
+}
+
+func eventAt(h History, i int) string {
+	if i >= 0 && i < len(h) {
+		return h[i].String()
+	}
+	return "end"
+}
+
+// validate rejects structurally broken histories so the checker can
+// assume well-formedness: every Return matches exactly one earlier
+// Invoke with no Crash in between, and IDs are not reused.
+func validate(h History) error {
+	invoked := map[OpID]int{}
+	returned := map[OpID]bool{}
+	lastCrash := -1
+	for i, e := range h {
+		switch e.Kind {
+		case Invoke:
+			if _, dup := invoked[e.ID]; dup {
+				return fmt.Errorf("op %d invoked twice", e.ID)
+			}
+			invoked[e.ID] = i
+		case Return:
+			inv, ok := invoked[e.ID]
+			if !ok {
+				return fmt.Errorf("op %d returns without invocation", e.ID)
+			}
+			if returned[e.ID] {
+				return fmt.Errorf("op %d returns twice", e.ID)
+			}
+			if lastCrash > inv {
+				return fmt.Errorf("op %d returns after a crash killed it (invoked at %d, crash at %d)", e.ID, inv, lastCrash)
+			}
+			returned[e.ID] = true
+		case Crash:
+			lastCrash = i
+		}
+	}
+	return nil
+}
+
+type opInfo struct {
+	invoke int
+	ret    int // -1 if never returned
+	retVal spec.Ret
+	op     spec.Op
+	dies   int // index of crash that kills it, or len(h) if none
+}
+
+type checker struct {
+	sp     spec.Interface
+	h      History
+	ops    map[OpID]*opInfo
+	memo   map[string]bool
+	noMemo bool
+	visits int
+	ub     bool
+	best   int // deepest event index reached, for diagnostics
+}
+
+func (c *checker) index() {
+	c.ops = map[OpID]*opInfo{}
+	for i, e := range c.h {
+		switch e.Kind {
+		case Invoke:
+			c.ops[e.ID] = &opInfo{invoke: i, ret: -1, op: e.Op, dies: len(c.h)}
+		case Return:
+			info := c.ops[e.ID]
+			info.ret = i
+			info.retVal = e.Ret
+		case Crash:
+			for _, info := range c.ops {
+				if info.ret == -1 && info.invoke < i && info.dies == len(c.h) {
+					info.dies = i
+				}
+			}
+		}
+	}
+}
+
+// linearizable reports the ops that may take their atomic effect at
+// position i: invoked before i, not yet returned, not yet linearized,
+// and not killed by a crash before i.
+func (c *checker) linearizable(i int, lin map[OpID]bool) []OpID {
+	var out []OpID
+	for id, info := range c.ops {
+		if lin[id] {
+			continue
+		}
+		if info.invoke >= i {
+			continue
+		}
+		if info.ret != -1 && info.ret < i {
+			continue
+		}
+		if info.dies < i {
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func (c *checker) key(i int, st spec.State, lin map[OpID]bool) string {
+	ids := make([]int, 0, len(lin))
+	for id := range lin {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	return fmt.Sprintf("%d|%s|%v", i, c.sp.Key(st), ids)
+}
+
+func (c *checker) dfs(i int, st spec.State, lin map[OpID]bool) bool {
+	if c.ub {
+		return true
+	}
+	if i > c.best {
+		c.best = i
+	}
+	if i == len(c.h) {
+		return true
+	}
+	c.visits++
+	var k string
+	if !c.noMemo {
+		k = c.key(i, st, lin)
+		if seen, ok := c.memo[k]; ok {
+			return seen
+		}
+		c.memo[k] = false // cycle guard; overwritten on success
+	}
+
+	ok := false
+	e := c.h[i]
+	switch e.Kind {
+	case Invoke:
+		ok = c.dfs(i+1, st, lin)
+	case Return:
+		if lin[e.ID] {
+			next := copyWithout(lin, e.ID)
+			ok = c.dfs(i+1, st, next)
+		}
+	case Crash:
+		// All unreturned, unlinearized ops die here; linearized ones have
+		// taken effect (helping). The spec takes its crash step.
+		ok = c.dfs(i+1, c.sp.Crash(st), nil)
+	}
+
+	if !ok {
+		// Try linearizing some pending op now (before advancing).
+		for _, id := range c.linearizable(i, lin) {
+			info := c.ops[id]
+			ret := info.retVal
+			if info.ret == -1 {
+				ret = spec.Pending
+			}
+			nexts, ub := c.sp.Step(st, info.op, ret)
+			if ub {
+				c.ub = true
+				if !c.noMemo {
+					c.memo[k] = true
+				}
+				return true
+			}
+			for _, ns := range nexts {
+				if c.dfs(i, ns, copyWith(lin, id)) {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				break
+			}
+		}
+	}
+
+	if !c.noMemo {
+		c.memo[k] = ok
+	}
+	return ok
+}
+
+func copyWith(lin map[OpID]bool, id OpID) map[OpID]bool {
+	out := make(map[OpID]bool, len(lin)+1)
+	for k := range lin {
+		out[k] = true
+	}
+	out[id] = true
+	return out
+}
+
+func copyWithout(lin map[OpID]bool, id OpID) map[OpID]bool {
+	out := make(map[OpID]bool, len(lin))
+	for k := range lin {
+		if k != id {
+			out[k] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,460 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/tsl"
+)
+
+// Register spec: a single durable cell with read/write ops. Crash loses
+// nothing (like the replicated disk's crash transition in Figure 3).
+type regState struct{ v int }
+
+type opRead struct{}
+type opWrite struct{ v int }
+
+func regSpec() spec.Interface {
+	return &spec.TSL[regState]{
+		SpecName: "register",
+		Initial:  regState{},
+		OpTransition: func(op spec.Op) tsl.Transition[regState, spec.Ret] {
+			switch o := op.(type) {
+			case opRead:
+				return tsl.Gets(func(s regState) spec.Ret { return s.v })
+			case opWrite:
+				return tsl.Bind(
+					tsl.Modify(func(s regState) regState { return regState{v: o.v} }),
+					func(struct{}) tsl.Transition[regState, spec.Ret] {
+						return tsl.Ret[regState, spec.Ret](nil)
+					})
+			default:
+				panic("unknown op")
+			}
+		},
+	}
+}
+
+// volatileRegSpec is a register whose value resets to zero on crash.
+func volatileRegSpec() spec.Interface {
+	s := regSpec().(*spec.TSL[regState])
+	s.SpecName = "volatile-register"
+	s.CrashTransition = func(regState) regState { return regState{} }
+	return s
+}
+
+func TestSequentialWriteReadPasses(t *testing.T) {
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opWrite{v: 5}},
+		{Kind: Return, ID: 0, Op: opWrite{v: 5}, Ret: nil},
+		{Kind: Invoke, ID: 1, Op: opRead{}},
+		{Kind: Return, ID: 1, Op: opRead{}, Ret: 5},
+	}
+	res := Check(regSpec(), h)
+	if !res.OK {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestStaleReadFails(t *testing.T) {
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opWrite{v: 5}},
+		{Kind: Return, ID: 0, Op: opWrite{v: 5}, Ret: nil},
+		{Kind: Invoke, ID: 1, Op: opRead{}},
+		{Kind: Return, ID: 1, Op: opRead{}, Ret: 0}, // must be 5
+	}
+	res := Check(regSpec(), h)
+	if res.OK {
+		t.Fatal("stale read accepted")
+	}
+	if !strings.Contains(res.Reason, "no linearization") {
+		t.Fatalf("reason=%q", res.Reason)
+	}
+}
+
+func TestConcurrentOverlapAllowsEitherOrder(t *testing.T) {
+	// write(7) overlaps read; read may see 0 or 7.
+	for _, seen := range []int{0, 7} {
+		h := History{
+			{Kind: Invoke, ID: 0, Op: opWrite{v: 7}},
+			{Kind: Invoke, ID: 1, Op: opRead{}},
+			{Kind: Return, ID: 1, Op: opRead{}, Ret: seen},
+			{Kind: Return, ID: 0, Op: opWrite{v: 7}, Ret: nil},
+		}
+		res := Check(regSpec(), h)
+		if !res.OK {
+			t.Fatalf("read=%d rejected: %+v", seen, res)
+		}
+	}
+}
+
+func TestNonOverlappingOrderIsEnforced(t *testing.T) {
+	// read strictly after write(7) returning 3 is wrong.
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opWrite{v: 7}},
+		{Kind: Return, ID: 0, Op: opWrite{v: 7}, Ret: nil},
+		{Kind: Invoke, ID: 1, Op: opRead{}},
+		{Kind: Return, ID: 1, Op: opRead{}, Ret: 3},
+	}
+	if Check(regSpec(), h).OK {
+		t.Fatal("impossible read value accepted")
+	}
+}
+
+func TestCrashHelpingAllowsPendingWriteToTakeEffect(t *testing.T) {
+	// write(9) is pending at the crash; a post-recovery read sees 9.
+	// Valid only if the write linearizes before the crash (helping).
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opWrite{v: 9}},
+		{Kind: Crash},
+		{Kind: Invoke, ID: 1, Op: opRead{}},
+		{Kind: Return, ID: 1, Op: opRead{}, Ret: 9},
+	}
+	res := Check(regSpec(), h)
+	if !res.OK {
+		t.Fatalf("helping history rejected: %+v", res)
+	}
+}
+
+func TestCrashAllowsPendingWriteToBeLost(t *testing.T) {
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opWrite{v: 9}},
+		{Kind: Crash},
+		{Kind: Invoke, ID: 1, Op: opRead{}},
+		{Kind: Return, ID: 1, Op: opRead{}, Ret: 0},
+	}
+	res := Check(regSpec(), h)
+	if !res.OK {
+		t.Fatalf("dropped pending write rejected: %+v", res)
+	}
+}
+
+func TestCompletedWriteMustSurviveCrash(t *testing.T) {
+	// write returned before the crash; losing it is a durability bug.
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opWrite{v: 9}},
+		{Kind: Return, ID: 0, Op: opWrite{v: 9}, Ret: nil},
+		{Kind: Crash},
+		{Kind: Invoke, ID: 1, Op: opRead{}},
+		{Kind: Return, ID: 1, Op: opRead{}, Ret: 0},
+	}
+	if Check(regSpec(), h).OK {
+		t.Fatal("lost completed write accepted by durable register spec")
+	}
+}
+
+func TestVolatileSpecAllowsLossOfCompletedWrite(t *testing.T) {
+	// Same history, but the spec's crash transition clears the state —
+	// like group commit's specified loss window.
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opWrite{v: 9}},
+		{Kind: Return, ID: 0, Op: opWrite{v: 9}, Ret: nil},
+		{Kind: Crash},
+		{Kind: Invoke, ID: 1, Op: opRead{}},
+		{Kind: Return, ID: 1, Op: opRead{}, Ret: 0},
+	}
+	res := Check(volatileRegSpec(), h)
+	if !res.OK {
+		t.Fatalf("volatile spec rejected allowed loss: %+v", res)
+	}
+}
+
+func TestOpKilledByCrashCannotLinearizeAfterIt(t *testing.T) {
+	// write(9) dies at the crash; a read after recovery sees 0, then a
+	// second read sees 9 with no intervening write: impossible.
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opWrite{v: 9}},
+		{Kind: Crash},
+		{Kind: Invoke, ID: 1, Op: opRead{}},
+		{Kind: Return, ID: 1, Op: opRead{}, Ret: 0},
+		{Kind: Invoke, ID: 2, Op: opRead{}},
+		{Kind: Return, ID: 2, Op: opRead{}, Ret: 9},
+	}
+	if Check(regSpec(), h).OK {
+		t.Fatal("zombie write after crash accepted")
+	}
+}
+
+func TestMultipleCrashes(t *testing.T) {
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opWrite{v: 1}},
+		{Kind: Return, ID: 0, Op: opWrite{v: 1}, Ret: nil},
+		{Kind: Crash},
+		{Kind: Crash},
+		{Kind: Invoke, ID: 1, Op: opRead{}},
+		{Kind: Return, ID: 1, Op: opRead{}, Ret: 1},
+	}
+	if res := Check(regSpec(), h); !res.OK {
+		t.Fatalf("double crash rejected: %+v", res)
+	}
+}
+
+func TestUnreturnedOpAtEndOfHistoryIsFine(t *testing.T) {
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opWrite{v: 1}},
+	}
+	if res := Check(regSpec(), h); !res.OK {
+		t.Fatalf("open history rejected: %+v", res)
+	}
+}
+
+func TestEmptyHistoryPasses(t *testing.T) {
+	if res := Check(regSpec(), nil); !res.OK {
+		t.Fatalf("empty history rejected: %+v", res)
+	}
+}
+
+func TestMalformedReturnWithoutInvoke(t *testing.T) {
+	h := History{{Kind: Return, ID: 0, Op: opRead{}, Ret: 0}}
+	res := Check(regSpec(), h)
+	if res.OK || !strings.Contains(res.Reason, "malformed") {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestMalformedDoubleReturn(t *testing.T) {
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opRead{}},
+		{Kind: Return, ID: 0, Op: opRead{}, Ret: 0},
+		{Kind: Return, ID: 0, Op: opRead{}, Ret: 0},
+	}
+	if Check(regSpec(), h).OK {
+		t.Fatal("double return accepted")
+	}
+}
+
+func TestMalformedReturnAcrossCrash(t *testing.T) {
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opRead{}},
+		{Kind: Crash},
+		{Kind: Return, ID: 0, Op: opRead{}, Ret: 0},
+	}
+	res := Check(regSpec(), h)
+	if res.OK || !strings.Contains(res.Reason, "crash killed") {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestRecorderProducesWellFormedHistory(t *testing.T) {
+	var r Recorder
+	id0 := r.Invoke(opWrite{v: 2})
+	id1 := r.Invoke(opRead{})
+	r.Return(id1, 0)
+	r.Return(id0, nil)
+	r.Crash()
+	h := r.History()
+	if len(h) != 5 {
+		t.Fatalf("len=%d", len(h))
+	}
+	if h[2].Op == nil {
+		t.Fatal("Return event did not pick up its Op")
+	}
+	if res := Check(regSpec(), h); !res.OK {
+		t.Fatalf("recorded history rejected: %+v", res)
+	}
+	r.Reset()
+	if len(r.History()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+// specWithUB marks reads as undefined when the register is negative,
+// to exercise vacuous acceptance.
+func specWithUB() spec.Interface {
+	return &spec.TSL[regState]{
+		SpecName: "ub-register",
+		Initial:  regState{v: -1},
+		OpTransition: func(op spec.Op) tsl.Transition[regState, spec.Ret] {
+			switch op.(type) {
+			case opRead:
+				return tsl.If(func(s regState) bool { return s.v < 0 },
+					tsl.Undefined[regState, spec.Ret](),
+					tsl.Gets(func(s regState) spec.Ret { return s.v }))
+			default:
+				panic("unknown op")
+			}
+		},
+	}
+}
+
+func TestUBIsVacuouslyAccepted(t *testing.T) {
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opRead{}},
+		{Kind: Return, ID: 0, Op: opRead{}, Ret: 424242}, // any nonsense
+	}
+	res := Check(specWithUB(), h)
+	if !res.OK || !res.UB {
+		t.Fatalf("UB history not vacuously accepted: %+v", res)
+	}
+}
+
+// Reference checker: brute-force enumeration of all linearization
+// orders, no memoization, used to cross-check the DFS on small
+// histories.
+func referenceCheck(sp spec.Interface, h History) bool {
+	if validate(h) != nil {
+		return false
+	}
+	c := &checker{sp: sp, h: h, memo: map[string]bool{}}
+	c.index()
+	var rec func(i int, st spec.State, lin map[OpID]bool) bool
+	rec = func(i int, st spec.State, lin map[OpID]bool) bool {
+		if i == len(h) {
+			return true
+		}
+		e := h[i]
+		switch e.Kind {
+		case Invoke:
+			if rec(i+1, st, lin) {
+				return true
+			}
+		case Return:
+			if lin[e.ID] && rec(i+1, st, copyWithout(lin, e.ID)) {
+				return true
+			}
+		case Crash:
+			if rec(i+1, sp.Crash(st), map[OpID]bool{}) {
+				return true
+			}
+		}
+		for _, id := range c.linearizable(i, lin) {
+			info := c.ops[id]
+			ret := info.retVal
+			if info.ret == -1 {
+				ret = spec.Pending
+			}
+			nexts, ub := sp.Step(st, info.op, ret)
+			if ub {
+				return true
+			}
+			for _, ns := range nexts {
+				if rec(i, ns, copyWith(lin, id)) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return rec(0, sp.Init(), map[OpID]bool{})
+}
+
+// TestQuickAgainstReference generates random small histories and checks
+// the memoized DFS agrees with the brute-force reference.
+func TestQuickAgainstReference(t *testing.T) {
+	// Deterministic pseudo-random generation over a fixed op alphabet.
+	gen := func(seed int) History {
+		var h History
+		nextID := OpID(0)
+		open := []OpID{}
+		opOf := map[OpID]spec.Op{}
+		rnd := seed
+		rand := func(n int) int {
+			rnd = rnd*1103515245 + 12345
+			if rnd < 0 {
+				rnd = -rnd
+			}
+			return rnd % n
+		}
+		for i := 0; i < 8; i++ {
+			switch rand(4) {
+			case 0: // invoke write
+				op := opWrite{v: rand(3)}
+				h = append(h, Event{Kind: Invoke, ID: nextID, Op: op})
+				opOf[nextID] = op
+				open = append(open, nextID)
+				nextID++
+			case 1: // invoke read
+				op := opRead{}
+				h = append(h, Event{Kind: Invoke, ID: nextID, Op: op})
+				opOf[nextID] = op
+				open = append(open, nextID)
+				nextID++
+			case 2: // return some open op with a random-ish value
+				if len(open) == 0 {
+					continue
+				}
+				k := rand(len(open))
+				id := open[k]
+				open = append(open[:k], open[k+1:]...)
+				var ret spec.Ret
+				if _, isRead := opOf[id].(opRead); isRead {
+					ret = rand(3)
+				}
+				h = append(h, Event{Kind: Return, ID: id, Op: opOf[id], Ret: ret})
+			case 3: // crash
+				h = append(h, Event{Kind: Crash})
+				open = nil
+			}
+		}
+		return h
+	}
+	for seed := 1; seed <= 400; seed++ {
+		h := gen(seed)
+		got := Check(regSpec(), h).OK
+		want := referenceCheck(regSpec(), h)
+		if got != want {
+			t.Fatalf("seed %d: Check=%v reference=%v\n%s", seed, got, want, h.Format())
+		}
+	}
+}
+
+// TestQuickMemoDoesNotChangeVerdicts: memoization is a pure
+// optimization — on random histories the memoized and unmemoized
+// checkers must agree.
+func TestQuickMemoDoesNotChangeVerdicts(t *testing.T) {
+	gen := func(seed int) History {
+		var h History
+		nextID := OpID(0)
+		open := []OpID{}
+		opOf := map[OpID]spec.Op{}
+		rnd := seed
+		rand := func(n int) int {
+			rnd = rnd*48271 + 11
+			if rnd < 0 {
+				rnd = -rnd
+			}
+			return rnd % n
+		}
+		for i := 0; i < 10; i++ {
+			switch rand(4) {
+			case 0:
+				op := opWrite{v: rand(3)}
+				h = append(h, Event{Kind: Invoke, ID: nextID, Op: op})
+				opOf[nextID] = op
+				open = append(open, nextID)
+				nextID++
+			case 1:
+				op := opRead{}
+				h = append(h, Event{Kind: Invoke, ID: nextID, Op: op})
+				opOf[nextID] = op
+				open = append(open, nextID)
+				nextID++
+			case 2:
+				if len(open) == 0 {
+					continue
+				}
+				k := rand(len(open))
+				id := open[k]
+				open = append(open[:k], open[k+1:]...)
+				var ret spec.Ret
+				if _, isRead := opOf[id].(opRead); isRead {
+					ret = rand(3)
+				}
+				h = append(h, Event{Kind: Return, ID: id, Op: opOf[id], Ret: ret})
+			case 3:
+				h = append(h, Event{Kind: Crash})
+				open = nil
+			}
+		}
+		return h
+	}
+	for seed := 1; seed <= 300; seed++ {
+		h := gen(seed)
+		a := CheckWith(regSpec(), h, Options{})
+		b := CheckWith(regSpec(), h, Options{DisableMemo: true})
+		if a.OK != b.OK {
+			t.Fatalf("seed %d: memo=%v nomemo=%v\n%s", seed, a.OK, b.OK, h.Format())
+		}
+	}
+}

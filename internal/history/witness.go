@@ -1,0 +1,137 @@
+package history
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// WitnessStep is one move in a successful forward simulation: either a
+// real-time event being passed, or a pending operation taking its
+// atomic spec step (its linearization point), or the spec's crash
+// transition firing.
+type WitnessStep struct {
+	// Kind is "event", "linearize", or "crash-step".
+	Kind string
+	// EventIndex is the history position (Kind "event").
+	EventIndex int
+	// ID is the linearized op (Kind "linearize").
+	ID OpID
+	// Op is the linearized operation (Kind "linearize").
+	Op spec.Op
+	// Helped is true when the op never returned: its effect was
+	// completed on the dead thread's behalf (recovery helping, §5.4).
+	Helped bool
+	// StateKey is the spec state after this move.
+	StateKey string
+}
+
+// Witness reconstructs a concrete linearization for a passing history —
+// the refinement diagram of Figure 6, mechanized: which spec transition
+// each operation's effect corresponds to, and where the crash steps
+// fall. It reports ok=false when the history does not refine the spec
+// (or is vacuous via UB, which has no meaningful witness).
+func Witness(sp spec.Interface, h History) ([]WitnessStep, bool) {
+	if validate(h) != nil {
+		return nil, false
+	}
+	c := &checker{sp: sp, h: h, memo: map[string]bool{}}
+	c.index()
+
+	var trail []WitnessStep
+	var rec func(i int, st spec.State, lin map[OpID]bool) bool
+	rec = func(i int, st spec.State, lin map[OpID]bool) bool {
+		if i == len(h) {
+			return true
+		}
+		// Prune with the memoized verdicts from a prior Check-style
+		// search so witness extraction stays fast.
+		k := c.key(i, st, lin)
+		if seen, ok := c.memo[k]; ok && !seen {
+			return false
+		}
+
+		e := h[i]
+		switch e.Kind {
+		case Invoke:
+			trail = append(trail, WitnessStep{Kind: "event", EventIndex: i, StateKey: sp.Key(st)})
+			if rec(i+1, st, lin) {
+				return true
+			}
+			trail = trail[:len(trail)-1]
+		case Return:
+			if lin[e.ID] {
+				trail = append(trail, WitnessStep{Kind: "event", EventIndex: i, StateKey: sp.Key(st)})
+				if rec(i+1, st, copyWithout(lin, e.ID)) {
+					return true
+				}
+				trail = trail[:len(trail)-1]
+			}
+		case Crash:
+			next := sp.Crash(st)
+			trail = append(trail, WitnessStep{Kind: "crash-step", EventIndex: i, StateKey: sp.Key(next)})
+			if rec(i+1, next, nil) {
+				return true
+			}
+			trail = trail[:len(trail)-1]
+		}
+
+		for _, id := range c.linearizable(i, lin) {
+			info := c.ops[id]
+			ret := info.retVal
+			helped := false
+			if info.ret == -1 {
+				ret = spec.Pending
+				helped = true
+			}
+			nexts, ub := sp.Step(st, info.op, ret)
+			if ub {
+				return false // vacuous histories have no witness
+			}
+			for _, ns := range nexts {
+				trail = append(trail, WitnessStep{
+					Kind: "linearize", ID: id, Op: info.op,
+					Helped: helped, StateKey: sp.Key(ns),
+				})
+				if rec(i, ns, copyWith(lin, id)) {
+					return true
+				}
+				trail = trail[:len(trail)-1]
+			}
+		}
+		c.memo[k] = false
+		return false
+	}
+
+	if !rec(0, sp.Init(), nil) {
+		return nil, false
+	}
+	return trail, true
+}
+
+// FormatWitness renders a witness as a Figure 6-style two-row diagram:
+// real-time events on one side, the spec transitions they map to on the
+// other.
+func FormatWitness(h History, w []WitnessStep) string {
+	var b strings.Builder
+	b.WriteString("code events                              spec transitions\n")
+	b.WriteString("-----------                              ----------------\n")
+	for _, s := range w {
+		switch s.Kind {
+		case "event":
+			fmt.Fprintf(&b, "%-40s\n", h[s.EventIndex].String())
+		case "linearize":
+			note := ""
+			if s.Helped {
+				note = "  (helped: completed after the thread died)"
+			}
+			fmt.Fprintf(&b, "%-40s %v%s\n", "", s.Op, note)
+			fmt.Fprintf(&b, "%-40s   -> %s\n", "", s.StateKey)
+		case "crash-step":
+			fmt.Fprintf(&b, "%-40s CRASH\n", h[s.EventIndex].String())
+			fmt.Fprintf(&b, "%-40s   -> %s\n", "", s.StateKey)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestWitnessSequential(t *testing.T) {
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opWrite{v: 5}},
+		{Kind: Return, ID: 0, Op: opWrite{v: 5}, Ret: nil},
+		{Kind: Invoke, ID: 1, Op: opRead{}},
+		{Kind: Return, ID: 1, Op: opRead{}, Ret: 5},
+	}
+	w, ok := Witness(regSpec(), h)
+	if !ok {
+		t.Fatal("no witness for a passing history")
+	}
+	// The witness must contain exactly two linearize steps, write first.
+	var lins []WitnessStep
+	for _, s := range w {
+		if s.Kind == "linearize" {
+			lins = append(lins, s)
+		}
+	}
+	if len(lins) != 2 {
+		t.Fatalf("linearize steps: %d", len(lins))
+	}
+	if lins[0].ID != 0 || lins[1].ID != 1 {
+		t.Fatalf("order: %v then %v", lins[0].ID, lins[1].ID)
+	}
+	if lins[0].Helped || lins[1].Helped {
+		t.Fatal("completed ops must not be marked helped")
+	}
+}
+
+func TestWitnessShowsHelping(t *testing.T) {
+	// The Figure 6 execution: a write crashes mid-flight, recovery
+	// completes it, a later read observes it.
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opWrite{v: 9}},
+		{Kind: Crash},
+		{Kind: Invoke, ID: 1, Op: opRead{}},
+		{Kind: Return, ID: 1, Op: opRead{}, Ret: 9},
+	}
+	w, ok := Witness(regSpec(), h)
+	if !ok {
+		t.Fatal("no witness")
+	}
+	var sawHelped, sawCrash bool
+	for _, s := range w {
+		if s.Kind == "linearize" && s.ID == 0 {
+			if !s.Helped {
+				t.Fatal("crashed write's linearization not marked helped")
+			}
+			sawHelped = true
+		}
+		if s.Kind == "crash-step" {
+			if !sawHelped {
+				t.Fatal("helping must precede the crash step (the write took effect before the crash)")
+			}
+			sawCrash = true
+		}
+	}
+	if !sawHelped || !sawCrash {
+		t.Fatalf("witness missing helping or crash: %+v", w)
+	}
+
+	out := FormatWitness(h, w)
+	for _, want := range []string{"CRASH", "helped", "{9}"} {
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Errorf("formatted witness missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWitnessDroppedOpHasNoLinearizeStep(t *testing.T) {
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opWrite{v: 9}},
+		{Kind: Crash},
+		{Kind: Invoke, ID: 1, Op: opRead{}},
+		{Kind: Return, ID: 1, Op: opRead{}, Ret: 0}, // write dropped
+	}
+	w, ok := Witness(regSpec(), h)
+	if !ok {
+		t.Fatal("no witness")
+	}
+	for _, s := range w {
+		if s.Kind == "linearize" && s.ID == 0 {
+			t.Fatal("dropped write must not linearize in this witness")
+		}
+	}
+}
+
+func TestWitnessFailsOnBadHistory(t *testing.T) {
+	h := History{
+		{Kind: Invoke, ID: 0, Op: opRead{}},
+		{Kind: Return, ID: 0, Op: opRead{}, Ret: 42},
+	}
+	if _, ok := Witness(regSpec(), h); ok {
+		t.Fatal("witness produced for a non-refining history")
+	}
+}
+
+func TestWitnessAgreesWithCheck(t *testing.T) {
+	// On the random histories from the reference-check generator, a
+	// witness exists iff Check passes (modulo UB, which the generator
+	// does not produce).
+	gen := func(seed int) History {
+		var h History
+		nextID := OpID(0)
+		open := []OpID{}
+		opOf := map[OpID]spec.Op{}
+		rnd := seed
+		rand := func(n int) int {
+			rnd = rnd*69621 + 3
+			if rnd < 0 {
+				rnd = -rnd
+			}
+			return rnd % n
+		}
+		for i := 0; i < 8; i++ {
+			switch rand(4) {
+			case 0:
+				op := opWrite{v: rand(3)}
+				h = append(h, Event{Kind: Invoke, ID: nextID, Op: op})
+				opOf[nextID] = op
+				open = append(open, nextID)
+				nextID++
+			case 1:
+				op := opRead{}
+				h = append(h, Event{Kind: Invoke, ID: nextID, Op: op})
+				opOf[nextID] = op
+				open = append(open, nextID)
+				nextID++
+			case 2:
+				if len(open) == 0 {
+					continue
+				}
+				k := rand(len(open))
+				id := open[k]
+				open = append(open[:k], open[k+1:]...)
+				var ret spec.Ret
+				if _, isRead := opOf[id].(opRead); isRead {
+					ret = rand(3)
+				}
+				h = append(h, Event{Kind: Return, ID: id, Op: opOf[id], Ret: ret})
+			case 3:
+				h = append(h, Event{Kind: Crash})
+				open = nil
+			}
+		}
+		return h
+	}
+	for seed := 1; seed <= 300; seed++ {
+		h := gen(seed)
+		checkOK := Check(regSpec(), h).OK
+		_, witnessOK := Witness(regSpec(), h)
+		if checkOK != witnessOK {
+			t.Fatalf("seed %d: Check=%v Witness=%v\n%s", seed, checkOK, witnessOK, h.Format())
+		}
+	}
+}

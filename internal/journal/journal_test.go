@@ -1,0 +1,290 @@
+package journal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/explore"
+	"repro/internal/machine"
+)
+
+func TestSpecCommitAppliesAllWrites(t *testing.T) {
+	sp := Spec(4)
+	st := sp.Init()
+	next, ub := sp.Step(st, OpCommit{Writes: []Write{{A: 1, V: 5}, {A: 3, V: 7}}}, nil)
+	if ub || len(next) != 1 {
+		t.Fatalf("commit: %v %v", next, ub)
+	}
+	st = next[0]
+	if n, _ := sp.Step(st, OpRead{A: 1}, uint64(5)); len(n) != 1 {
+		t.Fatal("read of committed value rejected")
+	}
+	if n, _ := sp.Step(st, OpRead{A: 2}, uint64(0)); len(n) != 1 {
+		t.Fatal("untouched block changed")
+	}
+}
+
+func TestSpecDuplicateAddressLastWins(t *testing.T) {
+	sp := Spec(2)
+	next, _ := sp.Step(sp.Init(), OpCommit{Writes: []Write{{A: 0, V: 1}, {A: 0, V: 2}}}, nil)
+	if next[0].(State).Blocks[0] != 2 {
+		t.Fatalf("state=%v", next[0])
+	}
+}
+
+func TestSpecOutOfBoundsAndOversizeAreUB(t *testing.T) {
+	sp := Spec(2)
+	if _, ub := sp.Step(sp.Init(), OpCommit{Writes: []Write{{A: 9, V: 1}}}, nil); !ub {
+		t.Fatal("out-of-bounds commit not UB")
+	}
+	big := make([]Write, MaxTxnWrites+1)
+	if _, ub := sp.Step(sp.Init(), OpCommit{Writes: big}, nil); !ub {
+		t.Fatal("oversize commit not UB")
+	}
+	if _, ub := sp.Step(sp.Init(), OpCommit{}, nil); !ub {
+		t.Fatal("empty commit not UB")
+	}
+}
+
+func TestTxnReadYourOwnWrites(t *testing.T) {
+	m := machine.New(machine.Options{})
+	d := disk.New(m, "jd", DiskBlocks(4), false)
+	res := m.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+		j := New(mt, nil, d, 4)
+		tx := j.Begin(mt)
+		if got := tx.Read(mt, 2); got != 0 {
+			mt.Failf("fresh read %d", got)
+		}
+		tx.Write(mt, 2, 9)
+		tx.Write(mt, 2, 11)
+		if got := tx.Read(mt, 2); got != 11 {
+			mt.Failf("own-write read %d", got)
+		}
+		tx.Commit(mt, nil)
+		if got := j.ReadBlock(mt, nil, 2); got != 11 {
+			mt.Failf("post-commit read %d", got)
+		}
+	})
+	if res.Outcome != machine.Done {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	m := machine.New(machine.Options{})
+	d := disk.New(m, "jd", DiskBlocks(2), false)
+	res := m.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+		j := New(mt, nil, d, 2)
+		tx := j.Begin(mt)
+		tx.Write(mt, 0, 5)
+		tx.Abort(mt)
+		if got := j.ReadBlock(mt, nil, 0); got != 0 {
+			mt.Failf("aborted write visible: %d", got)
+		}
+	})
+	if res.Outcome != machine.Done {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestVerifiedSingleTxnCrashExhaustive(t *testing.T) {
+	s := Scenario("j-crash", VariantVerified, ScenarioOptions{
+		Size:       2,
+		Txns:       [][]Write{{{A: 0, V: 1}, {A: 1, V: 2}}},
+		MaxCrashes: 2, // incl. a crash during recovery (idempotence)
+		PostReads:  []uint64{0, 1},
+	})
+	rep := explore.Run(s, explore.Options{MaxExecutions: 100000})
+	t.Logf("report: %s", rep.String())
+	if !rep.OK() {
+		t.Fatalf("violation:\n%s", rep.Counterexample.Format())
+	}
+	if !rep.Complete {
+		t.Error("search did not complete")
+	}
+	if rep.CrashedExecutions == 0 {
+		t.Fatal("no crash explored")
+	}
+}
+
+func TestVerifiedConcurrentTxnsWithReader(t *testing.T) {
+	s := Scenario("j-conc", VariantVerified, ScenarioOptions{
+		Size:       2,
+		Txns:       [][]Write{{{A: 0, V: 1}}, {{A: 0, V: 2}, {A: 1, V: 3}}},
+		Readers:    []uint64{0},
+		MaxCrashes: 1,
+		PostReads:  []uint64{0, 1},
+	})
+	budget := 25000
+	if testing.Short() {
+		budget = 5000
+	}
+	rep := explore.Run(s, explore.Options{MaxExecutions: budget})
+	t.Logf("report: %s", rep.String())
+	if !rep.OK() {
+		t.Fatalf("violation:\n%s", rep.Counterexample.Format())
+	}
+}
+
+func TestVerifiedMaxSizeTxn(t *testing.T) {
+	ws := make([]Write, MaxTxnWrites)
+	for i := range ws {
+		ws[i] = Write{A: uint64(i), V: uint64(i + 10)}
+	}
+	s := Scenario("j-max", VariantVerified, ScenarioOptions{
+		Size:       MaxTxnWrites,
+		Txns:       [][]Write{ws},
+		MaxCrashes: 1,
+		PostReads:  []uint64{0, 1, 2, 3},
+	})
+	rep := explore.Run(s, explore.Options{MaxExecutions: 100000})
+	t.Logf("report: %s", rep.String())
+	if !rep.OK() {
+		t.Fatalf("violation:\n%s", rep.Counterexample.Format())
+	}
+}
+
+func TestBugNoLogTornCommitFound(t *testing.T) {
+	s := Scenario("j-bug-nolog", VariantNoLog, ScenarioOptions{
+		Size:       2,
+		Txns:       [][]Write{{{A: 0, V: 1}, {A: 1, V: 2}}},
+		MaxCrashes: 1,
+		PostReads:  []uint64{0, 1},
+	})
+	rep := explore.Run(s, explore.Options{MaxExecutions: 100000})
+	t.Logf("report: %s", rep.String())
+	if rep.OK() {
+		t.Fatal("torn unlogged commit not found")
+	}
+}
+
+func TestBugRecoverSkipFound(t *testing.T) {
+	s := Scenario("j-bug-skip", VariantRecoverSkip, ScenarioOptions{
+		Size:       2,
+		Txns:       [][]Write{{{A: 0, V: 1}, {A: 1, V: 2}}},
+		MaxCrashes: 1,
+		PostReads:  []uint64{0, 1},
+	})
+	rep := explore.Run(s, explore.Options{MaxExecutions: 100000})
+	t.Logf("report: %s", rep.String())
+	if rep.OK() {
+		t.Fatal("skip-redo recovery bug not found")
+	}
+}
+
+// TestQuickSequentialTxnsMatchSpec runs random transaction batches
+// sequentially (no crashes) and compares the journal's final data
+// region against the spec applied to the same batches.
+func TestQuickSequentialTxnsMatchSpec(t *testing.T) {
+	const size = 4
+	err := quick.Check(func(raw [][3]uint8) bool {
+		// Decode into transactions of 1-2 writes each.
+		var txns [][]Write
+		for _, r := range raw {
+			n := int(r[0]%2) + 1
+			ws := make([]Write, 0, n)
+			for k := 0; k < n; k++ {
+				ws = append(ws, Write{A: uint64(r[1+k]) % size, V: uint64(r[1+k])})
+			}
+			txns = append(txns, ws)
+		}
+		if len(txns) > 6 {
+			txns = txns[:6]
+		}
+
+		// Spec side.
+		want := make([]uint64, size)
+		for _, ws := range txns {
+			for _, w := range ws {
+				want[w.A] = w.V
+			}
+		}
+
+		// Implementation side.
+		m := machine.New(machine.Options{MaxSteps: 100000})
+		d := disk.New(m, "jd", DiskBlocks(size), false)
+		ok := true
+		res := m.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+			j := New(mt, nil, d, size)
+			for _, ws := range txns {
+				tx := j.Begin(mt)
+				for _, w := range ws {
+					tx.Write(mt, w.A, w.V)
+				}
+				tx.Commit(mt, nil)
+			}
+			for a := uint64(0); a < size; a++ {
+				if j.ReadBlock(mt, nil, a) != want[a] {
+					ok = false
+				}
+			}
+		})
+		return res.Outcome == machine.Done && ok
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRecoveryIdempotent crashes at a fixed point after commit and
+// runs recovery a random number of times; the final state must always
+// reflect the committed transaction.
+func TestQuickRecoveryIdempotent(t *testing.T) {
+	err := quick.Check(func(recoveries uint8, v1, v2 uint64) bool {
+		m := machine.New(machine.Options{MaxSteps: 100000})
+		d := disk.New(m, "jd", DiskBlocks(2), false)
+		g := core.NewCtx(m)
+		sp := Spec(2)
+		g.InitSim(sp, sp.Init())
+
+		var j *Journal
+		m.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+			j = New(mt, g, d, 2)
+		})
+
+		// Run the txn up to just after the header write, then crash.
+		steps := 0
+		ch := machine.ChooserFunc(func(n int, tag string) int {
+			if tag != "sched" {
+				return 0
+			}
+			steps++
+			if steps > 7 { // begin + 4 log writes + header... crash soon after commit
+				return n - 1
+			}
+			return 0
+		})
+		m.RunEra(ch, true, func(mt *machine.T) {
+			tx := j.Begin(mt)
+			tx.Write(mt, 0, v1)
+			tx.Write(mt, 1, v2)
+			jt := g.NewJTok(OpCommit{Writes: []Write{{A: 0, V: v1}, {A: 1, V: v2}}})
+			tx.Commit(mt, jt)
+			g.FinishOp(mt, jt, nil)
+		})
+
+		n := int(recoveries%3) + 1
+		for i := 0; i < n; i++ {
+			m.CrashReset()
+			res := m.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+				j = Recover(mt, j)
+			})
+			if res.Outcome != machine.Done {
+				return false
+			}
+		}
+		// Header clear, and data either fully old or fully new.
+		if d.Peek(addrHeader) != 0 {
+			return false
+		}
+		d0, d1 := d.Peek(dataBase()), d.Peek(dataBase()+1)
+		newBoth := d0 == v1 && d1 == v2
+		oldBoth := d0 == 0 && d1 == 0
+		return newBoth || oldBoth
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package loc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, contents string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCountFileClassifiesLines(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "x.go", `// package comment
+package x
+
+/* block
+comment */
+func F() int {
+	return 1 // trailing comments count as code
+}
+`)
+	c, err := CountFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Code != 4 {
+		t.Errorf("code=%d want 4", c.Code)
+	}
+	if c.Comments != 3 {
+		t.Errorf("comments=%d want 3", c.Comments)
+	}
+	if c.Blank != 1 {
+		t.Errorf("blank=%d want 1", c.Blank)
+	}
+	if c.Total() != 8 {
+		t.Errorf("total=%d want 8", c.Total())
+	}
+}
+
+func TestCountDirSkipsTestsWhenAsked(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", "package x\nfunc A() {}\n")
+	writeFile(t, dir, "a_test.go", "package x\nfunc TestA() {}\nvar pad int\n")
+
+	noTests, err := CountDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTests, err := CountDir(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noTests.Code != 2 {
+		t.Errorf("noTests.Code=%d", noTests.Code)
+	}
+	if withTests.Code != 5 {
+		t.Errorf("withTests.Code=%d", withTests.Code)
+	}
+	if noTests.Files != 1 || withTests.Files != 2 {
+		t.Errorf("files: %d, %d", noTests.Files, withTests.Files)
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // internal/loc -> repo root
+}
+
+func TestTable2AgainstThisRepo(t *testing.T) {
+	rows, err := Table2(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Measured <= 0 {
+			t.Errorf("%s measured %d", r.Name, r.Measured)
+		}
+		if r.Paper <= 0 {
+			t.Errorf("%s has no paper number", r.Name)
+		}
+	}
+}
+
+func TestTable3AgainstThisRepo(t *testing.T) {
+	rows, err := Table3(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Measured <= 0 {
+			t.Errorf("%s measured %d", r.Name, r.Measured)
+		}
+	}
+}
+
+func TestTable4AgainstThisRepo(t *testing.T) {
+	rows, err := Table4(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// The proof-analog row must be the test/scenario effort, strictly
+	// positive and separate from the implementation.
+	if rows[1].Measured <= 0 {
+		t.Errorf("proof-analog row: %d", rows[1].Measured)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable("Table X", []Row{
+		{Name: "thing", Measured: 42, Paper: 40, Note: "close"},
+		{Name: "other", Measured: 7},
+	})
+	for _, want := range []string{"Table X", "thing", "42", "40", "close", "other", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestInventoryListsPackagesShallow(t *testing.T) {
+	rows, err := Inventory(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// The machine package exists with both code and tests.
+	m, ok := byName["internal/machine"]
+	if !ok {
+		t.Fatalf("internal/machine missing from inventory: %v", rows)
+	}
+	if m.Measured <= 0 || !strings.Contains(m.Note, "test lines") {
+		t.Fatalf("machine row: %+v", m)
+	}
+	// Shallow: internal/examples itself has no .go files, so it must not
+	// appear; its children must.
+	if _, ok := byName["internal/examples"]; ok {
+		t.Fatal("non-package directory listed")
+	}
+	if _, ok := byName["internal/examples/wal"]; !ok {
+		t.Fatal("internal/examples/wal missing")
+	}
+}

@@ -1,0 +1,70 @@
+package machine
+
+import "testing"
+
+// Micro-benchmarks for the modeled machine's primitives: the model
+// checker's throughput is bounded by steps/second, so these numbers
+// bound how large a scenario's exploration budget can usefully be.
+
+func BenchmarkStepThroughput(b *testing.B) {
+	m := New(Options{MaxSteps: b.N + 10})
+	res := m.RunEra(SeqChooser{}, false, func(t *T) {
+		for i := 0; i < b.N; i++ {
+			t.Step("bench")
+		}
+	})
+	if res.Outcome != Done {
+		b.Fatal(res.Err)
+	}
+}
+
+func BenchmarkRefLoadStore(b *testing.B) {
+	m := New(Options{MaxSteps: 3*b.N + 10})
+	res := m.RunEra(SeqChooser{}, false, func(t *T) {
+		r := NewRef(t, "x", 0)
+		for i := 0; i < b.N; i++ {
+			r.Store(t, r.Load(t))
+		}
+	})
+	if res.Outcome != Done {
+		b.Fatal(res.Err)
+	}
+}
+
+func BenchmarkLockAcquireRelease(b *testing.B) {
+	m := New(Options{MaxSteps: 2*b.N + 10})
+	res := m.RunEra(SeqChooser{}, false, func(t *T) {
+		l := NewLock(t, "l")
+		for i := 0; i < b.N; i++ {
+			l.Acquire(t)
+			l.Release(t)
+		}
+	})
+	if res.Outcome != Done {
+		b.Fatal(res.Err)
+	}
+}
+
+func BenchmarkEraSetupTeardown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := New(Options{})
+		res := m.RunEra(SeqChooser{}, false, func(t *T) {
+			t.Step("one")
+		})
+		if res.Outcome != Done {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+func BenchmarkThreadSpawn(b *testing.B) {
+	m := New(Options{MaxSteps: 2*b.N + 10})
+	res := m.RunEra(SeqChooser{}, false, func(t *T) {
+		for i := 0; i < b.N; i++ {
+			t.Go(func(c *T) {})
+		}
+	})
+	if res.Outcome != Done {
+		b.Fatal(res.Err)
+	}
+}

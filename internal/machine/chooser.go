@@ -1,0 +1,68 @@
+package machine
+
+import "math/rand"
+
+// SeqChooser always picks option 0: threads run round-robin-free,
+// first-runnable-first, and no crash is ever injected (the crash option
+// is last). Useful for smoke-running a program deterministically.
+type SeqChooser struct{}
+
+// Choose implements Chooser.
+func (SeqChooser) Choose(n int, tag string) int { return 0 }
+
+// RandChooser resolves choices with a seeded PRNG, for randomized stress
+// exploration. CrashWeight tunes how often the crash option (always the
+// last "sched" option when crashes are allowed) is taken: the crash
+// option is chosen with probability 1/CrashWeight when present. A zero
+// CrashWeight never crashes.
+type RandChooser struct {
+	Rng         *rand.Rand
+	CrashWeight int
+	// CrashOption reports whether the last sched option is a crash; set
+	// by the harness when it calls RunEra with allowCrash=true.
+	CrashOption bool
+}
+
+// NewRandChooser returns a RandChooser with the given seed and no
+// crashes.
+func NewRandChooser(seed int64) *RandChooser {
+	return &RandChooser{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Choose implements Chooser.
+func (r *RandChooser) Choose(n int, tag string) int {
+	if n <= 1 {
+		return 0
+	}
+	if tag == "sched" && r.CrashOption && r.CrashWeight > 0 {
+		if r.Rng.Intn(r.CrashWeight) == 0 {
+			return n - 1 // crash
+		}
+		return r.Rng.Intn(n - 1)
+	}
+	return r.Rng.Intn(n)
+}
+
+// ScriptChooser replays a fixed script of choices, then falls back to 0.
+// The model checker uses its own chooser; this one is for reproducing a
+// counterexample trace by hand.
+type ScriptChooser struct {
+	Script []int
+	pos    int
+}
+
+// Choose implements Chooser.
+func (s *ScriptChooser) Choose(n int, tag string) int {
+	if s.pos >= len(s.Script) {
+		return 0
+	}
+	c := s.Script[s.pos]
+	s.pos++
+	if c >= n {
+		c = n - 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}

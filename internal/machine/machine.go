@@ -1,0 +1,449 @@
+// Package machine models the Goose machine of §6: a shared-memory
+// multiprocessor running lightweight threads, with a versioned volatile
+// heap, locks, and pluggable durable devices (disks, a file system).
+//
+// Every primitive operation is one atomic step. A deterministic
+// cooperative scheduler serializes threads: exactly one simulated thread
+// runs at a time, and all nondeterminism — which thread steps next,
+// whether a crash happens now, random numbers, device failures — is
+// resolved by a Chooser supplied by the caller. The model checker in
+// internal/explore drives the Chooser to enumerate executions; a seeded
+// PRNG Chooser gives randomized stress runs.
+//
+// Crash semantics follow §5.2 and §6.2: a crash kills every thread,
+// discards all volatile state (heap cells, locks), advances the memory
+// version number, and notifies each registered device so it can keep its
+// durable state and drop its volatile state (e.g. open file
+// descriptors). Using a heap cell or lock allocated before the crash is
+// a detected violation ("stale pointer"), the executable analog of the
+// paper's versioned points-to capabilities.
+//
+// Racy access is undefined behaviour, per §6.1: a store is modeled as two
+// atomic steps (start and end), and any other access to the same cell
+// between them is reported as a race violation.
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TID identifies a simulated thread within one era of execution.
+type TID int
+
+// Chooser resolves every nondeterministic choice the machine makes.
+// Choose(n, tag) must return a value in [0, n). The tag describes the
+// kind of choice ("sched", "crash", "rand", "diskfail", ...) for traces
+// and for choosers that want to treat kinds differently.
+type Chooser interface {
+	Choose(n int, tag string) int
+}
+
+// ChooserFunc adapts a function to the Chooser interface.
+type ChooserFunc func(n int, tag string) int
+
+// Choose implements Chooser.
+func (f ChooserFunc) Choose(n int, tag string) int { return f(n, tag) }
+
+// Device is durable hardware attached to the machine. Crash is invoked
+// on every machine crash; the device must discard volatile state (e.g.
+// open file descriptors) and keep durable state (e.g. disk blocks).
+type Device interface {
+	Crash()
+}
+
+// Outcome says how an era of execution ended.
+type Outcome int
+
+const (
+	// Done: every thread ran to completion.
+	Done Outcome = iota
+	// Crashed: the Chooser injected a crash; all threads were killed.
+	Crashed
+	// Violation: undefined behaviour or a model-level failure was
+	// detected (race, stale pointer, deadlock, panic, step budget).
+	Violation
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Done:
+		return "done"
+	case Crashed:
+		return "crashed"
+	case Violation:
+		return "violation"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// EraResult reports the outcome of one era (a run between machine
+// (re)starts) together with the violation error, if any.
+type EraResult struct {
+	Outcome Outcome
+	Err     error
+}
+
+// thread lifecycle statuses. Only the scheduler and the single running
+// thread mutate these, and hand-offs through channels order all accesses.
+type status int
+
+const (
+	statusReady status = iota
+	statusBlocked
+	statusExited
+)
+
+type resumeKind int
+
+const (
+	resumeGo resumeKind = iota
+	resumeKill
+)
+
+type reportKind int
+
+const (
+	reportParked reportKind = iota
+	reportBlocked
+	reportExited
+	reportDead
+)
+
+type report struct {
+	tid  TID
+	kind reportKind
+}
+
+// killedSentinel is panicked by a primitive when its thread is killed by
+// a crash; the thread wrapper recovers it and reports death.
+type killedSentinel struct{}
+
+// Options configures a Machine.
+type Options struct {
+	// MaxSteps bounds the number of primitive steps per era; exceeding it
+	// is reported as a violation (possible infinite loop — the class of
+	// bug in §9.5's Pickup loop). 0 means the default of 100000.
+	MaxSteps int
+	// TraceDepth bounds the retained trace (0 = keep everything).
+	TraceDepth int
+}
+
+// Machine is one simulated machine instance. Durable devices survive
+// CrashReset; everything else is volatile.
+type Machine struct {
+	chooser Chooser
+	opts    Options
+
+	version uint64
+	devices []Device
+
+	threads []*thread
+	alive   int
+	reports chan report
+
+	steps   int
+	failure error
+	trace   []string
+
+	running bool
+}
+
+// New creates a machine with no devices at version 1.
+func New(opts Options) *Machine {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 100000
+	}
+	return &Machine{opts: opts, version: 1}
+}
+
+// Version returns the current memory generation number n of §5.2. It
+// starts at 1 and increments on every crash.
+func (m *Machine) Version() uint64 { return m.version }
+
+// Steps returns the number of primitive steps taken so far across all
+// eras (useful as a logical clock for histories).
+func (m *Machine) Steps() int { return m.steps }
+
+// RegisterDevice attaches a durable device; its Crash method will be
+// invoked on CrashReset.
+func (m *Machine) RegisterDevice(d Device) { m.devices = append(m.devices, d) }
+
+// Failf records a violation. The first failure wins. When called from a
+// running thread the caller should abort that thread via T.Failf instead.
+func (m *Machine) Failf(format string, args ...any) {
+	if m.failure == nil {
+		m.failure = fmt.Errorf(format, args...)
+	}
+}
+
+// Failure returns the recorded violation, if any.
+func (m *Machine) Failure() error { return m.failure }
+
+// Tracef appends a line to the execution trace.
+func (m *Machine) Tracef(format string, args ...any) {
+	if m.opts.TraceDepth > 0 && len(m.trace) >= m.opts.TraceDepth {
+		copy(m.trace, m.trace[1:])
+		m.trace[len(m.trace)-1] = fmt.Sprintf(format, args...)
+		return
+	}
+	m.trace = append(m.trace, fmt.Sprintf(format, args...))
+}
+
+// Trace returns the accumulated execution trace (for counterexamples).
+func (m *Machine) Trace() []string { return m.trace }
+
+// ResetTrace clears the trace between explored executions.
+func (m *Machine) ResetTrace() { m.trace = m.trace[:0] }
+
+// CrashReset models the machine crashing and rebooting: all volatile
+// state is gone, the memory version advances, and devices keep only
+// their durable state. Threads must already be dead (RunEra kills them
+// before returning Crashed).
+func (m *Machine) CrashReset() {
+	if m.running {
+		panic("machine: CrashReset during a running era")
+	}
+	m.version++
+	m.threads = nil
+	m.alive = 0
+	for _, d := range m.devices {
+		d.Crash()
+	}
+	m.Tracef("-- crash: memory version now %d --", m.version)
+}
+
+// RunEra runs one era: main is started as thread 0 and the era continues
+// until every thread (including ones spawned with T.Go) has exited, a
+// crash is injected, or a violation is detected. If allowCrash is true
+// the Chooser is offered a crash option at every scheduling point.
+func (m *Machine) RunEra(chooser Chooser, allowCrash bool, main func(t *T)) EraResult {
+	if m.running {
+		panic("machine: RunEra reentered")
+	}
+	m.running = true
+	defer func() { m.running = false }()
+
+	m.chooser = chooser
+	m.failure = nil
+	m.threads = nil
+	m.alive = 0
+	m.reports = make(chan report)
+
+	m.spawn(main)
+
+	for {
+		if m.failure != nil {
+			m.killAll()
+			return EraResult{Outcome: Violation, Err: m.failure}
+		}
+		runnable := m.runnable()
+		if len(runnable) == 0 {
+			if m.alive == 0 {
+				return EraResult{Outcome: Done}
+			}
+			m.Failf("deadlock: %d thread(s) blocked with no runnable thread", m.alive)
+			m.killAll()
+			return EraResult{Outcome: Violation, Err: m.failure}
+		}
+
+		n := len(runnable)
+		if allowCrash {
+			n++
+		}
+		choice := m.chooser.Choose(n, "sched")
+		if choice < 0 || choice >= n {
+			m.Failf("chooser returned %d out of range [0,%d)", choice, n)
+			m.killAll()
+			return EraResult{Outcome: Violation, Err: m.failure}
+		}
+		if allowCrash && choice == n-1 {
+			m.Tracef("scheduler: inject crash")
+			m.killAll()
+			return EraResult{Outcome: Crashed}
+		}
+
+		th := runnable[choice]
+		th.resume <- resumeGo
+		rep := <-m.reports
+		m.handleReport(rep)
+
+		if m.steps > m.opts.MaxSteps && m.failure == nil {
+			m.Failf("step budget exceeded (%d steps): possible infinite loop or livelock", m.opts.MaxSteps)
+		}
+	}
+}
+
+func (m *Machine) handleReport(rep report) {
+	th := m.threads[rep.tid]
+	switch rep.kind {
+	case reportParked:
+		th.status = statusReady
+	case reportBlocked:
+		th.status = statusBlocked
+	case reportExited, reportDead:
+		th.status = statusExited
+		m.alive--
+	}
+}
+
+func (m *Machine) runnable() []*thread {
+	var out []*thread
+	for _, th := range m.threads {
+		if th.status == statusReady {
+			out = append(out, th)
+		}
+	}
+	return out
+}
+
+// killAll terminates every live thread. It is only called between steps,
+// when no thread is executing.
+func (m *Machine) killAll() {
+	for _, th := range m.threads {
+		if th.status == statusExited {
+			continue
+		}
+		th.resume <- resumeKill
+		rep := <-m.reports
+		m.handleReport(rep)
+	}
+}
+
+// spawn creates a thread and starts its goroutine parked: it waits for
+// its first resume before running fn.
+func (m *Machine) spawn(fn func(t *T)) TID {
+	tid := TID(len(m.threads))
+	th := &thread{
+		id:     tid,
+		status: statusReady,
+		resume: make(chan resumeKind),
+	}
+	m.threads = append(m.threads, th)
+	m.alive++
+
+	t := &T{m: m, th: th}
+	go func() {
+		kind := reportExited
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedSentinel); !ok {
+					m.Failf("thread %d panicked: %v", tid, r)
+				}
+				kind = reportDead
+			}
+			m.reports <- report{tid: tid, kind: kind}
+		}()
+		t.await() // park until first scheduled
+		fn(t)
+	}()
+	return tid
+}
+
+type thread struct {
+	id     TID
+	status status
+	resume chan resumeKind
+}
+
+// T is the handle a simulated thread uses to interact with the machine.
+// All primitive operations go through T; each is one atomic step.
+type T struct {
+	m  *Machine
+	th *thread
+}
+
+// ID returns this thread's identifier within the current era.
+func (t *T) ID() TID { return t.th.id }
+
+// Machine returns the underlying machine, for device packages that
+// implement new primitives.
+func (t *T) Machine() *Machine { return t.m }
+
+// await blocks until the scheduler resumes this thread, panicking with
+// the kill sentinel if the thread is being killed by a crash.
+func (t *T) await() {
+	if <-t.th.resume == resumeKill {
+		panic(killedSentinel{})
+	}
+}
+
+// Step marks an atomic step boundary: the thread parks and the scheduler
+// picks who runs next. Device packages call this exactly once per
+// primitive, before applying the primitive's effect. tag describes the
+// primitive for traces.
+func (t *T) Step(tag string) {
+	t.m.steps++
+	t.m.reports <- report{tid: t.th.id, kind: reportParked}
+	t.await()
+	_ = tag
+}
+
+// block parks the thread in a non-runnable state; wake from another
+// thread makes it runnable again.
+func (t *T) block() {
+	t.m.reports <- report{tid: t.th.id, kind: reportBlocked}
+	t.await()
+}
+
+// Failf reports undefined behaviour or a model violation detected by
+// this thread and aborts it.
+func (t *T) Failf(format string, args ...any) {
+	t.m.Failf(format, args...)
+	panic(killedSentinel{})
+}
+
+// Tracef appends a line to the machine trace, prefixed with the thread.
+func (t *T) Tracef(format string, args ...any) {
+	t.m.Tracef("t%d: %s", t.th.id, fmt.Sprintf(format, args...))
+}
+
+// Go spawns a new thread running fn, like a Go `go` statement (§6.1).
+// Spawning is one atomic step.
+func (t *T) Go(fn func(t *T)) TID {
+	t.Step("go")
+	tid := t.m.spawn(fn)
+	t.m.Tracef("t%d: go -> t%d", t.th.id, tid)
+	return tid
+}
+
+// RandUint64 returns a nondeterministically chosen value in [0, bound),
+// resolved by the Chooser (tag "rand"). Mailboat uses this for spool
+// file names; under the model checker the domain should be small.
+func (t *T) RandUint64(bound uint64) uint64 {
+	if bound == 0 {
+		t.Failf("RandUint64 with zero bound")
+	}
+	t.Step("rand")
+	n := bound
+	const maxEnum = 1 << 20
+	if n > maxEnum {
+		n = maxEnum
+	}
+	v := uint64(t.m.chooser.Choose(int(n), "rand"))
+	t.m.Tracef("t%d: rand(%d) = %d", t.th.id, bound, v)
+	return v
+}
+
+// Choose resolves a device-level nondeterministic choice within the
+// current atomic step (no extra scheduling point). Device packages use
+// this for choices like disk-failure injection.
+func (t *T) Choose(n int, tag string) int {
+	c := t.m.chooser.Choose(n, tag)
+	if c < 0 || c >= n {
+		t.Failf("chooser returned %d out of range [0,%d) for %q", c, n, tag)
+	}
+	return c
+}
+
+// ErrStale is wrapped by stale-pointer violations.
+var ErrStale = errors.New("use of volatile resource from a previous version")
+
+// checkVersion verifies a volatile resource is from the current memory
+// version, the executable form of the p ↦ₙ v version check of §5.2.
+func (t *T) checkVersion(kind string, v uint64) {
+	if v != t.m.version {
+		t.Failf("%s allocated at version %d used at version %d: %w", kind, v, t.m.version, ErrStale)
+	}
+}

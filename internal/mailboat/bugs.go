@@ -1,0 +1,135 @@
+package mailboat
+
+import "repro/internal/gfs"
+
+// This file contains deliberately buggy variants of the mail server,
+// including the two §9.5 bugs the authors describe. They carry no ghost
+// annotations; the model checker finds counterexamples (or, for the
+// resource leak, demonstrably does not — matching the paper's
+// observation that Perennial's proofs do not cover resource leaks).
+
+// DeliverDirect skips the spool-and-link protocol and writes the
+// message directly into the mailbox directory. A concurrent (or
+// post-crash) Pickup can observe a partially written message — the
+// atomicity failure the spool exists to prevent.
+func (mb *Mailboat) DeliverDirect(t gfs.T, user uint64, msg []byte) {
+	var fd gfs.FD
+	for {
+		id := t.RandUint64(mb.cfg.RandBound)
+		f, ok := mb.sys.Create(t, UserDir(user), MsgName(id))
+		if ok {
+			fd = f
+			break
+		}
+	}
+	for off := 0; off < len(msg); off += gfs.MaxAppend {
+		end := off + gfs.MaxAppend
+		if end > len(msg) {
+			end = len(msg)
+		}
+		mb.sys.Append(t, fd, msg[off:end])
+	}
+	mb.sys.Close(t, fd)
+}
+
+// PickupNoAdvance is the §9.5 infinite-loop bug: the chunked read loop
+// never advances its offset, so any message of at least one full chunk
+// (512 bytes) loops forever. The machine's step budget reports it as a
+// possible infinite loop — the paper's authors likewise "caught this bug
+// while doing the proof" even though termination is not proved.
+func (mb *Mailboat) PickupNoAdvance(t gfs.T, user uint64) []Message {
+	mb.locks[user].Acquire(t)
+	names := mb.sys.List(t, UserDir(user))
+	msgs := make([]Message, 0, len(names))
+	for _, name := range names {
+		fd, ok := mb.sys.Open(t, UserDir(user), name)
+		if !ok {
+			continue
+		}
+		var contents []byte
+		for {
+			chunk := mb.sys.ReadAt(t, fd, 0, gfs.ReadChunk) // BUG: offset never advances
+			contents = append(contents, chunk...)
+			if uint64(len(chunk)) < gfs.ReadChunk {
+				break
+			}
+		}
+		mb.sys.Close(t, fd)
+		msgs = append(msgs, Message{ID: name, Contents: string(contents)})
+	}
+	return msgs
+}
+
+// PickupLeaky is the §9.5 resource-leak bug: it never closes the
+// message file descriptors. This violates no refinement property — the
+// checker accepts it, exactly as the paper reports that Perennial's
+// proofs do not cover resource leaks — but gfs.Model.OpenFDs exposes it
+// to ordinary tests.
+func (mb *Mailboat) PickupLeaky(t gfs.T, user uint64) []Message {
+	mb.locks[user].Acquire(t)
+	names := mb.sys.List(t, UserDir(user))
+	msgs := make([]Message, 0, len(names))
+	for _, name := range names {
+		fd, ok := mb.sys.Open(t, UserDir(user), name)
+		if !ok {
+			continue
+		}
+		var contents []byte
+		for off := uint64(0); ; off += gfs.ReadChunk {
+			chunk := mb.sys.ReadAt(t, fd, off, gfs.ReadChunk)
+			contents = append(contents, chunk...)
+			if uint64(len(chunk)) < gfs.ReadChunk {
+				break
+			}
+		}
+		// BUG: fd is never closed.
+		msgs = append(msgs, Message{ID: name, Contents: string(contents)})
+	}
+	return msgs
+}
+
+// RecoverWipesMailboxes is an overzealous recovery that cleans not just
+// the spool but the user mailboxes too, destroying delivered (durable)
+// mail — a durability violation the checker catches.
+func RecoverWipesMailboxes(t gfs.T, sys gfs.System, cfg Config) *Mailboat {
+	for _, name := range sys.List(t, SpoolDir) {
+		sys.Delete(t, SpoolDir, name)
+	}
+	for u := uint64(0); u < cfg.Users; u++ {
+		for _, name := range sys.List(t, UserDir(u)) {
+			sys.Delete(t, UserDir(u), name)
+		}
+	}
+	return Init(t, nil, sys, cfg)
+}
+
+// DeliverForgetSpoolDelete links the message but forgets to remove the
+// spool entry. This is a space leak, not a correctness bug: the spec
+// does not mandate cleanup (§8.2's Recovery note), and Recover deletes
+// the leftovers after the next crash. The checker accepts it.
+func (mb *Mailboat) DeliverForgetSpoolDelete(t gfs.T, user uint64, msg []byte) {
+	var sname string
+	for {
+		id := t.RandUint64(mb.cfg.RandBound)
+		sname = tmpName(id)
+		fd, ok := mb.sys.Create(t, SpoolDir, sname)
+		if ok {
+			for off := 0; off < len(msg); off += gfs.MaxAppend {
+				end := off + gfs.MaxAppend
+				if end > len(msg) {
+					end = len(msg)
+				}
+				mb.sys.Append(t, fd, msg[off:end])
+			}
+			mb.sys.Close(t, fd)
+			break
+		}
+	}
+	for {
+		id := t.RandUint64(mb.cfg.RandBound)
+		if mb.sys.Link(t, SpoolDir, sname, UserDir(user), MsgName(id)) {
+			break
+		}
+	}
+	// BUG (benign for refinement): spool entry not deleted.
+}

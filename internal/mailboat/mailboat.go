@@ -1,0 +1,317 @@
+// Package mailboat is the paper's §8 mail server: a Maildir-style
+// library supporting concurrent pickup/delete by users and lock-free
+// concurrent delivery, with crash safety. Messages are spooled into a
+// separate directory and atomically linked into the user's mailbox
+// (the shadow-copy pattern applied to files); recovery deletes leftover
+// spool files.
+//
+// The library is written against gfs.System, so the same code runs on
+// the modeled file system under the model checker (the analog of
+// Goose's Coq model) and on the real file system under the SMTP/POP3
+// server and the Figure 11 benchmark (the analog of compiling Goose
+// with the Go toolchain).
+//
+// Concurrency control matches §8.2:
+//
+//   - Pickup/Delete: a per-user lock, acquired by Pickup and released by
+//     Unlock, prevents deletes from racing with mailbox reads.
+//   - Pickup/Deliver: delivery never takes locks; it writes to the spool
+//     and publishes with an atomic link, so readers only ever see
+//     complete messages.
+//   - Deliver/Deliver: concurrent deliveries pick random file names and
+//     retry on collision.
+package mailboat
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/gfs"
+	"repro/internal/machine"
+	"repro/internal/spec"
+)
+
+// SpoolDir is the spool directory name.
+const SpoolDir = "spool"
+
+// Message is one stored message, as in Figure 10.
+type Message struct {
+	ID       string
+	Contents string
+}
+
+// Config sizes the mail store.
+type Config struct {
+	// Users is the number of user mailboxes (user IDs 0..Users-1).
+	Users uint64
+	// RandBound is the name-allocation domain for spool and mailbox file
+	// names. Production uses a large bound (collisions are rare); model
+	// checking uses a small one so the specification stays enumerable.
+	RandBound uint64
+	// SyncOnDeliver makes Deliver fsync the spooled message before
+	// linking it into the mailbox. On the strict (process-crash) model
+	// this is unnecessary — the paper's setting — but on a buffered
+	// file system (gfs.NewBufferedModel, deferred durability) it is
+	// required for crash safety: without it, a crash after the link can
+	// leave a truncated message in the mailbox.
+	SyncOnDeliver bool
+}
+
+// UserDir returns user u's mailbox directory name.
+func UserDir(u uint64) string { return "user" + strconv.FormatUint(u, 10) }
+
+// Dirs returns the fixed directory layout for cfg, for gfs setup.
+func Dirs(cfg Config) []string {
+	out := []string{SpoolDir}
+	for u := uint64(0); u < cfg.Users; u++ {
+		out = append(out, UserDir(u))
+	}
+	return out
+}
+
+// MsgName returns the mailbox file name for allocation index i.
+func MsgName(i uint64) string { return "msg" + strconv.FormatUint(i, 10) }
+
+func tmpName(i uint64) string { return "tmp" + strconv.FormatUint(i, 10) }
+
+// Mailboat is the per-era library state: the per-user locks plus the
+// optional ghost context for the proof-annotated variant. The ghost
+// fields implement the §8.3 leasing strategy: each mailbox directory
+// has a set master (dir ↦ N, in the crash invariant) and a lower-bound
+// lease lease(dir, ⊇N) protected by the mailbox lock, so the lock
+// holder may delete observed messages while lock-free deliveries may
+// only insert.
+type Mailboat struct {
+	sys   gfs.System
+	cfg   Config
+	locks []gfs.Lock
+
+	g          *core.Ctx
+	boxMasters []*core.SetMaster
+	boxLeases  []*core.SetLease
+}
+
+// Init initializes the library (Figure 10's Init): it allocates the
+// per-user locks and, under the ghost context, the mailbox directory
+// capabilities (masters deposited in the crash invariant — MsgsInv).
+// It must be run before any operations on a fresh store; after a crash,
+// run Recover instead.
+func Init(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config) *Mailboat {
+	mb := &Mailboat{sys: sys, cfg: cfg, g: g}
+	mb.locks = make([]gfs.Lock, cfg.Users)
+	for u := uint64(0); u < cfg.Users; u++ {
+		mb.locks[u] = sys.NewLock(t, fmt.Sprintf("mailbox%d", u))
+	}
+	if g != nil {
+		mb.boxMasters = make([]*core.SetMaster, cfg.Users)
+		mb.boxLeases = make([]*core.SetLease, cfg.Users)
+		for u := uint64(0); u < cfg.Users; u++ {
+			names := sys.List(t, UserDir(u))
+			mb.boxMasters[u], mb.boxLeases[u] = g.NewDurableSet(modelT(t), UserDir(u), names)
+			g.DepositSetMaster(modelT(t), mb.boxMasters[u])
+		}
+	}
+	return mb
+}
+
+// Deliver stores msg in user's mailbox (Figure 10's Deliver). It
+// spools the message under a fresh random name, writing at most 4 KiB
+// per append, then atomically links it into the mailbox under another
+// fresh random name and removes the spool entry. The successful link is
+// the linearization point: the ghost spec step happens in the same
+// atomic turn as the link, so a crash before it simply drops the
+// delivery (the spool file is invisible at the spec level and cleaned
+// by Recover).
+func (mb *Mailboat) Deliver(t gfs.T, j *core.JTok, user uint64, msg []byte) {
+	mb.checkUser(t, user)
+
+	// Spool the message under a fresh name.
+	var spool gfs.FD
+	var sname string
+	for {
+		id := t.RandUint64(mb.cfg.RandBound)
+		sname = tmpName(id)
+		fd, ok := mb.sys.Create(t, SpoolDir, sname)
+		if ok {
+			spool = fd
+			break
+		}
+	}
+	for off := 0; off < len(msg); off += gfs.MaxAppend {
+		end := off + gfs.MaxAppend
+		if end > len(msg) {
+			end = len(msg)
+		}
+		mb.sys.Append(t, spool, msg[off:end])
+	}
+	if mb.cfg.SyncOnDeliver {
+		mb.sys.Sync(t, spool)
+	}
+	mb.sys.Close(t, spool)
+
+	// Publish atomically under a fresh mailbox name.
+	for {
+		id := t.RandUint64(mb.cfg.RandBound)
+		mname := MsgName(id)
+		if mb.sys.Link(t, SpoolDir, sname, UserDir(user), mname) {
+			if mb.g != nil {
+				// Ghost-atomic with the link: the directory-entry
+				// insertion needs no lease (§8.3 — inserts preserve
+				// every lower bound), and Deliver's spec step is
+				// simulated now that the message is visible,
+				// instantiating the spec's fresh-ID existential with
+				// the name the link actually claimed.
+				mb.boxMasters[user].Insert(modelT(t), mname, nil)
+				if j != nil {
+					mb.g.StepSimWhere(modelT(t), j, nil, func(s spec.State) bool {
+						got, ok := s.(State).Boxes[user][mname]
+						return ok && got == string(msg)
+					})
+				}
+			}
+			break
+		}
+	}
+
+	// The spool entry is no longer needed.
+	mb.sys.Delete(t, SpoolDir, sname)
+}
+
+// Pickup lists and reads user's mailbox (Figure 10's Pickup),
+// implicitly acquiring the user's pickup/delete lock; the caller must
+// eventually call Unlock. Deliveries may run concurrently; the listing
+// is the linearization point, and every listed message is complete
+// (delivery publishes atomically). Messages are read in 512-byte
+// chunks, the loop whose off-by-one variant is the §9.5 infinite-loop
+// bug.
+func (mb *Mailboat) Pickup(t gfs.T, j *core.JTok, user uint64) []Message {
+	mb.checkUser(t, user)
+	mb.locks[user].Acquire(t)
+
+	var expected []Message
+	names := mb.sys.List(t, UserDir(user))
+	if mb.g != nil {
+		// Ghost-atomic with the listing: raise the lower-bound lease to
+		// the listed set (we hold the mailbox lock), check the listing
+		// against the master — the meaning of dir ↦ N — and simulate
+		// the spec's Pickup, which returns exactly the source-state
+		// mailbox at this instant; the reads below must reproduce it
+		// (checked by FinishOp).
+		mb.boxLeases[user].Refresh(modelT(t), mb.boxMasters[user])
+		if want := mb.boxMasters[user].Elems(modelT(t)); !equalStrings(want, names) {
+			modelT(t).Failf("capability mismatch: %s lists %v but master asserts %v", UserDir(user), names, want)
+		}
+		if j != nil {
+			expected = specPickup(mb.g, user)
+			mb.g.StepSim(modelT(t), j, expected)
+		}
+	}
+
+	msgs := make([]Message, 0, len(names))
+	for _, name := range names {
+		fd, ok := mb.sys.Open(t, UserDir(user), name)
+		if !ok {
+			// The lock excludes deletes and links never replace
+			// existing names, so listed names cannot vanish.
+			continue
+		}
+		var contents []byte
+		for off := uint64(0); ; off += gfs.ReadChunk {
+			chunk := mb.sys.ReadAt(t, fd, off, gfs.ReadChunk)
+			contents = append(contents, chunk...)
+			if uint64(len(chunk)) < gfs.ReadChunk {
+				break
+			}
+		}
+		mb.sys.Close(t, fd)
+		msgs = append(msgs, Message{ID: name, Contents: string(contents)})
+	}
+	return msgs
+}
+
+// Delete removes a message picked up earlier (Figure 10's Delete). The
+// caller must hold the user's lock (i.e. be between Pickup and Unlock)
+// and must pass an ID returned by that Pickup — passing other IDs is
+// outside the specification (§8.1, §9.2).
+func (mb *Mailboat) Delete(t gfs.T, j *core.JTok, user uint64, id string) {
+	mb.checkUser(t, user)
+	mb.sys.Delete(t, UserDir(user), id)
+	if mb.g != nil {
+		// The removal requires the lower-bound lease to contain id: the
+		// ghost form of §8.1's assumption that users only delete IDs
+		// returned by Pickup.
+		mb.boxMasters[user].Remove(modelT(t), mb.boxLeases[user], id, nil)
+		if j != nil {
+			mb.g.StepSim(modelT(t), j, nil)
+		}
+	}
+}
+
+// Unlock releases the user's pickup/delete lock (Figure 10's Unlock).
+func (mb *Mailboat) Unlock(t gfs.T, j *core.JTok, user uint64) {
+	mb.checkUser(t, user)
+	if mb.g != nil && j != nil {
+		mb.g.StepSim(modelT(t), j, nil)
+	}
+	mb.locks[user].Release(t)
+}
+
+// Recover restores the library after a crash (Figure 10's Recover): it
+// deletes every leftover spool file (they belong to deliveries that
+// never linked, so they are invisible at the spec level — the TmpInv of
+// §8.3), discharges the spec-level crash step, resynthesizes the
+// mailbox capabilities from their masters, and re-allocates the locks.
+// old carries the pre-crash ghost handles; it may be nil when the ghost
+// context is nil (production boot).
+func Recover(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config, old *Mailboat) *Mailboat {
+	for _, name := range sys.List(t, SpoolDir) {
+		sys.Delete(t, SpoolDir, name)
+	}
+	if g == nil {
+		return Init(t, nil, sys, cfg)
+	}
+	if g.CrashPending() {
+		g.CrashSim(modelT(t))
+	}
+	mb := &Mailboat{sys: sys, cfg: cfg, g: g}
+	mb.locks = make([]gfs.Lock, cfg.Users)
+	mb.boxMasters = make([]*core.SetMaster, cfg.Users)
+	mb.boxLeases = make([]*core.SetLease, cfg.Users)
+	for u := uint64(0); u < cfg.Users; u++ {
+		mb.locks[u] = sys.NewLock(t, fmt.Sprintf("mailbox%d", u))
+		mb.boxMasters[u], mb.boxLeases[u] = old.boxMasters[u].Resynthesize(modelT(t))
+		g.DepositSetMaster(modelT(t), mb.boxMasters[u])
+	}
+	return mb
+}
+
+// equalStrings compares two sorted string slices.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (mb *Mailboat) checkUser(t gfs.T, user uint64) {
+	if user >= mb.cfg.Users {
+		panic(fmt.Sprintf("mailboat: user %d out of range (%d users)", user, mb.cfg.Users))
+	}
+}
+
+// specPickup computes, from the ghost source state, what the spec's
+// Pickup must return at this instant.
+func specPickup(g *core.Ctx, user uint64) []Message {
+	s := g.Source().(State)
+	return s.MessagesOf(user)
+}
+
+// modelT asserts the modeled thread handle; ghost annotations only run
+// under the model checker (the OS backend passes a nil ghost context).
+func modelT(t gfs.T) *machine.T { return t.(*machine.T) }

@@ -1,0 +1,237 @@
+package mailboat
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/gfs"
+	"repro/internal/machine"
+	"repro/internal/spec"
+)
+
+// World carries the store and ghost state across eras of one checked
+// execution.
+type World struct {
+	G  *core.Ctx
+	FS *gfs.Model
+	MB *Mailboat
+}
+
+// Variant selects the implementation under check.
+type Variant int
+
+const (
+	// VariantVerified is the ghost-annotated implementation.
+	VariantVerified Variant = iota
+	// VariantDeliverDirect writes into the mailbox without spooling.
+	VariantDeliverDirect
+	// VariantPickupNoAdvance has the §9.5 infinite read loop.
+	VariantPickupNoAdvance
+	// VariantPickupLeaky leaks message file descriptors (§9.5).
+	VariantPickupLeaky
+	// VariantRecoverWipes destroys mailboxes during recovery.
+	VariantRecoverWipes
+	// VariantForgetSpoolDelete leaves spool entries behind (benign).
+	VariantForgetSpoolDelete
+)
+
+// ScenarioOptions shapes the workload.
+type ScenarioOptions struct {
+	// Config sizes the store; RandBound should stay small (≤4).
+	Config Config
+	// Delivers spawns one delivery thread per entry.
+	Delivers []OpDeliver
+	// PickupUsers spawns, per entry, a thread doing Pickup(u), Delete of
+	// the first message if any, then Unlock(u).
+	PickupUsers []uint64
+	// MaxCrashes bounds injected crashes.
+	MaxCrashes int
+	// PostPickups reads each user's mailbox at the end (Pickup+Unlock).
+	PostPickups bool
+	// BufferedFS runs the scenario on the deferred-durability file
+	// system (gfs.NewBufferedModel) instead of the strict model — the
+	// §6.2 future-work extension. Crash safety then additionally
+	// requires Config.SyncOnDeliver.
+	BufferedFS bool
+}
+
+// Scenario builds the checkable scenario for the chosen variant.
+func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
+	ghost := v == VariantVerified
+	sp := Spec(o.Config)
+
+	deliver := func(t *machine.T, w *World, h *explore.Harness, op OpDeliver) {
+		h.Op(op, func() spec.Ret {
+			switch v {
+			case VariantDeliverDirect:
+				w.MB.DeliverDirect(t, op.User, []byte(op.Msg))
+			case VariantForgetSpoolDelete:
+				w.MB.DeliverForgetSpoolDelete(t, op.User, []byte(op.Msg))
+			default:
+				var j *core.JTok
+				if ghost {
+					j = w.G.NewJTok(op)
+				}
+				w.MB.Deliver(t, j, op.User, []byte(op.Msg))
+				if ghost {
+					w.G.FinishOp(t, j, nil)
+				}
+			}
+			return nil
+		})
+	}
+
+	pickup := func(t *machine.T, w *World, h *explore.Harness, user uint64) []Message {
+		op := OpPickup{User: user}
+		ret := h.Op(op, func() spec.Ret {
+			switch v {
+			case VariantPickupNoAdvance:
+				return w.MB.PickupNoAdvance(t, user)
+			case VariantPickupLeaky:
+				return w.MB.PickupLeaky(t, user)
+			default:
+				var j *core.JTok
+				if ghost {
+					j = w.G.NewJTok(op)
+				}
+				msgs := w.MB.Pickup(t, j, user)
+				if ghost {
+					w.G.FinishOp(t, j, msgs)
+				}
+				return msgs
+			}
+		})
+		return ret.([]Message)
+	}
+
+	unlock := func(t *machine.T, w *World, h *explore.Harness, user uint64) {
+		op := OpUnlock{User: user}
+		h.Op(op, func() spec.Ret {
+			var j *core.JTok
+			if ghost {
+				j = w.G.NewJTok(op)
+			}
+			w.MB.Unlock(t, j, user)
+			if ghost {
+				w.G.FinishOp(t, j, nil)
+			}
+			return nil
+		})
+	}
+
+	pickupDeleteUnlock := func(t *machine.T, w *World, h *explore.Harness, user uint64) {
+		msgs := pickup(t, w, h, user)
+		if len(msgs) > 0 {
+			op := OpDelete{User: user, ID: msgs[0].ID}
+			h.Op(op, func() spec.Ret {
+				var j *core.JTok
+				if ghost {
+					j = w.G.NewJTok(op)
+				}
+				w.MB.Delete(t, j, user, msgs[0].ID)
+				if ghost {
+					w.G.FinishOp(t, j, nil)
+				}
+				return nil
+			})
+		}
+		unlock(t, w, h, user)
+	}
+
+	s := &explore.Scenario{
+		Name:        name,
+		Spec:        sp,
+		MachineOpts: machine.Options{MaxSteps: 3000},
+		MaxCrashes:  o.MaxCrashes,
+		RandPolicy:  func(call, n int) int { return call % n },
+		Setup: func(m *machine.Machine) any {
+			w := &World{}
+			if o.BufferedFS {
+				w.FS = gfs.NewBufferedModel(m, Dirs(o.Config))
+			} else {
+				w.FS = gfs.NewModel(m, Dirs(o.Config))
+			}
+			if ghost {
+				w.G = core.NewCtx(m)
+				w.G.InitSim(sp, sp.Init())
+			}
+			return w
+		},
+		Init: func(t *machine.T, wAny any) {
+			w := wAny.(*World)
+			w.MB = Init(t, w.G, w.FS, o.Config)
+		},
+		Main: func(t *machine.T, wAny any, h *explore.Harness) {
+			w := wAny.(*World)
+			for _, d := range o.Delivers {
+				op := d
+				t.Go(func(c *machine.T) { deliver(c, w, h, op) })
+			}
+			for _, u := range o.PickupUsers {
+				user := u
+				t.Go(func(c *machine.T) { pickupDeleteUnlock(c, w, h, user) })
+			}
+		},
+		Recover: func(t *machine.T, wAny any) {
+			w := wAny.(*World)
+			if v == VariantRecoverWipes {
+				w.MB = RecoverWipesMailboxes(t, w.FS, o.Config)
+			} else {
+				w.MB = Recover(t, w.G, w.FS, o.Config, w.MB)
+			}
+		},
+		Post: func(t *machine.T, wAny any, h *explore.Harness) {
+			w := wAny.(*World)
+			if !o.PostPickups {
+				return
+			}
+			for u := uint64(0); u < o.Config.Users; u++ {
+				pickup(t, w, h, u)
+				unlock(t, w, h, u)
+			}
+		},
+	}
+
+	if ghost {
+		s.Invariant = func(m *machine.Machine, wAny any) error {
+			w := wAny.(*World)
+			if w.G.CrashPending() {
+				return fmt.Errorf("spec crash step still owed")
+			}
+			// Iron-style resource accounting (§9.5 found an fd leak that
+			// Perennial's proofs could not): at era boundaries every
+			// descriptor must be closed.
+			if n := w.FS.OpenFDs(); n != 0 {
+				return fmt.Errorf("resource leak: %d file descriptors still open", n)
+			}
+			// MsgsInv: each mailbox directory matches the source state.
+			src := w.G.Source().(State)
+			for u := uint64(0); u < o.Config.Users; u++ {
+				onDisk := w.FS.PeekDir(UserDir(u))
+				if len(onDisk) != len(src.Boxes[u]) {
+					return fmt.Errorf("MsgsInv: user %d has %d files but source has %d messages",
+						u, len(onDisk), len(src.Boxes[u]))
+				}
+				ids := make([]string, 0, len(onDisk))
+				for id := range onDisk {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				for _, id := range ids {
+					want, ok := src.Boxes[u][id]
+					if !ok {
+						return fmt.Errorf("MsgsInv: user %d file %s not in source", u, id)
+					}
+					if !bytes.Equal(onDisk[id], []byte(want)) {
+						return fmt.Errorf("MsgsInv: user %d message %s contents differ", u, id)
+					}
+				}
+			}
+			return nil
+		}
+	}
+	return s
+}

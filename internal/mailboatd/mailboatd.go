@@ -1,0 +1,77 @@
+// Package mailboatd wires the verified Mailboat library (running on the
+// real file system) to the unverified SMTP and POP3 front ends — the
+// deployment glue of §8.2's "Using Mailboat". It is what cmd/mailboat
+// and the network end-to-end tests run.
+package mailboatd
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/gfs"
+	"repro/internal/mailboat"
+)
+
+// Adapter exposes the Mailboat library as the smtp.Deliverer and
+// pop3.Maildrop interfaces. It is safe for concurrent use by many
+// connection handlers; it implements gfs.T itself with a locked PRNG
+// for name allocation.
+type Adapter struct {
+	fs  *gfs.OS
+	mb  *mailboat.Mailboat
+	cfg mailboat.Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New opens (or creates) a mail store under root with the given number
+// of users, running recovery first — on boot we cannot know whether the
+// previous process exited cleanly, so Recover's spool cleanup always
+// runs, exactly as §8.1 prescribes ("run Recover to restore the system
+// following a shutdown or crash").
+func New(root string, users uint64, seed int64) (*Adapter, error) {
+	cfg := mailboat.Config{Users: users, RandBound: 1 << 62}
+	fs, err := gfs.NewOS(root, mailboat.Dirs(cfg))
+	if err != nil {
+		return nil, err
+	}
+	a := &Adapter{fs: fs, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	a.mb = mailboat.Recover(a, nil, fs, cfg, nil)
+	return a, nil
+}
+
+// Close releases the cached directory handles.
+func (a *Adapter) Close() { a.fs.CloseAll() }
+
+// Users returns the mailbox count.
+func (a *Adapter) Users() uint64 { return a.cfg.Users }
+
+// RandUint64 implements gfs.T with a locked PRNG.
+func (a *Adapter) RandUint64(bound uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return uint64(a.rng.Int63n(int64(bound)))
+}
+
+// Deliver implements smtp.Deliverer.
+func (a *Adapter) Deliver(user uint64, msg []byte) error {
+	a.mb.Deliver(a, nil, user, msg)
+	return nil
+}
+
+// Pickup implements pop3.Maildrop.
+func (a *Adapter) Pickup(user uint64) ([]mailboat.Message, error) {
+	return a.mb.Pickup(a, nil, user), nil
+}
+
+// Delete implements pop3.Maildrop.
+func (a *Adapter) Delete(user uint64, id string) error {
+	a.mb.Delete(a, nil, user, id)
+	return nil
+}
+
+// Unlock implements pop3.Maildrop.
+func (a *Adapter) Unlock(user uint64) {
+	a.mb.Unlock(a, nil, user)
+}

@@ -1,0 +1,208 @@
+package mailboatd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/pop3"
+	"repro/internal/smtp"
+)
+
+// startStack boots the verified library plus both protocol servers on
+// loopback and returns their addresses.
+func startStack(t *testing.T, root string) (a *Adapter, smtpAddr, popAddr string) {
+	t.Helper()
+	adapter, err := New(root, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(adapter.Close)
+
+	ss := smtp.NewServer(adapter, adapter.Users())
+	sl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ss.Serve(sl)
+	t.Cleanup(func() { ss.Close() })
+
+	ps := pop3.NewServer(adapter, adapter.Users())
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ps.Serve(pl)
+	t.Cleanup(func() { ps.Close() })
+
+	return adapter, sl.Addr().String(), pl.Addr().String()
+}
+
+type lineConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialLine(t *testing.T, addr string) *lineConn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &lineConn{conn: c, r: bufio.NewReader(c)}
+}
+
+func (l *lineConn) cmd(t *testing.T, line, wantPrefix string) string {
+	t.Helper()
+	if line != "" {
+		fmt.Fprintf(l.conn, "%s\r\n", line)
+	}
+	resp, err := l.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("after %q: %v", line, err)
+	}
+	if !strings.HasPrefix(resp, wantPrefix) {
+		t.Fatalf("after %q: got %q, want prefix %q", line, resp, wantPrefix)
+	}
+	return resp
+}
+
+func TestSMTPDeliverThenPOP3Retrieve(t *testing.T) {
+	_, smtpAddr, popAddr := startStack(t, t.TempDir())
+
+	// Deliver via SMTP.
+	s := dialLine(t, smtpAddr)
+	s.cmd(t, "", "220")
+	s.cmd(t, "HELO test", "250")
+	s.cmd(t, "MAIL FROM:<postmaster@x>", "250")
+	s.cmd(t, "RCPT TO:<user2@example.com>", "250")
+	s.cmd(t, "DATA", "354")
+	fmt.Fprintf(s.conn, "Subject: greetings\r\n\r\nhello over the wire\r\n.\r\n")
+	if resp, err := s.r.ReadString('\n'); err != nil || !strings.HasPrefix(resp, "250") {
+		t.Fatalf("DATA response: %q %v", resp, err)
+	}
+	s.cmd(t, "QUIT", "221")
+
+	// Retrieve via POP3.
+	p := dialLine(t, popAddr)
+	p.cmd(t, "", "+OK")
+	p.cmd(t, "USER user2", "+OK")
+	p.cmd(t, "PASS x", "+OK maildrop has 1")
+	p.cmd(t, "RETR 1", "+OK")
+	var body []string
+	for {
+		line, err := p.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "." {
+			break
+		}
+		body = append(body, line)
+	}
+	joined := strings.Join(body, "\n")
+	if !strings.Contains(joined, "hello over the wire") {
+		t.Fatalf("retrieved body: %q", joined)
+	}
+	p.cmd(t, "DELE 1", "+OK")
+	p.cmd(t, "QUIT", "+OK")
+
+	// The mailbox is now empty.
+	p2 := dialLine(t, popAddr)
+	p2.cmd(t, "", "+OK")
+	p2.cmd(t, "USER user2", "+OK")
+	p2.cmd(t, "PASS x", "+OK maildrop has 0")
+	p2.cmd(t, "QUIT", "+OK")
+}
+
+func TestRestartRecoversAndKeepsMail(t *testing.T) {
+	root := t.TempDir()
+	a, err := New(root, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Deliver(0, []byte("durable mail")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close() // "crash": the process goes away without cleanup
+
+	a2, err := New(root, 2, 2) // boot runs Recover
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	msgs, err := a2.Pickup(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].Contents != "durable mail" {
+		t.Fatalf("after restart: %+v", msgs)
+	}
+	a2.Unlock(0)
+}
+
+func TestConcurrentSMTPClients(t *testing.T) {
+	adapter, smtpAddr, _ := startStack(t, t.TempDir())
+
+	const clients = 8
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			conn, err := net.Dial("tcp", smtpAddr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			step := func(send, want string) error {
+				if send != "" {
+					fmt.Fprintf(conn, "%s\r\n", send)
+				}
+				resp, err := r.ReadString('\n')
+				if err != nil {
+					return err
+				}
+				if !strings.HasPrefix(resp, want) {
+					return fmt.Errorf("got %q want %q", resp, want)
+				}
+				return nil
+			}
+			for _, st := range []struct{ send, want string }{
+				{"", "220"},
+				{"MAIL FROM:<x@y>", "250"},
+				{fmt.Sprintf("RCPT TO:<user%d@z>", i%4), "250"},
+				{"DATA", "354"},
+			} {
+				if err := step(st.send, st.want); err != nil {
+					errs <- err
+					return
+				}
+			}
+			fmt.Fprintf(conn, "message %d\r\n.\r\n", i)
+			errs <- step("", "250")
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	total := 0
+	for u := uint64(0); u < 4; u++ {
+		msgs, err := adapter.Pickup(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(msgs)
+		adapter.Unlock(u)
+	}
+	if total != clients {
+		t.Fatalf("delivered %d of %d messages", total, clients)
+	}
+}

@@ -1,0 +1,310 @@
+// Package pop3 implements the unverified POP3 front end of §8.2: a
+// minimal RFC 1939 server (USER/PASS, STAT, LIST, UIDL, RETR, TOP,
+// DELE, RSET, NOOP, QUIT) over a Maildrop backend. Authenticating as userN opens
+// mailbox N, which in Mailboat terms performs Pickup (taking the
+// per-user lock); QUIT applies the deletes and performs Unlock, so a
+// POP3 session maps exactly onto the paper's Pickup … Delete … Unlock
+// protocol.
+package pop3
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/mailboat"
+)
+
+// Maildrop is the mailbox backend; cmd/mailboat adapts the verified
+// library to it.
+type Maildrop interface {
+	Pickup(user uint64) ([]mailboat.Message, error)
+	Delete(user uint64, id string) error
+	Unlock(user uint64)
+}
+
+// Server is one POP3 listener.
+type Server struct {
+	users   uint64
+	backend Maildrop
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewServer creates a POP3 server over backend.
+func NewServer(backend Maildrop, users uint64) *Server {
+	return &Server{users: users, backend: backend}
+}
+
+// Serve accepts connections on ln until Close. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Close stops accepting connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+// Addr returns the listener address, for tests.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	ok := func(msg string) bool {
+		fmt.Fprintf(w, "+OK %s\r\n", msg)
+		return w.Flush() == nil
+	}
+	bad := func(msg string) bool {
+		fmt.Fprintf(w, "-ERR %s\r\n", msg)
+		return w.Flush() == nil
+	}
+	if !ok("mailboat POP3 ready") {
+		return
+	}
+
+	var (
+		authedUser uint64
+		authed     bool
+		pendUser   string
+		msgs       []mailboat.Message
+		deleted    []bool
+	)
+	// Ensure the mailbox lock is released even on abrupt disconnect.
+	defer func() {
+		if authed {
+			s.backend.Unlock(authedUser)
+		}
+	}()
+
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		verb, arg, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(verb) {
+		case "USER":
+			pendUser = strings.TrimSpace(arg)
+			ok("send PASS")
+		case "PASS":
+			if authed {
+				bad("already authenticated")
+				continue
+			}
+			u, err := parseUser(pendUser, s.users)
+			if err != nil {
+				bad("no such user")
+				continue
+			}
+			m, err := s.backend.Pickup(u)
+			if err != nil {
+				bad("maildrop unavailable")
+				continue
+			}
+			authedUser, authed = u, true
+			msgs = m
+			deleted = make([]bool, len(m))
+			ok(fmt.Sprintf("maildrop has %d messages", len(m)))
+		case "STAT":
+			if !authed {
+				bad("authenticate first")
+				continue
+			}
+			n, bytes := 0, 0
+			for i, m := range msgs {
+				if !deleted[i] {
+					n++
+					bytes += len(m.Contents)
+				}
+			}
+			ok(fmt.Sprintf("%d %d", n, bytes))
+		case "LIST":
+			if !authed {
+				bad("authenticate first")
+				continue
+			}
+			ok("scan listing follows")
+			for i, m := range msgs {
+				if !deleted[i] {
+					fmt.Fprintf(w, "%d %d\r\n", i+1, len(m.Contents))
+				}
+			}
+			fmt.Fprintf(w, ".\r\n")
+			if w.Flush() != nil {
+				return
+			}
+		case "RETR":
+			i, valid := s.msgIndex(arg, msgs, deleted)
+			if !authed || !valid {
+				bad("no such message")
+				continue
+			}
+			ok(fmt.Sprintf("%d octets", len(msgs[i].Contents)))
+			writeMultiline(w, msgs[i].Contents)
+			if w.Flush() != nil {
+				return
+			}
+		case "TOP":
+			num, rest, _ := strings.Cut(strings.TrimSpace(arg), " ")
+			i, valid := s.msgIndex(num, msgs, deleted)
+			lines, err := strconv.Atoi(strings.TrimSpace(rest))
+			if !authed || !valid || err != nil || lines < 0 {
+				bad("no such message")
+				continue
+			}
+			ok("top of message follows")
+			writeMultiline(w, topOf(msgs[i].Contents, lines))
+			if w.Flush() != nil {
+				return
+			}
+		case "UIDL":
+			if !authed {
+				bad("authenticate first")
+				continue
+			}
+			if strings.TrimSpace(arg) != "" {
+				i, valid := s.msgIndex(arg, msgs, deleted)
+				if !valid {
+					bad("no such message")
+					continue
+				}
+				ok(fmt.Sprintf("%d %s", i+1, msgs[i].ID))
+				continue
+			}
+			ok("unique-id listing follows")
+			for i, m := range msgs {
+				if !deleted[i] {
+					fmt.Fprintf(w, "%d %s\r\n", i+1, m.ID)
+				}
+			}
+			fmt.Fprintf(w, ".\r\n")
+			if w.Flush() != nil {
+				return
+			}
+		case "DELE":
+			i, valid := s.msgIndex(arg, msgs, deleted)
+			if !authed || !valid {
+				bad("no such message")
+				continue
+			}
+			deleted[i] = true
+			ok("marked for deletion")
+		case "RSET":
+			for i := range deleted {
+				deleted[i] = false
+			}
+			ok("reset")
+		case "NOOP":
+			ok("")
+		case "QUIT":
+			if authed {
+				for i, m := range msgs {
+					if deleted[i] {
+						s.backend.Delete(authedUser, m.ID)
+					}
+				}
+				s.backend.Unlock(authedUser)
+				authed = false
+			}
+			ok("bye")
+			return
+		default:
+			bad("unrecognized command")
+		}
+	}
+}
+
+func (s *Server) msgIndex(arg string, msgs []mailboat.Message, deleted []bool) (int, bool) {
+	n, err := strconv.Atoi(strings.TrimSpace(arg))
+	if err != nil || n < 1 || n > len(msgs) || deleted == nil || deleted[n-1] {
+		return 0, false
+	}
+	return n - 1, true
+}
+
+func parseUser(name string, users uint64) (uint64, error) {
+	if !strings.HasPrefix(name, "user") {
+		return 0, fmt.Errorf("pop3: unknown user %q", name)
+	}
+	n, err := strconv.ParseUint(name[len("user"):], 10, 64)
+	if err != nil || n >= users {
+		return 0, fmt.Errorf("pop3: unknown user %q", name)
+	}
+	return n, nil
+}
+
+// topOf returns the message headers plus the first n body lines, per
+// RFC 1939's TOP.
+func topOf(body string, n int) string {
+	lines := strings.Split(body, "\n")
+	// Find the blank separator between headers and body.
+	sep := len(lines)
+	for i, l := range lines {
+		if l == "" {
+			sep = i
+			break
+		}
+	}
+	end := sep + 1 + n
+	if end > len(lines) {
+		end = len(lines)
+	}
+	return strings.Join(lines[:end], "\n")
+}
+
+// writeMultiline sends a POP3 multi-line response body with
+// dot-stuffing and the terminating lone dot (RFC 1939 §3).
+func writeMultiline(w *bufio.Writer, body string) {
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, ".") {
+			w.WriteString(".")
+		}
+		w.WriteString(line)
+		w.WriteString("\r\n")
+	}
+	w.WriteString(".\r\n")
+}

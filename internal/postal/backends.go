@@ -1,0 +1,193 @@
+package postal
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cmail"
+	"repro/internal/gfs"
+	"repro/internal/gomail"
+	"repro/internal/mailboat"
+)
+
+// RAMDir returns a RAM-backed scratch directory when one is available
+// (§9.3 runs on tmpfs "to keep disk performance from being the limiting
+// factor"); it falls back to the default temp directory.
+func RAMDir() string {
+	for _, d := range []string{"/dev/shm", "/run/shm"} {
+		if st, err := os.Stat(d); err == nil && st.IsDir() {
+			return d
+		}
+	}
+	return os.TempDir()
+}
+
+// MailboatBackend adapts the verified Mailboat library (on the real
+// file system via gfs.OS) to the postal workload.
+type MailboatBackend struct {
+	fs  *gfs.OS
+	mb  *mailboat.Mailboat
+	ths []*gfs.Native
+}
+
+// NewMailboatBackend builds a fresh store under root for the given
+// worker count.
+func NewMailboatBackend(root string, users uint64, workers int, seed int64) (*MailboatBackend, error) {
+	cfg := mailboat.Config{Users: users, RandBound: 1 << 62}
+	fs, err := gfs.NewOS(root, mailboat.Dirs(cfg))
+	if err != nil {
+		return nil, err
+	}
+	b := &MailboatBackend{fs: fs}
+	b.ths = make([]*gfs.Native, workers)
+	for i := range b.ths {
+		b.ths[i] = gfs.NewNative(seed + int64(i)*104729)
+	}
+	b.mb = mailboat.Init(b.ths[0], nil, fs, cfg)
+	return b, nil
+}
+
+// Close releases cached directory handles.
+func (b *MailboatBackend) Close() { b.fs.CloseAll() }
+
+// Deliver implements Backend.
+func (b *MailboatBackend) Deliver(w int, user uint64, msg []byte) error {
+	b.mb.Deliver(b.ths[w], nil, user, msg)
+	return nil
+}
+
+// Pickup implements Backend.
+func (b *MailboatBackend) Pickup(w int, user uint64) ([]mailboat.Message, error) {
+	return b.mb.Pickup(b.ths[w], nil, user), nil
+}
+
+// Delete implements Backend.
+func (b *MailboatBackend) Delete(w int, user uint64, id string) error {
+	b.mb.Delete(b.ths[w], nil, user, id)
+	return nil
+}
+
+// Unlock implements Backend.
+func (b *MailboatBackend) Unlock(w int, user uint64) {
+	b.mb.Unlock(b.ths[w], nil, user)
+}
+
+// GoMailBackend adapts the GoMail baseline.
+type GoMailBackend struct {
+	s    *gomail.Server
+	rngs []*rand.Rand
+}
+
+// NewGoMailBackend builds a fresh GoMail store under root.
+func NewGoMailBackend(root string, users uint64, workers int, seed int64) (*GoMailBackend, error) {
+	s, err := gomail.New(root, users)
+	if err != nil {
+		return nil, err
+	}
+	b := &GoMailBackend{s: s}
+	b.rngs = make([]*rand.Rand, workers)
+	for i := range b.rngs {
+		b.rngs[i] = rand.New(rand.NewSource(seed + int64(i)*104729))
+	}
+	return b, nil
+}
+
+// Deliver implements Backend.
+func (b *GoMailBackend) Deliver(w int, user uint64, msg []byte) error {
+	return b.s.Deliver(b.rngs[w], user, msg)
+}
+
+// Pickup implements Backend.
+func (b *GoMailBackend) Pickup(_ int, user uint64) ([]mailboat.Message, error) {
+	return b.s.Pickup(user)
+}
+
+// Delete implements Backend.
+func (b *GoMailBackend) Delete(_ int, user uint64, id string) error {
+	return b.s.Delete(user, id)
+}
+
+// Unlock implements Backend.
+func (b *GoMailBackend) Unlock(_ int, user uint64) { b.s.Unlock(user) }
+
+// CMailBackend adapts the simulated-CMAIL baseline.
+type CMailBackend struct {
+	s    *cmail.Server
+	rngs []*rand.Rand
+}
+
+// NewCMailBackend builds a fresh simulated-CMAIL store under root.
+func NewCMailBackend(root string, users uint64, workers int, seed int64) (*CMailBackend, error) {
+	s, err := cmail.New(root, users, 0)
+	if err != nil {
+		return nil, err
+	}
+	b := &CMailBackend{s: s}
+	b.rngs = make([]*rand.Rand, workers)
+	for i := range b.rngs {
+		b.rngs[i] = rand.New(rand.NewSource(seed + int64(i)*104729))
+	}
+	return b, nil
+}
+
+// Deliver implements Backend.
+func (b *CMailBackend) Deliver(w int, user uint64, msg []byte) error {
+	return b.s.Deliver(b.rngs[w], user, msg)
+}
+
+// Pickup implements Backend.
+func (b *CMailBackend) Pickup(_ int, user uint64) ([]mailboat.Message, error) {
+	return b.s.Pickup(user)
+}
+
+// Delete implements Backend.
+func (b *CMailBackend) Delete(_ int, user uint64, id string) error {
+	return b.s.Delete(user, id)
+}
+
+// Unlock implements Backend.
+func (b *CMailBackend) Unlock(_ int, user uint64) { b.s.Unlock(user) }
+
+// NewBackend builds the named backend ("mailboat", "gomail", "cmail")
+// under a fresh subdirectory of base.
+func NewBackend(name, base string, users uint64, workers int, seed int64) (Backend, func(), error) {
+	root, err := os.MkdirTemp(base, "mailbench-"+name+"-")
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() { os.RemoveAll(root) }
+	switch name {
+	case "mailboat-net":
+		b, err := NewNetBackend(filepath.Join(root, "store"), users, workers, seed)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		return b, func() { b.Close(); cleanup() }, nil
+	case "mailboat":
+		b, err := NewMailboatBackend(filepath.Join(root, "store"), users, workers, seed)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		return b, func() { b.Close(); cleanup() }, nil
+	case "gomail":
+		b, err := NewGoMailBackend(filepath.Join(root, "store"), users, workers, seed)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		return b, cleanup, nil
+	case "cmail":
+		b, err := NewCMailBackend(filepath.Join(root, "store"), users, workers, seed)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		return b, cleanup, nil
+	default:
+		cleanup()
+		return nil, nil, os.ErrNotExist
+	}
+}

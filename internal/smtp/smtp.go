@@ -1,0 +1,211 @@
+// Package smtp implements the unverified SMTP front end of §8.2: a
+// minimal RFC 5321 server (HELO/EHLO, MAIL FROM, RCPT TO, DATA, RSET,
+// NOOP, QUIT) that hands completed messages to the verified Mailboat
+// library. Recipient addresses have the form userN@<anything>; the N
+// selects the mailbox.
+//
+// The protocol implementation is deliberately outside the verified
+// core, matching the paper's TCB boundary: "The protocol implementation
+// is unverified, but works with the Postal mail server benchmarking
+// library".
+package smtp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Deliverer accepts completed messages; the Mailboat adapter in
+// cmd/mailboat implements it over the verified library.
+type Deliverer interface {
+	Deliver(user uint64, msg []byte) error
+}
+
+// ParseRecipient extracts the mailbox index from an address like
+// "user7@example.com" (angle brackets optional).
+func ParseRecipient(addr string, users uint64) (uint64, error) {
+	addr = strings.TrimSpace(addr)
+	addr = strings.TrimPrefix(addr, "<")
+	addr = strings.TrimSuffix(addr, ">")
+	local, _, _ := strings.Cut(addr, "@")
+	if !strings.HasPrefix(local, "user") {
+		return 0, fmt.Errorf("smtp: unknown mailbox %q", addr)
+	}
+	n, err := strconv.ParseUint(local[len("user"):], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("smtp: unknown mailbox %q", addr)
+	}
+	if n >= users {
+		return 0, fmt.Errorf("smtp: mailbox %d out of range", n)
+	}
+	return n, nil
+}
+
+// Server is one SMTP listener.
+type Server struct {
+	users   uint64
+	backend Deliverer
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewServer creates an SMTP server delivering into backend.
+func NewServer(backend Deliverer, users uint64) *Server {
+	return &Server{users: users, backend: backend}
+}
+
+// Serve accepts connections on ln until Close. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:2525") and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Close stops accepting connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+// Addr returns the listener address, for tests.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+type session struct {
+	rcpts   []uint64
+	inOrder bool // MAIL FROM seen
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	say := func(code int, msg string) bool {
+		fmt.Fprintf(w, "%d %s\r\n", code, msg)
+		return w.Flush() == nil
+	}
+	if !say(220, "mailboat SMTP service ready") {
+		return
+	}
+
+	var st session
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		verb, arg, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(verb) {
+		case "HELO", "EHLO":
+			say(250, "mailboat at your service")
+		case "MAIL":
+			st = session{inOrder: true}
+			say(250, "ok")
+		case "RCPT":
+			if !st.inOrder {
+				say(503, "need MAIL first")
+				continue
+			}
+			arg = strings.TrimPrefix(strings.TrimSpace(arg), "TO:")
+			arg = strings.TrimPrefix(arg, "to:")
+			user, err := ParseRecipient(arg, s.users)
+			if err != nil {
+				say(550, "no such mailbox")
+				continue
+			}
+			st.rcpts = append(st.rcpts, user)
+			say(250, "ok")
+		case "DATA":
+			if len(st.rcpts) == 0 {
+				say(503, "need RCPT first")
+				continue
+			}
+			if !say(354, "end with <CRLF>.<CRLF>") {
+				return
+			}
+			body, err := readData(r)
+			if err != nil {
+				return
+			}
+			failed := false
+			for _, user := range st.rcpts {
+				if err := s.backend.Deliver(user, body); err != nil {
+					failed = true
+				}
+			}
+			st = session{}
+			if failed {
+				say(451, "delivery failed")
+			} else {
+				say(250, "delivered")
+			}
+		case "RSET":
+			st = session{}
+			say(250, "ok")
+		case "NOOP":
+			say(250, "ok")
+		case "QUIT":
+			say(221, "bye")
+			return
+		default:
+			say(500, "unrecognized command")
+		}
+	}
+}
+
+// readData reads a DATA body up to the lone-dot terminator, undoing
+// dot-stuffing per RFC 5321 §4.5.2.
+func readData(r *bufio.Reader) ([]byte, error) {
+	var b strings.Builder
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "." {
+			return []byte(b.String()), nil
+		}
+		line = strings.TrimPrefix(line, ".")
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+}

@@ -1,0 +1,219 @@
+package smtp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type fakeBackend struct {
+	mu   sync.Mutex
+	mail map[uint64][]string
+	fail bool
+}
+
+func (f *fakeBackend) Deliver(user uint64, msg []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return fmt.Errorf("disk full")
+	}
+	if f.mail == nil {
+		f.mail = map[uint64][]string{}
+	}
+	f.mail[user] = append(f.mail[user], string(msg))
+	return nil
+}
+
+func startServer(t *testing.T, backend Deliverer) (*Server, string) {
+	t.Helper()
+	s := NewServer(backend, 10)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return s, ln.Addr().String()
+}
+
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *client) expect(t *testing.T, prefix string) string {
+	t.Helper()
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("expected %q, got %q", prefix, line)
+	}
+	return line
+}
+
+func (c *client) send(t *testing.T, line string) {
+	t.Helper()
+	if _, err := fmt.Fprintf(c.conn, "%s\r\n", line); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRecipient(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"user3@example.com", 3, true},
+		{"<user0@x>", 0, true},
+		{" user9@y ", 9, true},
+		{"user10@x", 0, false}, // out of range (10 users)
+		{"bob@example.com", 0, false},
+		{"user@x", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseRecipient(c.in, 10)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("%q: got %d, %v", c.in, got, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%q: expected error", c.in)
+		}
+	}
+}
+
+func TestDeliveryRoundTrip(t *testing.T) {
+	fb := &fakeBackend{}
+	_, addr := startServer(t, fb)
+	c := dial(t, addr)
+	c.expect(t, "220")
+	c.send(t, "HELO tester")
+	c.expect(t, "250")
+	c.send(t, "MAIL FROM:<sender@x>")
+	c.expect(t, "250")
+	c.send(t, "RCPT TO:<user3@example.com>")
+	c.expect(t, "250")
+	c.send(t, "DATA")
+	c.expect(t, "354")
+	c.send(t, "Subject: hi")
+	c.send(t, "")
+	c.send(t, "body line")
+	c.send(t, "..dot-stuffed")
+	c.send(t, ".")
+	c.expect(t, "250")
+	c.send(t, "QUIT")
+	c.expect(t, "221")
+
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if len(fb.mail[3]) != 1 {
+		t.Fatalf("user3 mail: %v", fb.mail)
+	}
+	want := "Subject: hi\n\nbody line\n.dot-stuffed\n"
+	if fb.mail[3][0] != want {
+		t.Fatalf("message %q, want %q", fb.mail[3][0], want)
+	}
+}
+
+func TestMultipleRecipients(t *testing.T) {
+	fb := &fakeBackend{}
+	_, addr := startServer(t, fb)
+	c := dial(t, addr)
+	c.expect(t, "220")
+	c.send(t, "MAIL FROM:<s@x>")
+	c.expect(t, "250")
+	c.send(t, "RCPT TO:<user1@x>")
+	c.expect(t, "250")
+	c.send(t, "RCPT TO:<user2@x>")
+	c.expect(t, "250")
+	c.send(t, "DATA")
+	c.expect(t, "354")
+	c.send(t, "hello")
+	c.send(t, ".")
+	c.expect(t, "250")
+
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if len(fb.mail[1]) != 1 || len(fb.mail[2]) != 1 {
+		t.Fatalf("mail: %v", fb.mail)
+	}
+}
+
+func TestRcptBeforeMailRejected(t *testing.T) {
+	_, addr := startServer(t, &fakeBackend{})
+	c := dial(t, addr)
+	c.expect(t, "220")
+	c.send(t, "RCPT TO:<user1@x>")
+	c.expect(t, "503")
+}
+
+func TestDataWithoutRcptRejected(t *testing.T) {
+	_, addr := startServer(t, &fakeBackend{})
+	c := dial(t, addr)
+	c.expect(t, "220")
+	c.send(t, "MAIL FROM:<s@x>")
+	c.expect(t, "250")
+	c.send(t, "DATA")
+	c.expect(t, "503")
+}
+
+func TestUnknownMailboxRejected(t *testing.T) {
+	_, addr := startServer(t, &fakeBackend{})
+	c := dial(t, addr)
+	c.expect(t, "220")
+	c.send(t, "MAIL FROM:<s@x>")
+	c.expect(t, "250")
+	c.send(t, "RCPT TO:<nobody@x>")
+	c.expect(t, "550")
+}
+
+func TestBackendFailureReported(t *testing.T) {
+	_, addr := startServer(t, &fakeBackend{fail: true})
+	c := dial(t, addr)
+	c.expect(t, "220")
+	c.send(t, "MAIL FROM:<s@x>")
+	c.expect(t, "250")
+	c.send(t, "RCPT TO:<user1@x>")
+	c.expect(t, "250")
+	c.send(t, "DATA")
+	c.expect(t, "354")
+	c.send(t, "x")
+	c.send(t, ".")
+	c.expect(t, "451")
+}
+
+func TestRsetClearsSession(t *testing.T) {
+	_, addr := startServer(t, &fakeBackend{})
+	c := dial(t, addr)
+	c.expect(t, "220")
+	c.send(t, "MAIL FROM:<s@x>")
+	c.expect(t, "250")
+	c.send(t, "RSET")
+	c.expect(t, "250")
+	c.send(t, "RCPT TO:<user1@x>")
+	c.expect(t, "503")
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, addr := startServer(t, &fakeBackend{})
+	c := dial(t, addr)
+	c.expect(t, "220")
+	c.send(t, "FROBNICATE")
+	c.expect(t, "500")
+}

@@ -1,0 +1,213 @@
+// Package suite assembles the canonical verification suite: every
+// verified artifact's model-checking scenario plus the seeded-bug
+// variants that must produce counterexamples. cmd/perennial-check runs
+// it (the reproduction's analog of `coqc` checking the paper's proofs),
+// and the Table 3 benchmarks measure it.
+package suite
+
+import (
+	"repro/internal/examples/groupcommit"
+	"repro/internal/examples/replicateddisk"
+	"repro/internal/examples/shadowcopy"
+	"repro/internal/examples/wal"
+	"repro/internal/explore"
+	"repro/internal/journal"
+	"repro/internal/mailboat"
+)
+
+// Entry is one scenario plus how to run it and what to expect.
+type Entry struct {
+	// Pattern groups entries by paper artifact ("replicated-disk",
+	// "shadow-copy", "wal", "group-commit", "mailboat").
+	Pattern string
+	// Scenario is the checkable system.
+	Scenario *explore.Scenario
+	// Opts bounds the exploration.
+	Opts explore.Options
+	// WantViolation is true for seeded-bug entries.
+	WantViolation bool
+}
+
+// Verified returns the scenarios that must check clean, covering all
+// four crash-safety patterns of §9.1 plus Mailboat.
+func Verified() []Entry {
+	return []Entry{
+		{
+			Pattern: "replicated-disk",
+			Scenario: replicateddisk.Verified("rd/two-writers+crash", replicateddisk.ScenarioOptions{
+				Size:       1,
+				Writers:    []replicateddisk.OpWrite{{A: 0, V: 1}, {A: 0, V: 2}},
+				MaxCrashes: 1,
+				PostReads:  []uint64{0},
+			}),
+			Opts: explore.Options{MaxExecutions: 5000},
+		},
+		{
+			Pattern: "replicated-disk",
+			Scenario: replicateddisk.Verified("rd/failover", replicateddisk.ScenarioOptions{
+				Size:       1,
+				Writers:    []replicateddisk.OpWrite{{A: 0, V: 3}},
+				D1MayFail:  true,
+				MaxCrashes: 1,
+				PostReads:  []uint64{0, 0},
+			}),
+			Opts: explore.Options{MaxExecutions: 5000},
+		},
+		{
+			Pattern: "shadow-copy",
+			Scenario: shadowcopy.Scenario("sc/writer+reader+crash", shadowcopy.VariantVerified, shadowcopy.ScenarioOptions{
+				Writers:    []shadowcopy.OpWrite{{V1: 1, V2: 2}},
+				Readers:    1,
+				MaxCrashes: 1,
+				PostReads:  1,
+			}),
+			Opts: explore.Options{MaxExecutions: 10000},
+		},
+		{
+			Pattern: "wal",
+			Scenario: wal.Scenario("wal/txn+double-crash", wal.VariantVerified, wal.ScenarioOptions{
+				Writers:    []wal.OpWrite{{V1: 1, V2: 2}},
+				MaxCrashes: 2,
+				PostReads:  1,
+			}),
+			Opts: explore.Options{MaxExecutions: 10000},
+		},
+		{
+			Pattern: "group-commit",
+			Scenario: groupcommit.Scenario("gc/write+flush+crash", groupcommit.VariantVerified, groupcommit.ScenarioOptions{
+				Steps:      []groupcommit.Step{{Write: &groupcommit.OpWrite{V1: 1, V2: 2}}, {Flush: true}},
+				MaxCrashes: 1,
+				PostReads:  1,
+			}),
+			Opts: explore.Options{MaxExecutions: 10000},
+		},
+		{
+			Pattern: "journal",
+			Scenario: journal.Scenario("journal/txn+double-crash", journal.VariantVerified, journal.ScenarioOptions{
+				Size:       2,
+				Txns:       [][]journal.Write{{{A: 0, V: 1}, {A: 1, V: 2}}},
+				MaxCrashes: 2,
+				PostReads:  []uint64{0, 1},
+			}),
+			Opts: explore.Options{MaxExecutions: 10000},
+		},
+		{
+			Pattern: "mailboat",
+			Scenario: mailboat.Scenario("mb/deliver+pickup+crash", mailboat.VariantVerified, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 3},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "a"}},
+				PickupUsers: []uint64{0},
+				MaxCrashes:  1,
+				PostPickups: true,
+			}),
+			Opts: explore.Options{MaxExecutions: 10000},
+		},
+		{
+			Pattern: "mailboat-buffered",
+			Scenario: mailboat.Scenario("mb/buffered-fs+fsync", mailboat.VariantVerified, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 2, SyncOnDeliver: true},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "fsynced"}},
+				MaxCrashes:  1,
+				PostPickups: true,
+				BufferedFS:  true,
+			}),
+			Opts: explore.Options{MaxExecutions: 10000},
+		},
+	}
+}
+
+// Bugs returns the seeded-bug scenarios that must produce
+// counterexamples (§1, §3.1, §9.5).
+func Bugs() []Entry {
+	return []Entry{
+		{
+			Pattern:       "replicated-disk",
+			WantViolation: true,
+			Scenario: replicateddisk.BugNoRecovery("rd/bug:no-recovery", replicateddisk.ScenarioOptions{
+				Size:       1,
+				Writers:    []replicateddisk.OpWrite{{A: 0, V: 1}},
+				D1MayFail:  true,
+				MaxCrashes: 1,
+				PostReads:  []uint64{0, 0},
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			Pattern:       "replicated-disk",
+			WantViolation: true,
+			Scenario: replicateddisk.BugZeroingRecovery("rd/bug:zeroing-recovery", replicateddisk.ScenarioOptions{
+				Size:       1,
+				Writers:    []replicateddisk.OpWrite{{A: 0, V: 1}, {A: 0, V: 2}},
+				MaxCrashes: 1,
+				PostReads:  []uint64{0},
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			Pattern:       "shadow-copy",
+			WantViolation: true,
+			Scenario: shadowcopy.Scenario("sc/bug:in-place-write", shadowcopy.VariantInPlace, shadowcopy.ScenarioOptions{
+				Writers:    []shadowcopy.OpWrite{{V1: 1, V2: 2}},
+				MaxCrashes: 1,
+				PostReads:  1,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			Pattern:       "wal",
+			WantViolation: true,
+			Scenario: wal.Scenario("wal/bug:recover-clear-only", wal.VariantRecoverClearOnly, wal.ScenarioOptions{
+				Writers:    []wal.OpWrite{{V1: 1, V2: 2}},
+				MaxCrashes: 1,
+				PostReads:  1,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			Pattern:       "group-commit",
+			WantViolation: true,
+			Scenario: groupcommit.Scenario("gc/bug:racy-read", groupcommit.VariantRacyRead, groupcommit.ScenarioOptions{
+				Steps: []groupcommit.Step{{Write: &groupcommit.OpWrite{V1: 1, V2: 2}}, {Read: true}},
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			Pattern:       "journal",
+			WantViolation: true,
+			Scenario: journal.Scenario("journal/bug:recover-skips-redo", journal.VariantRecoverSkip, journal.ScenarioOptions{
+				Size:       2,
+				Txns:       [][]journal.Write{{{A: 0, V: 1}, {A: 1, V: 2}}},
+				MaxCrashes: 1,
+				PostReads:  []uint64{0, 1},
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			Pattern:       "mailboat",
+			WantViolation: true,
+			Scenario: mailboat.Scenario("mb/bug:unspooled-delivery", mailboat.VariantDeliverDirect, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 3},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "full message"}},
+				PickupUsers: []uint64{0},
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			Pattern:       "mailboat-buffered",
+			WantViolation: true,
+			Scenario: mailboat.Scenario("mb/bug:buffered-fs-no-fsync", mailboat.VariantVerified, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 2},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "needs fsync"}},
+				MaxCrashes:  1,
+				PostPickups: true,
+				BufferedFS:  true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+	}
+}
+
+// All returns the verified scenarios followed by the bug scenarios.
+func All() []Entry {
+	return append(Verified(), Bugs()...)
+}

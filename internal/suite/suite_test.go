@@ -1,0 +1,67 @@
+package suite
+
+import (
+	"testing"
+
+	"repro/internal/explore"
+)
+
+// TestVerifiedSuiteAllClean is the test-suite form of
+// cmd/perennial-check: every verified artifact's scenario must check
+// clean.
+func TestVerifiedSuiteAllClean(t *testing.T) {
+	for _, e := range Verified() {
+		e := e
+		t.Run(e.Scenario.Name, func(t *testing.T) {
+			opts := e.Opts
+			if testing.Short() {
+				opts.MaxExecutions = 1000
+			}
+			rep := explore.Run(e.Scenario, opts)
+			t.Logf("%s", rep)
+			if !rep.OK() {
+				t.Fatalf("violation:\n%s", rep.Counterexample.Format())
+			}
+		})
+	}
+}
+
+// TestBugSuiteAllFound requires each seeded bug to produce a
+// counterexample.
+func TestBugSuiteAllFound(t *testing.T) {
+	for _, e := range Bugs() {
+		e := e
+		t.Run(e.Scenario.Name, func(t *testing.T) {
+			rep := explore.Run(e.Scenario, e.Opts)
+			t.Logf("%s", rep)
+			if rep.OK() {
+				t.Fatal("seeded bug not found")
+			}
+			if len(rep.Counterexample.Choices) == 0 {
+				t.Fatal("counterexample has no reproduction choices")
+			}
+		})
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	v, b := Verified(), Bugs()
+	if len(v) < 5 {
+		t.Fatalf("verified suite too small: %d", len(v))
+	}
+	if len(b) < 5 {
+		t.Fatalf("bug suite too small: %d", len(b))
+	}
+	patterns := map[string]bool{}
+	for _, e := range All() {
+		patterns[e.Pattern] = true
+		if e.Scenario == nil || e.Scenario.Name == "" {
+			t.Fatal("scenario missing a name")
+		}
+	}
+	for _, want := range []string{"replicated-disk", "shadow-copy", "wal", "group-commit", "journal", "mailboat"} {
+		if !patterns[want] {
+			t.Fatalf("pattern %q missing from the suite", want)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package tsl implements the transition-system language that Perennial
+// embeds in Coq for writing specifications (§3.1 of the paper).
+//
+// A specification is a transition system: a state type S plus, for each
+// top-level operation, a transition describing its atomic effect. A
+// Transition maps a pre-state to the set of allowed (post-state, value)
+// outcomes. Deterministic combinators (Gets, Modify, Ret) produce
+// single-outcome sets; Choose introduces bounded nondeterminism; and
+// Undefined marks behaviour the specification does not constrain at all
+// (the paper's "undefined behavior", e.g. out-of-bounds writes).
+//
+// The replicated-disk specification of Figure 3 is written in this DSL in
+// internal/examples/replicateddisk; the unit tests in this package
+// reproduce its structure on a toy state.
+package tsl
+
+// Outcome is a single allowed result of a transition: the post-state and
+// the operation's return value.
+type Outcome[S, V any] struct {
+	State S
+	Val   V
+}
+
+// Result is the full meaning of running a transition in one pre-state:
+// either undefined behaviour, or a set of allowed outcomes. An empty
+// outcome set with UB=false means the transition is not enabled (the
+// operation blocks / can never take this step).
+type Result[S, V any] struct {
+	// UB reports that the specification leaves this behaviour undefined.
+	// Any implementation behaviour is acceptable after UB; checkers must
+	// treat UB as "client broke the contract" and stop checking.
+	UB bool
+	// Outcomes is the set of allowed (state, value) results.
+	Outcomes []Outcome[S, V]
+}
+
+// A Transition is the denotation of one specification operation: a
+// function from pre-state to allowed outcomes.
+type Transition[S, V any] func(s S) Result[S, V]
+
+// Ret is the transition that changes nothing and returns v.
+// It is the monadic unit.
+func Ret[S, V any](v V) Transition[S, V] {
+	return func(s S) Result[S, V] {
+		return Result[S, V]{Outcomes: []Outcome[S, V]{{State: s, Val: v}}}
+	}
+}
+
+// Gets reads a projection of the state without modifying it, like the
+// paper's `gets (fun σ => ...)`.
+func Gets[S, V any](f func(S) V) Transition[S, V] {
+	return func(s S) Result[S, V] {
+		return Result[S, V]{Outcomes: []Outcome[S, V]{{State: s, Val: f(s)}}}
+	}
+}
+
+// Modify applies a pure state update and returns nothing, like the
+// paper's `modify (fun σ => ...)`.
+func Modify[S any](f func(S) S) Transition[S, struct{}] {
+	return func(s S) Result[S, struct{}] {
+		return Result[S, struct{}]{Outcomes: []Outcome[S, struct{}]{{State: f(s)}}}
+	}
+}
+
+// Undefined is the transition whose behaviour the spec does not
+// constrain.
+func Undefined[S, V any]() Transition[S, V] {
+	return func(S) Result[S, V] { return Result[S, V]{UB: true} }
+}
+
+// NotEnabled is the transition with no allowed outcomes: it can never be
+// taken. Useful for writing blocking or guarded operations.
+func NotEnabled[S, V any]() Transition[S, V] {
+	return func(S) Result[S, V] { return Result[S, V]{} }
+}
+
+// Bind sequences two transitions, feeding the first's value to the
+// second, accumulating all combinations of outcomes. UB anywhere makes
+// the whole sequence UB (undefined behaviour is absorbing).
+func Bind[S, A, B any](t Transition[S, A], f func(A) Transition[S, B]) Transition[S, B] {
+	return func(s S) Result[S, B] {
+		ra := t(s)
+		if ra.UB {
+			return Result[S, B]{UB: true}
+		}
+		var out Result[S, B]
+		for _, oa := range ra.Outcomes {
+			rb := f(oa.Val)(oa.State)
+			if rb.UB {
+				return Result[S, B]{UB: true}
+			}
+			out.Outcomes = append(out.Outcomes, rb.Outcomes...)
+		}
+		return out
+	}
+}
+
+// Then sequences two transitions, discarding the first's value.
+func Then[S, A, B any](t Transition[S, A], u Transition[S, B]) Transition[S, B] {
+	return Bind(t, func(A) Transition[S, B] { return u })
+}
+
+// Choose nondeterministically picks one of the given values. The checker
+// side sees every branch as allowed.
+func Choose[S, V any](vs ...V) Transition[S, V] {
+	return func(s S) Result[S, V] {
+		out := Result[S, V]{}
+		for _, v := range vs {
+			out.Outcomes = append(out.Outcomes, Outcome[S, V]{State: s, Val: v})
+		}
+		return out
+	}
+}
+
+// ChooseSuchThat nondeterministically picks any value produced by gen
+// from the current state. gen enumerates the allowed values (it must be
+// finite for checkers to terminate).
+func ChooseSuchThat[S, V any](gen func(S) []V) Transition[S, V] {
+	return func(s S) Result[S, V] {
+		out := Result[S, V]{}
+		for _, v := range gen(s) {
+			out.Outcomes = append(out.Outcomes, Outcome[S, V]{State: s, Val: v})
+		}
+		return out
+	}
+}
+
+// Alt offers the union of two transitions' behaviours. UB in either
+// branch makes the whole thing UB, matching the convention that UB is a
+// property of the pre-state, not of the chosen branch.
+func Alt[S, V any](a, b Transition[S, V]) Transition[S, V] {
+	return func(s S) Result[S, V] {
+		ra, rb := a(s), b(s)
+		if ra.UB || rb.UB {
+			return Result[S, V]{UB: true}
+		}
+		return Result[S, V]{Outcomes: append(append([]Outcome[S, V]{}, ra.Outcomes...), rb.Outcomes...)}
+	}
+}
+
+// If gates a transition on a predicate of the pre-state, otherwise
+// behaves as els.
+func If[S, V any](pred func(S) bool, then, els Transition[S, V]) Transition[S, V] {
+	return func(s S) Result[S, V] {
+		if pred(s) {
+			return then(s)
+		}
+		return els(s)
+	}
+}
+
+// Assert is Ret(v) when pred holds and Undefined otherwise: the standard
+// encoding of a spec-level precondition (e.g. Figure 3's in-bounds
+// check).
+func Assert[S, V any](pred func(S) bool, v V) Transition[S, V] {
+	return func(s S) Result[S, V] {
+		if !pred(s) {
+			return Result[S, V]{UB: true}
+		}
+		return Result[S, V]{Outcomes: []Outcome[S, V]{{State: s, Val: v}}}
+	}
+}
+
+// Filter keeps only the outcomes satisfying keep. It does not affect UB.
+func Filter[S, V any](t Transition[S, V], keep func(S, V) bool) Transition[S, V] {
+	return func(s S) Result[S, V] {
+		r := t(s)
+		if r.UB {
+			return r
+		}
+		out := Result[S, V]{}
+		for _, o := range r.Outcomes {
+			if keep(o.State, o.Val) {
+				out.Outcomes = append(out.Outcomes, o)
+			}
+		}
+		return out
+	}
+}
+
+// Deterministic runs a transition expected to have exactly one outcome
+// and returns it. It reports whether the transition was in fact
+// deterministic and defined.
+func Deterministic[S, V any](t Transition[S, V], s S) (S, V, bool) {
+	r := t(s)
+	if r.UB || len(r.Outcomes) != 1 {
+		var zs S
+		var zv V
+		return zs, zv, false
+	}
+	return r.Outcomes[0].State, r.Outcomes[0].Val, true
+}

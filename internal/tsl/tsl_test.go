@@ -1,0 +1,276 @@
+package tsl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// toy state: a map from small ints to ints, used to mirror Figure 3's
+// replicated-disk spec on a two-address "disk".
+type st struct {
+	a, b int
+}
+
+func read(addr int) Transition[st, int] {
+	return Gets(func(s st) int {
+		if addr == 0 {
+			return s.a
+		}
+		return s.b
+	})
+}
+
+func write(addr, v int) Transition[st, struct{}] {
+	return Modify(func(s st) st {
+		if addr == 0 {
+			s.a = v
+		} else {
+			s.b = v
+		}
+		return s
+	})
+}
+
+func TestRetReturnsValueWithoutStateChange(t *testing.T) {
+	r := Ret[st](42)(st{a: 1, b: 2})
+	if r.UB {
+		t.Fatal("Ret must not be UB")
+	}
+	if len(r.Outcomes) != 1 {
+		t.Fatalf("Ret must have exactly one outcome, got %d", len(r.Outcomes))
+	}
+	o := r.Outcomes[0]
+	if o.Val != 42 || o.State != (st{a: 1, b: 2}) {
+		t.Fatalf("Ret outcome = %+v", o)
+	}
+}
+
+func TestGetsProjectsState(t *testing.T) {
+	s, v, ok := Deterministic(read(1), st{a: 7, b: 9})
+	if !ok || v != 9 || s != (st{a: 7, b: 9}) {
+		t.Fatalf("got s=%+v v=%d ok=%v", s, v, ok)
+	}
+}
+
+func TestModifyUpdatesState(t *testing.T) {
+	s, _, ok := Deterministic(write(0, 5), st{a: 1, b: 2})
+	if !ok || s != (st{a: 5, b: 2}) {
+		t.Fatalf("got s=%+v ok=%v", s, ok)
+	}
+}
+
+func TestBindSequencesReadThenWrite(t *testing.T) {
+	// copy a into b, like the recovery procedure copies disk1 to disk2.
+	cp := Bind(read(0), func(v int) Transition[st, struct{}] { return write(1, v) })
+	s, _, ok := Deterministic(cp, st{a: 3, b: 8})
+	if !ok || s != (st{a: 3, b: 3}) {
+		t.Fatalf("got s=%+v ok=%v", s, ok)
+	}
+}
+
+func TestUndefinedIsAbsorbingUnderBind(t *testing.T) {
+	ub := Bind(Undefined[st, int](), func(int) Transition[st, int] { return Ret[st](1) })
+	if !ub(st{}).UB {
+		t.Fatal("UB in first transition must make the sequence UB")
+	}
+	ub2 := Bind(Ret[st](1), func(int) Transition[st, int] { return Undefined[st, int]() })
+	if !ub2(st{}).UB {
+		t.Fatal("UB in continuation must make the sequence UB")
+	}
+}
+
+func TestNotEnabledHasNoOutcomes(t *testing.T) {
+	r := NotEnabled[st, int]()(st{})
+	if r.UB || len(r.Outcomes) != 0 {
+		t.Fatalf("NotEnabled = %+v", r)
+	}
+}
+
+func TestChooseEnumeratesAllBranches(t *testing.T) {
+	r := Choose[st](1, 2, 3)(st{})
+	if r.UB || len(r.Outcomes) != 3 {
+		t.Fatalf("Choose = %+v", r)
+	}
+	seen := map[int]bool{}
+	for _, o := range r.Outcomes {
+		seen[o.Val] = true
+	}
+	if !seen[1] || !seen[2] || !seen[3] {
+		t.Fatalf("missing branch: %v", seen)
+	}
+}
+
+func TestChooseSuchThatUsesState(t *testing.T) {
+	tr := ChooseSuchThat(func(s st) []int { return []int{s.a, s.a + 1} })
+	r := tr(st{a: 10})
+	if len(r.Outcomes) != 2 || r.Outcomes[0].Val != 10 || r.Outcomes[1].Val != 11 {
+		t.Fatalf("ChooseSuchThat = %+v", r)
+	}
+}
+
+func TestBindDistributesOverNondeterminism(t *testing.T) {
+	// choose x in {1,2}, then write it to a: two outcomes.
+	tr := Bind(Choose[st](1, 2), func(v int) Transition[st, struct{}] { return write(0, v) })
+	r := tr(st{})
+	if len(r.Outcomes) != 2 {
+		t.Fatalf("want 2 outcomes, got %+v", r)
+	}
+	if r.Outcomes[0].State.a != 1 || r.Outcomes[1].State.a != 2 {
+		t.Fatalf("outcomes = %+v", r.Outcomes)
+	}
+}
+
+func TestAltUnionsBehaviours(t *testing.T) {
+	tr := Alt(Ret[st](1), Ret[st](2))
+	r := tr(st{})
+	if len(r.Outcomes) != 2 {
+		t.Fatalf("Alt = %+v", r)
+	}
+}
+
+func TestAltPropagatesUB(t *testing.T) {
+	tr := Alt(Ret[st](1), Undefined[st, int]())
+	if !tr(st{}).UB {
+		t.Fatal("Alt with UB branch must be UB")
+	}
+}
+
+func TestIfSelectsBranchOnState(t *testing.T) {
+	tr := If(func(s st) bool { return s.a > 0 }, Ret[st]("pos"), Ret[st]("nonpos"))
+	_, v, _ := Deterministic(tr, st{a: 1})
+	if v != "pos" {
+		t.Fatalf("got %q", v)
+	}
+	_, v, _ = Deterministic(tr, st{a: 0})
+	if v != "nonpos" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestAssertEncodesPrecondition(t *testing.T) {
+	inBounds := Assert(func(s st) bool { return s.a >= 0 }, "ok")
+	if inBounds(st{a: -1}).UB != true {
+		t.Fatal("violated precondition must be UB")
+	}
+	if inBounds(st{a: 0}).UB {
+		t.Fatal("satisfied precondition must not be UB")
+	}
+}
+
+func TestFilterDropsOutcomes(t *testing.T) {
+	tr := Filter(Choose[st](1, 2, 3, 4), func(_ st, v int) bool { return v%2 == 0 })
+	r := tr(st{})
+	if len(r.Outcomes) != 2 || r.Outcomes[0].Val != 2 || r.Outcomes[1].Val != 4 {
+		t.Fatalf("Filter = %+v", r)
+	}
+}
+
+func TestDeterministicRejectsNondeterminism(t *testing.T) {
+	if _, _, ok := Deterministic(Choose[st](1, 2), st{}); ok {
+		t.Fatal("Deterministic must reject a 2-outcome transition")
+	}
+	if _, _, ok := Deterministic(Undefined[st, int](), st{}); ok {
+		t.Fatal("Deterministic must reject UB")
+	}
+	if _, _, ok := Deterministic(NotEnabled[st, int](), st{}); ok {
+		t.Fatal("Deterministic must reject a disabled transition")
+	}
+}
+
+// ---- property-based tests: monad laws ----
+
+func outcomesEqual(a, b Result[st, int]) bool {
+	if a.UB != b.UB || len(a.Outcomes) != len(b.Outcomes) {
+		return false
+	}
+	for i := range a.Outcomes {
+		if a.Outcomes[i] != b.Outcomes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickLeftIdentity(t *testing.T) {
+	// Bind(Ret(v), f) == f(v)
+	f := func(v int) Transition[st, int] {
+		return Bind(write(0, v), func(struct{}) Transition[st, int] { return read(0) })
+	}
+	err := quick.Check(func(v int, a, b int) bool {
+		s := st{a: a, b: b}
+		lhs := Bind(Ret[st](v), f)(s)
+		rhs := f(v)(s)
+		return outcomesEqual(lhs, rhs)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRightIdentity(t *testing.T) {
+	// Bind(m, Ret) == m
+	err := quick.Check(func(a, b int) bool {
+		s := st{a: a, b: b}
+		m := read(0)
+		lhs := Bind(m, Ret[st, int])(s)
+		rhs := m(s)
+		return outcomesEqual(lhs, rhs)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAssociativity(t *testing.T) {
+	// Bind(Bind(m, f), g) == Bind(m, x => Bind(f(x), g))
+	m := Choose[st](1, 2, 3)
+	f := func(v int) Transition[st, int] {
+		return Then(write(0, v), read(0))
+	}
+	g := func(v int) Transition[st, int] {
+		return Then(write(1, v+1), read(1))
+	}
+	err := quick.Check(func(a, b int) bool {
+		s := st{a: a, b: b}
+		lhs := Bind(Bind(m, f), g)(s)
+		rhs := Bind(m, func(x int) Transition[st, int] { return Bind(f(x), g) })(s)
+		return outcomesEqual(lhs, rhs)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGetsModifyCoherence(t *testing.T) {
+	// writing then reading the same address returns the written value.
+	err := quick.Check(func(v int, a, b int) bool {
+		s := st{a: a, b: b}
+		tr := Then(write(0, v), read(0))
+		_, got, ok := Deterministic(tr, s)
+		return ok && got == v
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotEnabledUnderBindStaysDisabled(t *testing.T) {
+	tr := Bind(NotEnabled[st, int](), func(int) Transition[st, int] { return Ret[st](1) })
+	r := tr(st{})
+	if r.UB || len(r.Outcomes) != 0 {
+		t.Fatalf("r=%+v", r)
+	}
+	// A disabled continuation also disables the whole sequence.
+	tr2 := Bind(Ret[st](1), func(int) Transition[st, int] { return NotEnabled[st, int]() })
+	r2 := tr2(st{})
+	if r2.UB || len(r2.Outcomes) != 0 {
+		t.Fatalf("r2=%+v", r2)
+	}
+}
+
+func TestChooseEmptyIsDisabled(t *testing.T) {
+	r := Choose[st, int]()(st{})
+	if r.UB || len(r.Outcomes) != 0 {
+		t.Fatalf("r=%+v", r)
+	}
+}
