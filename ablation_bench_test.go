@@ -33,7 +33,7 @@ func crossHistory(n int) (spec.Interface, history.History) {
 	}
 	for i := 0; i <= n; i++ {
 		h = append(h, history.Event{Kind: history.Return, ID: history.OpID(i),
-			Op: mailboat.OpDeliver{User: 0, Msg: "m"}, Ret: nil})
+			Op: mailboat.OpDeliver{User: 0, Msg: "m"}, Ret: true})
 	}
 	return sp, h
 }

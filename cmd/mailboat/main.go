@@ -1,21 +1,38 @@
 // mailboat runs the verified mail server with its SMTP and POP3 front
 // ends over a real directory (§8.2's deployment). On startup it runs
-// Recover, so restarting after a crash is always safe.
+// Recover, so restarting after a crash is always safe; on SIGINT or
+// SIGTERM it drains in-flight sessions (bounded by -grace) before
+// exiting.
 //
 // Usage:
 //
 //	mailboat [-dir path] [-users N] [-smtp addr] [-pop3 addr]
+//	         [-max-conns N] [-timeout d] [-grace d] [-sync]
+//	         [-retries N] [-backoff d]
+//	         [-fault-seed N] [-fault-rate N] [-fault-max N]
 //
 // Deliver mail to userN@any-domain over SMTP; read it back by
 // authenticating as userN over POP3 (any password).
+//
+// The -fault-* flags run the server in fault-drill mode: a
+// deterministic gfs.Faulty layer injects transient file-system faults
+// (1 in -fault-rate calls per operation class) from -fault-seed's
+// schedule. The same seed replays the same drill; the injected-fault
+// log is printed on shutdown. Clients see SMTP 451 / POP3 -ERR
+// [SYS/TEMP] for failures the retry layer cannot absorb — never lost
+// acknowledged mail.
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/gfs"
 	"repro/internal/mailboatd"
 	"repro/internal/pop3"
 	"repro/internal/smtp"
@@ -26,23 +43,81 @@ func main() {
 	users := flag.Uint64("users", 100, "number of user mailboxes")
 	smtpAddr := flag.String("smtp", "127.0.0.1:2525", "SMTP listen address")
 	popAddr := flag.String("pop3", "127.0.0.1:2110", "POP3 listen address")
+	maxConns := flag.Int("max-conns", 0, "max concurrent connections per listener (0 = unlimited)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-connection read/write deadline (0 = none)")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period before force-closing sessions")
+	syncDeliver := flag.Bool("sync", false, "fsync spool files before publishing (survives OS crashes)")
+	retries := flag.Int("retries", 0, "delivery retry attempts on transient store failure (0 = default)")
+	backoff := flag.Duration("backoff", 10*time.Millisecond, "base backoff between delivery retries")
+	faultSeed := flag.Int64("fault-seed", 0, "fault-drill schedule seed")
+	faultRate := flag.Uint64("fault-rate", 0, "inject a fault into 1 in N file-system calls (0 = drills off)")
+	faultMax := flag.Uint64("fault-max", 0, "cap on total injected faults (0 = unlimited)")
 	flag.Parse()
 
-	adapter, err := mailboatd.New(*dir, *users, time.Now().UnixNano())
+	opts := mailboatd.Options{
+		Users:          *users,
+		Seed:           time.Now().UnixNano(),
+		SyncOnDeliver:  *syncDeliver,
+		DeliverRetries: *retries,
+		DeliverBackoff: *backoff,
+	}
+	if *faultRate > 0 {
+		opts.Fault = &mailboatd.FaultOptions{
+			Seed:      *faultSeed,
+			Rates:     gfs.UniformRates(*faultRate),
+			MaxFaults: *faultMax,
+		}
+	}
+	adapter, err := mailboatd.NewWithOptions(*dir, opts)
 	if err != nil {
 		log.Fatalf("mailboat: %v", err)
 	}
 	defer adapter.Close()
 	log.Printf("mailboat: store %s recovered, %d users", *dir, *users)
+	if opts.Fault != nil {
+		log.Printf("mailboat: FAULT DRILL active (seed %d, 1 in %d calls)", *faultSeed, *faultRate)
+	}
 
+	harden := func(read, write *time.Duration, conns *int) {
+		*read = *timeout
+		*write = *timeout
+		*conns = *maxConns
+	}
 	errs := make(chan error, 2)
 	ss := smtp.NewServer(adapter, *users)
-	go func() { errs <- fmt.Errorf("smtp: %w", ss.ListenAndServe(*smtpAddr)) }()
+	harden(&ss.ReadTimeout, &ss.WriteTimeout, &ss.MaxConns)
+	go func() { errs <- ss.ListenAndServe(*smtpAddr) }()
 	log.Printf("mailboat: SMTP on %s", *smtpAddr)
 
 	ps := pop3.NewServer(adapter, *users)
-	go func() { errs <- fmt.Errorf("pop3: %w", ps.ListenAndServe(*popAddr)) }()
+	harden(&ps.ReadTimeout, &ps.WriteTimeout, &ps.MaxConns)
+	go func() { errs <- ps.ListenAndServe(*popAddr) }()
 	log.Printf("mailboat: POP3 on %s", *popAddr)
 
-	log.Fatal(<-errs)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errs:
+		if err != nil {
+			log.Fatalf("mailboat: %v", err)
+		}
+		log.Fatal("mailboat: listener closed unexpectedly")
+	case sig := <-sigs:
+		log.Printf("mailboat: %v, draining (up to %v)", sig, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := ss.Shutdown(ctx); err != nil {
+			log.Printf("mailboat: smtp shutdown: %v", err)
+		}
+		if err := ps.Shutdown(ctx); err != nil {
+			log.Printf("mailboat: pop3 shutdown: %v", err)
+		}
+		if fl := adapter.FaultLog(); fl != nil {
+			log.Printf("mailboat: drill injected %d faults:", len(fl))
+			for _, e := range fl {
+				log.Printf("mailboat:   %s", e)
+			}
+		}
+		log.Printf("mailboat: bye")
+	}
 }

@@ -1,0 +1,347 @@
+package gfs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// FaultOp enumerates the operation classes Faulty can inject transient
+// faults into — the taxonomy of the ISSUE's fault model: failed
+// creates/links/deletes/appends (EIO/ENOSPC-style), short reads, and
+// failed fsyncs. Open/Close/Size/List are deliberately not faultable:
+// their failures are either already modeled (absent files) or not
+// transient in any interesting way.
+type FaultOp int
+
+const (
+	// FaultCreate fails a Create (the file is not created).
+	FaultCreate FaultOp = iota
+	// FaultAppend fails an Append (no data is appended).
+	FaultAppend
+	// FaultReadShort truncates a ReadAt's result (at least one byte is
+	// still returned when the underlying read returned any, so a short
+	// read is never confused with end-of-file — POSIX read semantics).
+	FaultReadShort
+	// FaultSync fails a Sync (the data must not be treated as durable).
+	FaultSync
+	// FaultDelete fails a Delete (the entry remains).
+	FaultDelete
+	// FaultLink fails a Link (the new entry is not created).
+	FaultLink
+	// NumFaultOps is the number of fault classes.
+	NumFaultOps
+)
+
+// String names the fault class.
+func (op FaultOp) String() string {
+	switch op {
+	case FaultCreate:
+		return "create"
+	case FaultAppend:
+		return "append"
+	case FaultReadShort:
+		return "read-short"
+	case FaultSync:
+		return "sync"
+	case FaultDelete:
+		return "delete"
+	case FaultLink:
+		return "link"
+	default:
+		return fmt.Sprintf("FaultOp(%d)", int(op))
+	}
+}
+
+// FaultEvent is one injected fault, recorded in the replayable log.
+// Index is the per-class invocation counter at injection time, so an
+// event identifies exactly which call faulted regardless of how calls
+// of different classes interleaved.
+type FaultEvent struct {
+	Op     FaultOp
+	Index  uint64
+	Detail string
+}
+
+// String renders the event for logs and debugging.
+func (e FaultEvent) String() string {
+	return fmt.Sprintf("%s#%d %s", e.Op, e.Index, e.Detail)
+}
+
+// Policy decides, for the index-th invocation of an operation class,
+// whether to inject a fault. Implementations must be safe for
+// concurrent use when the wrapped backend is.
+type Policy interface {
+	Decide(t T, op FaultOp, index uint64) bool
+}
+
+// splitmix64 is the SplitMix64 mixer — a deterministic, well-scrambled
+// hash used so fault decisions are a pure function of (seed, class,
+// index) and therefore independent of goroutine interleaving.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// SeededPolicy injects faults deterministically from a seed: the
+// index-th call of class op faults iff a hash of (Seed, op, index)
+// lands in the 1-in-Rates[op] window. Decisions are pure functions of
+// the seed, so the same seed reproduces the same fault schedule —
+// bit-for-bit — on every run, which is what makes production fault
+// drills replayable.
+type SeededPolicy struct {
+	// Seed selects the schedule.
+	Seed int64
+	// Rates[op] = N means roughly 1 in N calls of that class fault;
+	// 0 disables the class.
+	Rates [NumFaultOps]uint64
+
+	// MaxFaults, when nonzero, caps the total number of injected
+	// faults. The cap is a global counter, so with concurrent callers
+	// *which* calls land under the cap can vary — use 0 (unlimited) when
+	// bit-for-bit log reproducibility matters.
+	MaxFaults uint64
+
+	mu       sync.Mutex
+	injected uint64
+}
+
+// UniformRates returns a Rates array failing every class 1 in n calls.
+func UniformRates(n uint64) [NumFaultOps]uint64 {
+	var r [NumFaultOps]uint64
+	for i := range r {
+		r[i] = n
+	}
+	return r
+}
+
+// Decide implements Policy.
+func (p *SeededPolicy) Decide(_ T, op FaultOp, index uint64) bool {
+	rate := p.Rates[op]
+	if rate == 0 {
+		return false
+	}
+	h := splitmix64(uint64(p.Seed) ^ splitmix64(uint64(op)+1) ^ splitmix64(index))
+	if h%rate != 0 {
+		return false
+	}
+	if p.MaxFaults > 0 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.injected >= p.MaxFaults {
+			return false
+		}
+		p.injected++
+	}
+	return true
+}
+
+// ChooserPolicy resolves fault decisions through the modeled machine's
+// Chooser (tag "fault"), so the model checker enumerates transient
+// faults exactly like it enumerates schedules and crash points. Budget
+// bounds the injected faults per execution: once spent, no further
+// choices are consumed, keeping the DFS space finite even though the
+// implementation retries faulted operations. Eligible, when non-nil,
+// restricts which classes branch (nil = all).
+//
+// A ChooserPolicy is per-execution state; build a fresh one in the
+// scenario's Setup.
+type ChooserPolicy struct {
+	Budget   int
+	Eligible map[FaultOp]bool
+	used     int
+}
+
+// Decide implements Policy. With a non-model thread it never faults.
+func (p *ChooserPolicy) Decide(t T, op FaultOp, index uint64) bool {
+	mt, ok := t.(*machine.T)
+	if !ok || p.used >= p.Budget {
+		return false
+	}
+	if p.Eligible != nil && !p.Eligible[op] {
+		return false
+	}
+	if mt.Choose(2, "fault") == 1 {
+		p.used++
+		return true
+	}
+	return false
+}
+
+// NeverPolicy injects nothing; Faulty wrapped with it is behaviorally
+// identical to its inner backend (useful for differential tests).
+type NeverPolicy struct{}
+
+// Decide implements Policy.
+func (NeverPolicy) Decide(T, FaultOp, uint64) bool { return false }
+
+// AlwaysPolicy faults every eligible call of the classes in Ops (all
+// classes when Ops is nil) — for tests exercising retry exhaustion.
+type AlwaysPolicy struct{ Ops map[FaultOp]bool }
+
+// Decide implements Policy.
+func (p AlwaysPolicy) Decide(_ T, op FaultOp, _ uint64) bool {
+	return p.Ops == nil || p.Ops[op]
+}
+
+// Faulty is a fault-injecting System middleware: it wraps either
+// backend (Model or OS) and, per operation, asks its Policy whether to
+// inject a transient fault. A fault means the operation fails *without
+// touching the inner backend* (except short reads, which truncate the
+// inner result), so the fault semantics are exactly "the syscall
+// returned an error and had no effect" — the strongest transient-fault
+// model the POSIX API admits. Per-class invocation and fault counters
+// plus a replayable fault log make any seeded failure reproducible.
+type Faulty struct {
+	inner  System
+	policy Policy
+
+	// Latency, when nonzero together with LatencyEveryN, makes every
+	// N-th call of each class sleep before executing — cheap tail-latency
+	// injection for the OS backend. Never applied under the model (real
+	// sleeps would only slow the checker, not change its schedules).
+	Latency      time.Duration
+	LatencyEveryN uint64
+
+	mu     sync.Mutex
+	calls  [NumFaultOps]uint64
+	faults [NumFaultOps]uint64
+	log    []FaultEvent
+}
+
+// NewFaulty wraps inner with the given fault policy.
+func NewFaulty(inner System, policy Policy) *Faulty {
+	return &Faulty{inner: inner, policy: policy}
+}
+
+// Inner returns the wrapped backend (e.g. to reach Model.PeekDir or
+// OS.CloseAll through the middleware).
+func (f *Faulty) Inner() System { return f.inner }
+
+// Counters returns per-class (invocations, injected faults).
+func (f *Faulty) Counters() (calls, faults [NumFaultOps]uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls, f.faults
+}
+
+// Log returns a copy of the fault log in injection order.
+func (f *Faulty) Log() []FaultEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FaultEvent{}, f.log...)
+}
+
+// ResetLog clears the log and counters (e.g. between soak rounds).
+func (f *Faulty) ResetLog() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.log = nil
+	f.calls = [NumFaultOps]uint64{}
+	f.faults = [NumFaultOps]uint64{}
+}
+
+// begin counts the call, applies optional latency, and decides the
+// fault. On injection it records the event and, under the model, makes
+// the failed operation one atomic step (like a real faulted syscall).
+func (f *Faulty) begin(t T, op FaultOp, detail string) bool {
+	f.mu.Lock()
+	idx := f.calls[op]
+	f.calls[op]++
+	f.mu.Unlock()
+
+	_, isModel := t.(*machine.T)
+	if !isModel && f.Latency > 0 && f.LatencyEveryN > 0 && (idx+1)%f.LatencyEveryN == 0 {
+		time.Sleep(f.Latency)
+	}
+	if !f.policy.Decide(t, op, idx) {
+		return false
+	}
+	if mt, ok := t.(*machine.T); ok {
+		mt.Step("fs.fault")
+		mt.Tracef("fs.fault %s#%d %s", op, idx, detail)
+	}
+	f.mu.Lock()
+	f.faults[op]++
+	f.log = append(f.log, FaultEvent{Op: op, Index: idx, Detail: detail})
+	f.mu.Unlock()
+	return true
+}
+
+// NewLock implements System (never faulted: locks are volatile memory).
+func (f *Faulty) NewLock(t T, name string) Lock { return f.inner.NewLock(t, name) }
+
+// Create implements System.
+func (f *Faulty) Create(t T, dir, name string) (FD, bool) {
+	if f.begin(t, FaultCreate, dir+"/"+name) {
+		return nil, false
+	}
+	return f.inner.Create(t, dir, name)
+}
+
+// Open implements System (not faulted; absent-file failure is already
+// part of the API).
+func (f *Faulty) Open(t T, dir, name string) (FD, bool) {
+	return f.inner.Open(t, dir, name)
+}
+
+// Append implements System.
+func (f *Faulty) Append(t T, fd FD, data []byte) bool {
+	if f.begin(t, FaultAppend, fmt.Sprintf("%d bytes", len(data))) {
+		return false
+	}
+	return f.inner.Append(t, fd, data)
+}
+
+// Close implements System (never faulted: close of a valid fd cannot
+// meaningfully fail transiently).
+func (f *Faulty) Close(t T, fd FD) { f.inner.Close(t, fd) }
+
+// ReadAt implements System. A fault truncates the read to roughly half
+// its actual length, but never to zero bytes (zero means end-of-file in
+// this API, as in POSIX), so robust callers that advance by the
+// returned length still terminate correctly.
+func (f *Faulty) ReadAt(t T, fd FD, off, n uint64) []byte {
+	data := f.inner.ReadAt(t, fd, off, n)
+	if len(data) < 2 {
+		return data
+	}
+	if f.begin(t, FaultReadShort, fmt.Sprintf("off %d: %d -> %d bytes", off, len(data), (len(data)+1)/2)) {
+		return data[:(len(data)+1)/2]
+	}
+	return data
+}
+
+// Size implements System (never faulted).
+func (f *Faulty) Size(t T, fd FD) uint64 { return f.inner.Size(t, fd) }
+
+// Sync implements System.
+func (f *Faulty) Sync(t T, fd FD) bool {
+	if f.begin(t, FaultSync, "") {
+		return false
+	}
+	return f.inner.Sync(t, fd)
+}
+
+// Delete implements System.
+func (f *Faulty) Delete(t T, dir, name string) bool {
+	if f.begin(t, FaultDelete, dir+"/"+name) {
+		return false
+	}
+	return f.inner.Delete(t, dir, name)
+}
+
+// Link implements System.
+func (f *Faulty) Link(t T, oldDir, oldName, newDir, newName string) bool {
+	if f.begin(t, FaultLink, oldDir+"/"+oldName+" -> "+newDir+"/"+newName) {
+		return false
+	}
+	return f.inner.Link(t, oldDir, oldName, newDir, newName)
+}
+
+// List implements System (never faulted; the model keeps it atomic).
+func (f *Faulty) List(t T, dir string) []string { return f.inner.List(t, dir) }

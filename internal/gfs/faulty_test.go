@@ -1,0 +1,240 @@
+package gfs
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// faultScript is a fixed, fault-tolerant workload exercising every
+// faultable operation class. It checks each result before depending on
+// it, so it runs to completion under any fault schedule; with a
+// deterministic policy its per-class call indices — and therefore the
+// fault log — are a pure function of the policy.
+func faultScript(sys System, th T) {
+	for _, name := range []string{"a", "b", "c", "d", "e", "f"} {
+		if fd, ok := sys.Create(th, "spool", name); ok {
+			sys.Append(th, fd, []byte("payload-"+name))
+			sys.Append(th, fd, []byte("-more"))
+			sys.Sync(th, fd)
+			sys.Close(th, fd)
+			sys.Link(th, "spool", name, "box", name)
+			sys.Delete(th, "spool", name)
+		}
+		if rfd, ok := sys.Open(th, "box", name); ok {
+			sys.ReadAt(th, rfd, 0, 64)
+			sys.Size(th, rfd)
+			sys.Close(th, rfd)
+		}
+	}
+	sys.List(th, "box")
+}
+
+var faultScriptDirs = []string{"spool", "box"}
+
+// TestSeededFaultsReproducible is the ISSUE's headline acceptance
+// criterion for the fault layer: the same seed must reproduce the same
+// fault schedule bit-for-bit. Two independent runs over fresh OS
+// backends must produce identical logs and counters; nearby seeds must
+// produce a different schedule (otherwise the seed would be dead).
+func TestSeededFaultsReproducible(t *testing.T) {
+	run := func(seed int64) ([]FaultEvent, [NumFaultOps]uint64, [NumFaultOps]uint64) {
+		o := newOSFS(t, faultScriptDirs)
+		f := NewFaulty(o, &SeededPolicy{Seed: seed, Rates: UniformRates(2)})
+		faultScript(f, NewNative(1))
+		calls, faults := f.Counters()
+		return f.Log(), calls, faults
+	}
+
+	log1, calls1, faults1 := run(42)
+	log2, calls2, faults2 := run(42)
+	if len(log1) == 0 {
+		t.Fatal("no faults injected at rate 1-in-2; seed is dead")
+	}
+	if !reflect.DeepEqual(log1, log2) {
+		t.Fatalf("same seed, different fault logs:\n%v\nvs\n%v", log1, log2)
+	}
+	if calls1 != calls2 || faults1 != faults2 {
+		t.Fatalf("same seed, different counters: %v/%v vs %v/%v", calls1, faults1, calls2, faults2)
+	}
+
+	distinct := false
+	for seed := int64(1); seed <= 8 && !distinct; seed++ {
+		other, _, _ := run(seed)
+		distinct = !reflect.DeepEqual(log1, other)
+	}
+	if !distinct {
+		t.Fatal("eight different seeds all reproduced seed 42's schedule")
+	}
+}
+
+// TestSeededFaultsSameLogOnBothBackends runs the identical script with
+// the identical seed over the model and the OS backend: the fault log
+// must match event-for-event, because fault decisions depend only on
+// (seed, class, per-class index) — never on which backend is underneath.
+func TestSeededFaultsSameLogOnBothBackends(t *testing.T) {
+	pol := func() *SeededPolicy { return &SeededPolicy{Seed: 7, Rates: UniformRates(2)} }
+
+	o := newOSFS(t, faultScriptDirs)
+	fo := NewFaulty(o, pol())
+	faultScript(fo, NewNative(1))
+
+	mm := machine.New(machine.Options{MaxSteps: 10000})
+	mfs := NewModel(mm, faultScriptDirs)
+	fm := NewFaulty(mfs, pol())
+	res := mm.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+		faultScript(fm, mt)
+	})
+	if res.Outcome != machine.Done {
+		t.Fatalf("model run: %+v", res)
+	}
+
+	if !reflect.DeepEqual(fo.Log(), fm.Log()) {
+		t.Fatalf("backends diverge under the same seed:\nos:    %v\nmodel: %v", fo.Log(), fm.Log())
+	}
+}
+
+// TestFaultsHaveNoEffect pins the fault semantics: a faulted operation
+// fails as if the syscall returned an error with no effect — except
+// short reads, which truncate (but never to zero bytes, since zero
+// means end-of-file).
+func TestFaultsHaveNoEffect(t *testing.T) {
+	mm := machine.New(machine.Options{MaxSteps: 10000})
+	fs := NewModel(mm, []string{"d", "e"})
+	f := NewFaulty(fs, AlwaysPolicy{})
+	res := mm.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+		// Faulted create: reports failure, creates nothing.
+		if _, ok := f.Create(mt, "d", "x"); ok {
+			mt.Failf("faulted create reported success")
+		}
+		if len(fs.PeekDir("d")) != 0 {
+			mt.Failf("faulted create left an entry behind")
+		}
+
+		// Real file set up through the inner backend.
+		fd, ok := fs.Create(mt, "d", "x")
+		if !ok {
+			mt.Failf("inner create failed")
+		}
+		fs.Append(mt, fd, []byte("abcd"))
+
+		// Faulted append: no data written.
+		if f.Append(mt, fd, []byte("MORE")) {
+			mt.Failf("faulted append reported success")
+		}
+		// Faulted sync: reported, contents untouched.
+		if f.Sync(mt, fd) {
+			mt.Failf("faulted sync reported success")
+		}
+		fs.Close(mt, fd)
+
+		// Faulted link: no new entry.
+		if f.Link(mt, "d", "x", "e", "y") {
+			mt.Failf("faulted link reported success")
+		}
+		if len(fs.PeekDir("e")) != 0 {
+			mt.Failf("faulted link created an entry")
+		}
+		// Faulted delete: entry remains.
+		if f.Delete(mt, "d", "x") {
+			mt.Failf("faulted delete reported success")
+		}
+
+		// Short read: truncated to half, never to zero; file intact.
+		rfd, _ := fs.Open(mt, "d", "x")
+		if got := string(f.ReadAt(mt, rfd, 0, 64)); got != "ab" {
+			mt.Failf("short read returned %q, want %q", got, "ab")
+		}
+		if got := string(fs.ReadAt(mt, rfd, 0, 64)); got != "abcd" {
+			mt.Failf("file corrupted after short read: %q", got)
+		}
+		fs.Close(mt, rfd)
+
+		if d := fs.PeekDir("d"); len(d) != 1 || string(d["x"]) != "abcd" {
+			mt.Failf("final state wrong: %v", d)
+		}
+	})
+	if res.Outcome != machine.Done {
+		t.Fatalf("res=%+v", res)
+	}
+	if n := fs.OpenFDs(); n != 0 {
+		t.Fatalf("%d fds leaked", n)
+	}
+
+	calls, faults := f.Counters()
+	for _, op := range []FaultOp{FaultCreate, FaultAppend, FaultSync, FaultLink, FaultDelete, FaultReadShort} {
+		if calls[op] == 0 || faults[op] != calls[op] {
+			t.Errorf("%v: calls=%d faults=%d, want all faulted", op, calls[op], faults[op])
+		}
+	}
+	if len(f.Log()) == 0 {
+		t.Error("empty fault log")
+	}
+	f.ResetLog()
+	if calls, faults := f.Counters(); calls != [NumFaultOps]uint64{} || faults != [NumFaultOps]uint64{} || len(f.Log()) != 0 {
+		t.Error("ResetLog did not clear state")
+	}
+}
+
+// TestNeverPolicyIsTransparent checks the differential property:
+// Faulty(NeverPolicy) is observably identical to the bare backend.
+func TestNeverPolicyIsTransparent(t *testing.T) {
+	bare := newOSFS(t, faultScriptDirs)
+	faultScript(bare, NewNative(1))
+
+	wrappedInner := newOSFS(t, faultScriptDirs)
+	wrapped := NewFaulty(wrappedInner, NeverPolicy{})
+	faultScript(wrapped, NewNative(1))
+
+	th := NewNative(2)
+	names := bare.List(th, "box")
+	if !reflect.DeepEqual(names, wrapped.List(th, "box")) {
+		t.Fatalf("listings differ: %v vs %v", names, wrapped.List(th, "box"))
+	}
+	if len(names) == 0 {
+		t.Fatal("script delivered nothing")
+	}
+	for _, name := range names {
+		bfd, ok1 := bare.Open(th, "box", name)
+		wfd, ok2 := wrapped.Open(th, "box", name)
+		if !ok1 || !ok2 {
+			t.Fatalf("open %s: %v vs %v", name, ok1, ok2)
+		}
+		b := bare.ReadAt(th, bfd, 0, 256)
+		w := wrapped.ReadAt(th, wfd, 0, 256)
+		bare.Close(th, bfd)
+		wrapped.Close(th, wfd)
+		if string(b) != string(w) {
+			t.Fatalf("%s: contents differ: %q vs %q", name, b, w)
+		}
+	}
+
+	if _, faults := wrapped.Counters(); faults != [NumFaultOps]uint64{} {
+		t.Fatalf("NeverPolicy injected faults: %v", faults)
+	}
+	if calls, _ := wrapped.Counters(); calls[FaultCreate] == 0 {
+		t.Fatal("counters not recording calls")
+	}
+	if len(wrapped.Log()) != 0 {
+		t.Fatal("NeverPolicy produced a fault log")
+	}
+	if wrapped.Inner() != System(wrappedInner) {
+		t.Fatal("Inner() does not return the wrapped backend")
+	}
+}
+
+// TestChooserPolicyInertOnNativeThreads: chooser-driven fault decisions
+// only exist under the model; on a real goroutine the policy must never
+// fault (there is no chooser to consult).
+func TestChooserPolicyInertOnNativeThreads(t *testing.T) {
+	o := newOSFS(t, faultScriptDirs)
+	f := NewFaulty(o, &ChooserPolicy{Budget: 100})
+	faultScript(f, NewNative(1))
+	if _, faults := f.Counters(); faults != [NumFaultOps]uint64{} {
+		t.Fatalf("ChooserPolicy faulted on a native thread: %v", faults)
+	}
+	if got := f.List(NewNative(2), "box"); len(got) != 6 {
+		t.Fatalf("expected 6 delivered files, got %v", got)
+	}
+}

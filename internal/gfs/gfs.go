@@ -15,6 +15,13 @@
 //     library's "lookups relative to a cached directory fd" optimization
 //     that §9.3 credits for part of Mailboat's speedup.
 //
+// A third, composable layer — Faulty — wraps either backend and
+// deterministically injects transient faults (failed creates, links,
+// deletes and appends, short reads, failed fsyncs, optional latency)
+// from a seeded schedule or from the model checker's chooser, so the
+// code above can be checked and soak-tested under combined crash +
+// transient-fault interleavings.
+//
 // Code written against System (such as internal/mailboat) runs
 // unchanged on both backends, which is this reproduction's analog of
 // Goose source compiling with the Go toolchain while also having a model
@@ -78,12 +85,16 @@ type System interface {
 	// Size returns the file's current length.
 	Size(t T, fd FD) uint64
 
-	// Sync makes the file's current contents durable. On the default
-	// (strict) model and on process-crash semantics it is a no-op; on
-	// the buffered model (deferred durability, the §6.2 extension the
-	// paper leaves to future work) unsynced appends are lost at a
-	// crash.
-	Sync(t T, fd FD)
+	// Sync makes the file's current contents durable, reporting whether
+	// it succeeded. On the default (strict) model and on process-crash
+	// semantics it is a no-op; on the buffered model (deferred
+	// durability, the §6.2 extension the paper leaves to future work)
+	// unsynced appends are lost at a crash. A false return (a failed
+	// fsync under the OS backend, or an injected fault under Faulty)
+	// means the contents must NOT be treated as durable — and, per
+	// fsyncgate semantics, must not be re-synced on the same
+	// descriptor: abandon the file and start over.
+	Sync(t T, fd FD) bool
 
 	// Delete unlinks name from dir; false if absent.
 	Delete(t T, dir, name string) bool

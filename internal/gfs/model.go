@@ -239,12 +239,14 @@ func (fs *Model) Size(t T, fd FD) uint64 {
 }
 
 // Sync implements System: the inode's current contents become durable.
-func (fs *Model) Sync(t T, fd FD) {
+// The model's sync never fails (inject failures with Faulty).
+func (fs *Model) Sync(t T, fd FD) bool {
 	mt := fs.thread(t)
 	mt.Step("fs.sync")
 	f := fs.fd(mt, "sync", fd, true)
 	fs.synced[f.ino] = len(fs.inodes[f.ino])
 	mt.Tracef("fs.sync %s @ %d bytes", f.name, fs.synced[f.ino])
+	return true
 }
 
 // Delete implements System.

@@ -109,17 +109,22 @@ func (o *OS) Open(_ T, dir, name string) (FD, bool) {
 	return &osFD{f: f}, true
 }
 
-// Append implements System.
+// Append implements System. A short write (n < len(data)) counts as
+// failure — the partial data may be on disk, but the caller must treat
+// the append as not having happened and abandon the file, exactly like
+// an EIO/ENOSPC error. Appending to a read-mode descriptor (reachable
+// only via a faulted or buggy path) reports failure instead of downing
+// the server with a panic; the model backend still flags it as UB.
 func (o *OS) Append(_ T, fd FD, data []byte) bool {
 	f := fd.(*osFD)
 	if !f.append_ {
-		panic("gfs: append on read-mode descriptor")
+		return false
 	}
 	if len(data) > MaxAppend {
 		panic("gfs: append exceeds atomic limit")
 	}
-	_, err := f.f.Write(data)
-	return err == nil
+	n, err := f.f.Write(data)
+	return err == nil && n == len(data)
 }
 
 // Close implements System.
@@ -147,9 +152,12 @@ func (o *OS) Size(_ T, fd FD) uint64 {
 	return uint64(st.Size())
 }
 
-// Sync implements System via fsync.
-func (o *OS) Sync(_ T, fd FD) {
-	fd.(*osFD).f.Sync()
+// Sync implements System via fsync. A failed fsync reports false: the
+// kernel may have dropped the dirty pages (fsyncgate), so the caller
+// must not treat the data as durable nor retry the sync on this
+// descriptor.
+func (o *OS) Sync(_ T, fd FD) bool {
+	return fd.(*osFD).f.Sync() == nil
 }
 
 // Delete implements System.

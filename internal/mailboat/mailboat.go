@@ -25,6 +25,7 @@ package mailboat
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gfs"
@@ -56,7 +57,25 @@ type Config struct {
 	// required for crash safety: without it, a crash after the link can
 	// leave a truncated message in the mailbox.
 	SyncOnDeliver bool
+	// DeliverRetries bounds how many times Deliver restarts the whole
+	// spool-write-link protocol after a transient store failure (a
+	// failed append or sync, or name allocation running dry). 0 means
+	// the default of 3 attempts. After the last attempt Deliver gives
+	// up and reports a transient failure — never a silent drop.
+	DeliverRetries int
+	// DeliverBackoff is the base delay between Deliver's retry
+	// attempts, doubled per attempt. It only applies on real (native)
+	// threads; modeled threads never sleep — the model checker owns
+	// time there. 0 disables backoff.
+	DeliverBackoff time.Duration
 }
+
+// nameAttempts bounds fresh-name allocation loops (spool create, link
+// publish) within one delivery attempt. Collisions resolve in a few
+// iterations even at model-checking RandBounds, so hitting the cap
+// means the store is persistently failing — a transient fault to
+// surface, not an excuse to spin forever.
+const nameAttempts = 128
 
 // UserDir returns user u's mailbox directory name.
 func UserDir(u uint64) string { return "user" + strconv.FormatUint(u, 10) }
@@ -115,6 +134,17 @@ func Init(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config) *Mailboat {
 	return mb
 }
 
+// WithSystem returns a Mailboat sharing this one's state (locks and
+// ghost handles) but issuing file-system calls through sys. It is how
+// mailboatd slips a fault-injection layer under an already-recovered
+// store: recovery runs on the bare backend, steady-state traffic runs
+// through the wrapper.
+func (mb *Mailboat) WithSystem(sys gfs.System) *Mailboat {
+	out := *mb
+	out.sys = sys
+	return &out
+}
+
 // Deliver stores msg in user's mailbox (Figure 10's Deliver). It
 // spools the message under a fresh random name, writing at most 4 KiB
 // per append, then atomically links it into the mailbox under another
@@ -123,35 +153,97 @@ func Init(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config) *Mailboat {
 // atomic turn as the link, so a crash before it simply drops the
 // delivery (the spool file is invisible at the spec level and cleaned
 // by Recover).
-func (mb *Mailboat) Deliver(t gfs.T, j *core.JTok, user uint64, msg []byte) {
+//
+// Transient store failures (a faulted create/append/sync/link under
+// gfs.Faulty, or a real EIO/ENOSPC/failed fsync under the OS backend)
+// abort the attempt, discard its spool file, and retry the whole
+// protocol up to Config.DeliverRetries times with optional backoff.
+// Deliver reports whether the message was committed; false means the
+// mailbox is untouched (the spec's transient-failure outcome) and the
+// caller should surface a temporary failure, never drop the message
+// silently.
+func (mb *Mailboat) Deliver(t gfs.T, j *core.JTok, user uint64, msg []byte) bool {
 	mb.checkUser(t, user)
+	retries := mb.cfg.DeliverRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	for attempt := 0; attempt < retries; attempt++ {
+		if attempt > 0 {
+			mb.backoff(t, attempt)
+		}
+		if mb.deliverAttempt(t, j, user, msg) {
+			return true
+		}
+	}
+	// Giving up on a transient failure is itself a spec-level outcome:
+	// Deliver fails, the mailbox is unchanged.
+	if mb.g != nil && j != nil {
+		mb.g.StepSim(modelT(t), j, false)
+	}
+	return false
+}
 
+// backoff sleeps between delivery attempts (exponential, base
+// Config.DeliverBackoff). Modeled threads never sleep: under the
+// checker, time belongs to the scheduler.
+func (mb *Mailboat) backoff(t gfs.T, attempt int) {
+	if mb.cfg.DeliverBackoff <= 0 {
+		return
+	}
+	if _, modeled := t.(*machine.T); modeled {
+		return
+	}
+	time.Sleep(mb.cfg.DeliverBackoff << (attempt - 1))
+}
+
+// deliverAttempt runs one round of the spool-write-link protocol. On
+// any transient failure it deletes its spool file (best effort — a
+// leftover file is invisible at the spec level and reclaimed by
+// Recover, the TmpInv of §8.3) and reports false with the mailbox
+// untouched.
+func (mb *Mailboat) deliverAttempt(t gfs.T, j *core.JTok, user uint64, msg []byte) bool {
 	// Spool the message under a fresh name.
 	var spool gfs.FD
 	var sname string
-	for {
+	created := false
+	for i := 0; i < nameAttempts; i++ {
 		id := t.RandUint64(mb.cfg.RandBound)
 		sname = tmpName(id)
-		fd, ok := mb.sys.Create(t, SpoolDir, sname)
-		if ok {
-			spool = fd
+		if fd, ok := mb.sys.Create(t, SpoolDir, sname); ok {
+			spool, created = fd, true
 			break
 		}
+	}
+	if !created {
+		return false
 	}
 	for off := 0; off < len(msg); off += gfs.MaxAppend {
 		end := off + gfs.MaxAppend
 		if end > len(msg) {
 			end = len(msg)
 		}
-		mb.sys.Append(t, spool, msg[off:end])
+		if !mb.sys.Append(t, spool, msg[off:end]) {
+			mb.sys.Close(t, spool)
+			mb.sys.Delete(t, SpoolDir, sname)
+			return false
+		}
 	}
 	if mb.cfg.SyncOnDeliver {
-		mb.sys.Sync(t, spool)
+		if !mb.sys.Sync(t, spool) {
+			// fsyncgate: after a failed fsync the kernel may already
+			// have dropped the dirty pages, so re-syncing this
+			// descriptor could report success for lost data. Abandon
+			// the file and rewrite from scratch.
+			mb.sys.Close(t, spool)
+			mb.sys.Delete(t, SpoolDir, sname)
+			return false
+		}
 	}
 	mb.sys.Close(t, spool)
 
 	// Publish atomically under a fresh mailbox name.
-	for {
+	for i := 0; i < nameAttempts; i++ {
 		id := t.RandUint64(mb.cfg.RandBound)
 		mname := MsgName(id)
 		if mb.sys.Link(t, SpoolDir, sname, UserDir(user), mname) {
@@ -164,18 +256,19 @@ func (mb *Mailboat) Deliver(t gfs.T, j *core.JTok, user uint64, msg []byte) {
 				// the name the link actually claimed.
 				mb.boxMasters[user].Insert(modelT(t), mname, nil)
 				if j != nil {
-					mb.g.StepSimWhere(modelT(t), j, nil, func(s spec.State) bool {
+					mb.g.StepSimWhere(modelT(t), j, true, func(s spec.State) bool {
 						got, ok := s.(State).Boxes[user][mname]
 						return ok && got == string(msg)
 					})
 				}
 			}
-			break
+			// The spool entry is no longer needed.
+			mb.sys.Delete(t, SpoolDir, sname)
+			return true
 		}
 	}
-
-	// The spool entry is no longer needed.
 	mb.sys.Delete(t, SpoolDir, sname)
+	return false
 }
 
 // Pickup lists and reads user's mailbox (Figure 10's Pickup),
@@ -216,13 +309,19 @@ func (mb *Mailboat) Pickup(t gfs.T, j *core.JTok, user uint64) []Message {
 			// existing names, so listed names cannot vanish.
 			continue
 		}
+		// Read in chunks, advancing by however many bytes actually
+		// arrived: short reads (a POSIX possibility, and gfs.Faulty's
+		// injected fault) are retried from the new offset rather than
+		// mistaken for end-of-file, which only a zero-length read
+		// signals.
 		var contents []byte
-		for off := uint64(0); ; off += gfs.ReadChunk {
+		for off := uint64(0); ; {
 			chunk := mb.sys.ReadAt(t, fd, off, gfs.ReadChunk)
-			contents = append(contents, chunk...)
-			if uint64(len(chunk)) < gfs.ReadChunk {
+			if len(chunk) == 0 {
 				break
 			}
+			contents = append(contents, chunk...)
+			off += uint64(len(chunk))
 		}
 		mb.sys.Close(t, fd)
 		msgs = append(msgs, Message{ID: name, Contents: string(contents)})
@@ -233,19 +332,24 @@ func (mb *Mailboat) Pickup(t gfs.T, j *core.JTok, user uint64) []Message {
 // Delete removes a message picked up earlier (Figure 10's Delete). The
 // caller must hold the user's lock (i.e. be between Pickup and Unlock)
 // and must pass an ID returned by that Pickup — passing other IDs is
-// outside the specification (§8.1, §9.2).
-func (mb *Mailboat) Delete(t gfs.T, j *core.JTok, user uint64, id string) {
+// outside the specification (§8.1, §9.2). A false return means the
+// store transiently refused the unlink: the message is still in the
+// mailbox, and the caller should report rather than swallow that.
+func (mb *Mailboat) Delete(t gfs.T, j *core.JTok, user uint64, id string) bool {
 	mb.checkUser(t, user)
-	mb.sys.Delete(t, UserDir(user), id)
+	ok := mb.sys.Delete(t, UserDir(user), id)
 	if mb.g != nil {
-		// The removal requires the lower-bound lease to contain id: the
-		// ghost form of §8.1's assumption that users only delete IDs
-		// returned by Pickup.
-		mb.boxMasters[user].Remove(modelT(t), mb.boxLeases[user], id, nil)
+		if ok {
+			// The removal requires the lower-bound lease to contain id:
+			// the ghost form of §8.1's assumption that users only delete
+			// IDs returned by Pickup.
+			mb.boxMasters[user].Remove(modelT(t), mb.boxLeases[user], id, nil)
+		}
 		if j != nil {
-			mb.g.StepSim(modelT(t), j, nil)
+			mb.g.StepSim(modelT(t), j, ok)
 		}
 	}
+	return ok
 }
 
 // Unlock releases the user's pickup/delete lock (Figure 10's Unlock).

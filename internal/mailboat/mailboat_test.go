@@ -15,26 +15,32 @@ func cfg2() Config { return Config{Users: 2, RandBound: 3} }
 func TestSpecDeliverInsertsUnderFreshID(t *testing.T) {
 	sp := Spec(Config{Users: 1, RandBound: 2})
 	st := sp.Init()
-	next, ub := sp.Step(st, OpDeliver{User: 0, Msg: "hi"}, nil)
+	next, ub := sp.Step(st, OpDeliver{User: 0, Msg: "hi"}, true)
 	if ub || len(next) != 2 {
 		t.Fatalf("deliver outcomes=%d ub=%v", len(next), ub)
 	}
 	// Deliver again into one of them: only one free ID remains.
-	next2, _ := sp.Step(next[0], OpDeliver{User: 0, Msg: "yo"}, nil)
+	next2, _ := sp.Step(next[0], OpDeliver{User: 0, Msg: "yo"}, true)
 	if len(next2) != 1 {
 		t.Fatalf("second deliver outcomes=%d", len(next2))
 	}
-	// Mailbox full: no outcomes (the op cannot complete).
-	next3, _ := sp.Step(next2[0], OpDeliver{User: 0, Msg: "zz"}, nil)
+	// Mailbox full: a successful delivery is impossible...
+	next3, _ := sp.Step(next2[0], OpDeliver{User: 0, Msg: "zz"}, true)
 	if len(next3) != 0 {
 		t.Fatalf("third deliver outcomes=%d", len(next3))
+	}
+	// ...but a reported transient failure is always allowed, and leaves
+	// the mailbox untouched.
+	nextF, _ := sp.Step(next2[0], OpDeliver{User: 0, Msg: "zz"}, false)
+	if len(nextF) != 1 || sp.Key(nextF[0]) != sp.Key(next2[0]) {
+		t.Fatalf("failed deliver outcomes=%d", len(nextF))
 	}
 }
 
 func TestSpecPickupReturnsSortedMailbox(t *testing.T) {
 	sp := Spec(Config{Users: 1, RandBound: 2})
 	st := sp.Init()
-	next, _ := sp.Step(st, OpDeliver{User: 0, Msg: "hi"}, nil)
+	next, _ := sp.Step(st, OpDeliver{User: 0, Msg: "hi"}, true)
 	st = next[0]
 	got, _ := sp.Step(st, OpPickup{User: 0}, []Message{{ID: MsgName(0), Contents: "hi"}})
 	got2, _ := sp.Step(st, OpPickup{User: 0}, []Message{{ID: MsgName(1), Contents: "hi"}})

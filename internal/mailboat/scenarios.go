@@ -17,7 +17,11 @@ import (
 type World struct {
 	G  *core.Ctx
 	FS *gfs.Model
-	MB *Mailboat
+	// Sys is the System the library runs against: FS itself, or FS
+	// wrapped in a fault-injecting gfs.Faulty when the scenario
+	// enumerates transient faults.
+	Sys gfs.System
+	MB  *Mailboat
 }
 
 // Variant selects the implementation under check.
@@ -56,6 +60,15 @@ type ScenarioOptions struct {
 	// §6.2 future-work extension. Crash safety then additionally
 	// requires Config.SyncOnDeliver.
 	BufferedFS bool
+	// FaultBudget, when positive, wraps the model in gfs.Faulty with a
+	// chooser-driven policy: at every eligible file-system operation
+	// the explorer branches on injecting a transient fault, up to this
+	// many faults per execution. Combined with MaxCrashes this checks
+	// the spec under crash + transient-fault interleavings.
+	FaultBudget int
+	// FaultOps restricts which fault classes the chooser may inject
+	// (nil = all). Narrowing the classes keeps the DFS space small.
+	FaultOps []gfs.FaultOp
 }
 
 // Scenario builds the checkable scenario for the chosen variant.
@@ -68,19 +81,21 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 			switch v {
 			case VariantDeliverDirect:
 				w.MB.DeliverDirect(t, op.User, []byte(op.Msg))
+				return true
 			case VariantForgetSpoolDelete:
 				w.MB.DeliverForgetSpoolDelete(t, op.User, []byte(op.Msg))
+				return true
 			default:
 				var j *core.JTok
 				if ghost {
 					j = w.G.NewJTok(op)
 				}
-				w.MB.Deliver(t, j, op.User, []byte(op.Msg))
+				delivered := w.MB.Deliver(t, j, op.User, []byte(op.Msg))
 				if ghost {
-					w.G.FinishOp(t, j, nil)
+					w.G.FinishOp(t, j, delivered)
 				}
+				return delivered
 			}
-			return nil
 		})
 	}
 
@@ -131,11 +146,11 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 				if ghost {
 					j = w.G.NewJTok(op)
 				}
-				w.MB.Delete(t, j, user, msgs[0].ID)
+				removed := w.MB.Delete(t, j, user, msgs[0].ID)
 				if ghost {
-					w.G.FinishOp(t, j, nil)
+					w.G.FinishOp(t, j, removed)
 				}
-				return nil
+				return removed
 			})
 		}
 		unlock(t, w, h, user)
@@ -154,6 +169,17 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 			} else {
 				w.FS = gfs.NewModel(m, Dirs(o.Config))
 			}
+			w.Sys = w.FS
+			if o.FaultBudget > 0 {
+				pol := &gfs.ChooserPolicy{Budget: o.FaultBudget}
+				if o.FaultOps != nil {
+					pol.Eligible = map[gfs.FaultOp]bool{}
+					for _, fo := range o.FaultOps {
+						pol.Eligible[fo] = true
+					}
+				}
+				w.Sys = gfs.NewFaulty(w.FS, pol)
+			}
 			if ghost {
 				w.G = core.NewCtx(m)
 				w.G.InitSim(sp, sp.Init())
@@ -162,7 +188,7 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 		},
 		Init: func(t *machine.T, wAny any) {
 			w := wAny.(*World)
-			w.MB = Init(t, w.G, w.FS, o.Config)
+			w.MB = Init(t, w.G, w.Sys, o.Config)
 		},
 		Main: func(t *machine.T, wAny any, h *explore.Harness) {
 			w := wAny.(*World)
@@ -180,7 +206,7 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 			if v == VariantRecoverWipes {
 				w.MB = RecoverWipesMailboxes(t, w.FS, o.Config)
 			} else {
-				w.MB = Recover(t, w.G, w.FS, o.Config, w.MB)
+				w.MB = Recover(t, w.G, w.Sys, o.Config, w.MB)
 			}
 		},
 		Post: func(t *machine.T, wAny any, h *explore.Harness) {

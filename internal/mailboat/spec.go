@@ -66,7 +66,14 @@ func (s State) Key() string {
 	return b.String()
 }
 
-// OpDeliver is Deliver(user, msg): insert msg under some fresh ID.
+// OpDeliver is Deliver(user, msg): either insert msg under some fresh
+// ID and return true, or fail transiently (store fault, retries
+// exhausted) leaving the mailbox untouched and return false. The
+// failure outcome is what makes graceful degradation checkable: an
+// implementation may refuse a delivery, but only by reporting it.
+// Returning true without inserting (a silent drop) or false after
+// inserting (a spurious failure whose message later appears) both fail
+// refinement.
 type OpDeliver struct {
 	User uint64
 	Msg  string
@@ -81,9 +88,11 @@ type OpPickup struct{ User uint64 }
 
 func (o OpPickup) String() string { return fmt.Sprintf("Pickup(%d)", o.User) }
 
-// OpDelete is Delete(user, id). Calling it with an ID that is not in
-// the mailbox is outside the spec (undefined behaviour), per §8.1's
-// assumption that users only delete IDs returned by Pickup.
+// OpDelete is Delete(user, id): either remove the message and return
+// true, or fail transiently leaving it in place and return false.
+// Calling it with an ID that is not in the mailbox is outside the spec
+// (undefined behaviour), per §8.1's assumption that users only delete
+// IDs returned by Pickup.
 type OpDelete struct {
 	User uint64
 	ID   string
@@ -137,8 +146,10 @@ func deliverT(cfg Config, o OpDeliver) tsl.Transition[State, spec.Ret] {
 			}
 			n := s.clone()
 			n.Boxes[o.User][id] = o.Msg
-			out.Outcomes = append(out.Outcomes, tsl.Outcome[State, spec.Ret]{State: n, Val: nil})
+			out.Outcomes = append(out.Outcomes, tsl.Outcome[State, spec.Ret]{State: n, Val: true})
 		}
+		// Transient failure: always allowed, never changes the state.
+		out.Outcomes = append(out.Outcomes, tsl.Outcome[State, spec.Ret]{State: s, Val: false})
 		return out
 	}
 }
@@ -166,7 +177,9 @@ func deleteT(o OpDelete) tsl.Transition[State, spec.Ret] {
 		n := s.clone()
 		delete(n.Boxes[o.User], o.ID)
 		return tsl.Result[State, spec.Ret]{Outcomes: []tsl.Outcome[State, spec.Ret]{
-			{State: n, Val: nil},
+			{State: n, Val: true},
+			// Transient failure: the message stays.
+			{State: s, Val: false},
 		}}
 	}
 }

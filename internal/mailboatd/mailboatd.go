@@ -2,42 +2,119 @@
 // real file system) to the unverified SMTP and POP3 front ends — the
 // deployment glue of §8.2's "Using Mailboat". It is what cmd/mailboat
 // and the network end-to-end tests run.
+//
+// The adapter exposes the library's transient-failure reporting as
+// ErrTransient, which the front ends translate into SMTP 451 / POP3
+// "-ERR [SYS/TEMP]". For fault drills, Options.Fault interposes
+// gfs.Faulty between the library and the real file system with a
+// seeded, replayable schedule.
 package mailboatd
 
 import (
-	"math/rand"
-	"sync"
+	"errors"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/gfs"
 	"repro/internal/mailboat"
 )
 
+// ErrTransient reports a transient store failure: the operation did not
+// take effect (the delivery was not acknowledged, the delete did not
+// remove the message) and may be retried. Front ends must surface it to
+// the client as a temporary error, never drop the connection over it.
+var ErrTransient = errors.New("mailboatd: transient store failure, try again later")
+
+// FaultOptions configures a deterministic fault-injection layer between
+// the library and the OS file system — the seeded drill mode of the
+// fault model (see DESIGN.md "Fault model").
+type FaultOptions struct {
+	// Seed selects the fault schedule; the same seed replays the same
+	// schedule bit-for-bit (inspect it with Adapter.FaultLog).
+	Seed int64
+	// Rates[op] = N injects a fault into roughly 1 in N calls of that
+	// class; 0 disables the class. gfs.UniformRates(N) fails them all.
+	Rates [gfs.NumFaultOps]uint64
+	// MaxFaults, when nonzero, caps the total number of injected faults.
+	MaxFaults uint64
+	// Latency and LatencyEveryN, when both nonzero, add tail latency to
+	// every N-th file-system call of each class.
+	Latency       time.Duration
+	LatencyEveryN uint64
+}
+
+// Options configures an Adapter beyond the basic New parameters.
+type Options struct {
+	// Users is the mailbox count (required, ≥ 1).
+	Users uint64
+	// Seed seeds spool-name allocation.
+	Seed int64
+	// DeliverRetries and DeliverBackoff tune Deliver's retry loop
+	// (zero values use the library defaults).
+	DeliverRetries int
+	DeliverBackoff time.Duration
+	// SyncOnDeliver fsyncs spool files before publishing them.
+	SyncOnDeliver bool
+	// Fault, when non-nil, wraps the file system in gfs.Faulty with a
+	// seeded policy.
+	Fault *FaultOptions
+}
+
 // Adapter exposes the Mailboat library as the smtp.Deliverer and
 // pop3.Maildrop interfaces. It is safe for concurrent use by many
-// connection handlers; it implements gfs.T itself with a locked PRNG
-// for name allocation.
+// connection handlers; it implements gfs.T itself with a lock-free
+// seeded PRNG for name allocation (an atomic counter fed through
+// SplitMix64, so concurrent connections never contend on a shared
+// rand.Rand lock while staying deterministic for sequential callers).
 type Adapter struct {
-	fs  *gfs.OS
-	mb  *mailboat.Mailboat
-	cfg mailboat.Config
+	fs     *gfs.OS
+	sys    gfs.System
+	faulty *gfs.Faulty // nil unless Options.Fault was set
+	mb     *mailboat.Mailboat
+	cfg    mailboat.Config
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	rng atomic.Uint64
 }
 
 // New opens (or creates) a mail store under root with the given number
-// of users, running recovery first — on boot we cannot know whether the
-// previous process exited cleanly, so Recover's spool cleanup always
-// runs, exactly as §8.1 prescribes ("run Recover to restore the system
-// following a shutdown or crash").
+// of users — the original, knob-free constructor.
 func New(root string, users uint64, seed int64) (*Adapter, error) {
-	cfg := mailboat.Config{Users: users, RandBound: 1 << 62}
+	return NewWithOptions(root, Options{Users: users, Seed: seed})
+}
+
+// NewWithOptions opens (or creates) a mail store under root, running
+// recovery first — on boot we cannot know whether the previous process
+// exited cleanly, so Recover's spool cleanup always runs, exactly as
+// §8.1 prescribes ("run Recover to restore the system following a
+// shutdown or crash"). Recovery always runs on the bare file system:
+// fault drills exercise steady-state traffic, not the repair path that
+// makes the store consistent again.
+func NewWithOptions(root string, o Options) (*Adapter, error) {
+	cfg := mailboat.Config{
+		Users:          o.Users,
+		RandBound:      1 << 62,
+		SyncOnDeliver:  o.SyncOnDeliver,
+		DeliverRetries: o.DeliverRetries,
+		DeliverBackoff: o.DeliverBackoff,
+	}
 	fs, err := gfs.NewOS(root, mailboat.Dirs(cfg))
 	if err != nil {
 		return nil, err
 	}
-	a := &Adapter{fs: fs, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	a := &Adapter{fs: fs, sys: fs, cfg: cfg}
+	a.rng.Store(uint64(o.Seed))
 	a.mb = mailboat.Recover(a, nil, fs, cfg, nil)
+	if o.Fault != nil {
+		a.faulty = gfs.NewFaulty(fs, &gfs.SeededPolicy{
+			Seed:      o.Fault.Seed,
+			Rates:     o.Fault.Rates,
+			MaxFaults: o.Fault.MaxFaults,
+		})
+		a.faulty.Latency = o.Fault.Latency
+		a.faulty.LatencyEveryN = o.Fault.LatencyEveryN
+		a.sys = a.faulty
+		a.mb = a.mb.WithSystem(a.faulty)
+	}
 	return a, nil
 }
 
@@ -47,16 +124,35 @@ func (a *Adapter) Close() { a.fs.CloseAll() }
 // Users returns the mailbox count.
 func (a *Adapter) Users() uint64 { return a.cfg.Users }
 
-// RandUint64 implements gfs.T with a locked PRNG.
-func (a *Adapter) RandUint64(bound uint64) uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return uint64(a.rng.Int63n(int64(bound)))
+// FaultLog returns the injected-fault log when a fault layer is
+// configured (nil otherwise) — the replayable record of a drill.
+func (a *Adapter) FaultLog() []gfs.FaultEvent {
+	if a.faulty == nil {
+		return nil
+	}
+	return a.faulty.Log()
 }
 
-// Deliver implements smtp.Deliverer.
+// RandUint64 implements gfs.T: a lock-free SplitMix64 stream over an
+// atomic counter. Each call advances the counter by the golden-ratio
+// increment and mixes it, so concurrent callers draw distinct values
+// without serializing on a mutex.
+func (a *Adapter) RandUint64(bound uint64) uint64 {
+	if bound == 0 {
+		panic("mailboatd: RandUint64 with zero bound")
+	}
+	x := a.rng.Add(0x9E3779B97F4A7C15)
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return (x ^ (x >> 31)) % bound
+}
+
+// Deliver implements smtp.Deliverer. ErrTransient means the message was
+// NOT accepted (retries exhausted) and the client must retry later.
 func (a *Adapter) Deliver(user uint64, msg []byte) error {
-	a.mb.Deliver(a, nil, user, msg)
+	if !a.mb.Deliver(a, nil, user, msg) {
+		return ErrTransient
+	}
 	return nil
 }
 
@@ -65,9 +161,12 @@ func (a *Adapter) Pickup(user uint64) ([]mailboat.Message, error) {
 	return a.mb.Pickup(a, nil, user), nil
 }
 
-// Delete implements pop3.Maildrop.
+// Delete implements pop3.Maildrop. ErrTransient means the message is
+// still in the maildrop.
 func (a *Adapter) Delete(user uint64, id string) error {
-	a.mb.Delete(a, nil, user, id)
+	if !a.mb.Delete(a, nil, user, id) {
+		return ErrTransient
+	}
 	return nil
 }
 

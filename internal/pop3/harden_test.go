@@ -1,0 +1,151 @@
+package pop3
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/mailboat"
+)
+
+// flakyDrop fails Pickup and/or Delete with transient errors. The
+// error fields are guarded by the embedded fakeDrop's mutex so tests
+// can flip them while the handler goroutine runs.
+type flakyDrop struct {
+	*fakeDrop
+	pickupErr error
+	deleteErr error
+}
+
+func (f *flakyDrop) setPickupErr(err error) {
+	f.mu.Lock()
+	f.pickupErr = err
+	f.mu.Unlock()
+}
+
+func (f *flakyDrop) Pickup(user uint64) ([]mailboat.Message, error) {
+	f.mu.Lock()
+	err := f.pickupErr
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return f.fakeDrop.Pickup(user)
+}
+
+func (f *flakyDrop) Delete(user uint64, id string) error {
+	f.mu.Lock()
+	err := f.deleteErr
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.fakeDrop.Delete(user, id)
+}
+
+func startHardened(t *testing.T, drop Maildrop, tune func(*Server)) (*Server, string) {
+	t.Helper()
+	s := NewServer(drop, 10)
+	tune(s)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return s, ln.Addr().String()
+}
+
+func TestPickupFailureIsTempErrAndSessionSurvives(t *testing.T) {
+	drop := &flakyDrop{fakeDrop: newFakeDrop(), pickupErr: fmt.Errorf("store down")}
+	_, addr := startHardened(t, drop, func(*Server) {})
+	c := dial(t, addr)
+	c.expect(t, "+OK")
+	c.send(t, "USER user1")
+	c.expect(t, "+OK")
+	c.send(t, "PASS x")
+	line := c.expect(t, "-ERR [SYS/TEMP]")
+	_ = line
+
+	// Graceful degradation: the session is still usable, and a retry
+	// after the store recovers succeeds.
+	drop.setPickupErr(nil)
+	c.send(t, "USER user1")
+	c.expect(t, "+OK")
+	c.send(t, "PASS x")
+	c.expect(t, "+OK")
+	c.send(t, "QUIT")
+	c.expect(t, "+OK")
+}
+
+func TestQuitReportsUndeletedMessages(t *testing.T) {
+	drop := &flakyDrop{fakeDrop: newFakeDrop(), deleteErr: fmt.Errorf("unlink refused")}
+	drop.mail[1] = []mailboat.Message{{ID: "m1", Contents: "keep me"}}
+	_, addr := startHardened(t, drop, func(*Server) {})
+	c := dial(t, addr)
+	auth(t, c, "user1")
+	c.send(t, "DELE 1")
+	c.expect(t, "+OK")
+	c.send(t, "QUIT")
+	// The delete failed: QUIT must say so, not pretend success.
+	c.expect(t, "-ERR [SYS/TEMP]")
+
+	// The message is still there, and the lock was still released.
+	drop.mu.Lock()
+	defer drop.mu.Unlock()
+	if len(drop.mail[1]) != 1 {
+		t.Fatalf("mail[1]=%v", drop.mail[1])
+	}
+	if drop.unlocks != 1 {
+		t.Fatalf("unlocks=%d", drop.unlocks)
+	}
+}
+
+func TestMaxConnsAnswersTempErr(t *testing.T) {
+	_, addr := startHardened(t, newFakeDrop(), func(s *Server) { s.MaxConns = 1 })
+	c1 := dial(t, addr)
+	c1.expect(t, "+OK")
+
+	c2 := dial(t, addr)
+	c2.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	c2.expect(t, "-ERR [SYS/TEMP]")
+}
+
+func TestReadTimeoutDropsStuckPeer(t *testing.T) {
+	_, addr := startHardened(t, newFakeDrop(), func(s *Server) { s.ReadTimeout = 50 * time.Millisecond })
+	c := dial(t, addr)
+	c.expect(t, "+OK")
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("server kept a silent connection past its read deadline")
+	}
+}
+
+func TestForcedShutdownReleasesMailboxLock(t *testing.T) {
+	drop := newFakeDrop()
+	s, addr := startHardened(t, drop, func(*Server) {})
+	c := dial(t, addr)
+	auth(t, c, "user1") // takes user1's lock
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("forced shutdown: %v", err)
+	}
+	// The force-closed handler's deferred Unlock must still run.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		drop.mu.Lock()
+		un := drop.unlocks
+		drop.mu.Unlock()
+		if un == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mailbox lock leaked through forced shutdown")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

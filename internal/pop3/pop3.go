@@ -5,21 +5,31 @@
 // per-user lock); QUIT applies the deletes and performs Unlock, so a
 // POP3 session maps exactly onto the paper's Pickup … Delete … Unlock
 // protocol.
+//
+// Like the SMTP front end, the server degrades gracefully under store
+// trouble: transient backend failures answer "-ERR [SYS/TEMP] …" (RFC
+// 2449 response codes) instead of dropping the connection, a full
+// server refuses new connections with the same marker, per-connection
+// deadlines bound stuck peers, and a panicking handler costs only its
+// own connection (the deferred Unlock still runs).
 package pop3
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/mailboat"
 )
 
-// Maildrop is the mailbox backend; cmd/mailboat adapts the verified
-// library to it.
+// Maildrop is the mailbox backend; internal/mailboatd adapts the
+// verified library to it. Errors from Pickup and Delete are treated as
+// transient and surfaced to the client as "-ERR [SYS/TEMP]".
 type Maildrop interface {
 	Pickup(user uint64) ([]mailboat.Message, error)
 	Delete(user uint64, id string) error
@@ -31,17 +41,29 @@ type Server struct {
 	users   uint64
 	backend Maildrop
 
-	mu sync.Mutex
-	ln net.Listener
-	wg sync.WaitGroup
+	// ReadTimeout and WriteTimeout bound each command read and each
+	// response write; zero means no deadline.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections; excess connections
+	// are answered "-ERR [SYS/TEMP] too busy" and closed. Zero means
+	// unlimited.
+	MaxConns int
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // NewServer creates a POP3 server over backend.
 func NewServer(backend Maildrop, users uint64) *Server {
-	return &Server{users: users, backend: backend}
+	return &Server{users: users, backend: backend, conns: map[net.Conn]struct{}{}}
 }
 
-// Serve accepts connections on ln until Close. It blocks.
+// Serve accepts connections on ln until Close/Shutdown. It blocks, and
+// returns nil after a deliberate Close.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
@@ -50,14 +72,56 @@ func (s *Server) Serve(ln net.Listener) error {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.wg.Wait()
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
 			return err
+		}
+		if !s.track(conn) {
+			s.refuse(conn)
+			continue
 		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			// A panic in the unverified handler costs only this
+			// connection; the handler's own deferred Unlock has already
+			// run by the time the panic reaches here.
+			defer func() { recover() }()
 			s.handle(conn)
 		}()
 	}
+}
+
+// track registers conn, refusing when at capacity or shutting down.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || (s.MaxConns > 0 && len(s.conns) >= s.MaxConns) {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// refuse answers a connection the server cannot serve right now.
+func (s *Server) refuse(conn net.Conn) {
+	if s.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+	}
+	fmt.Fprintf(conn, "-ERR [SYS/TEMP] server too busy, try again later\r\n")
+	conn.Close()
 }
 
 // ListenAndServe listens on addr and serves.
@@ -69,14 +133,41 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// Close stops accepting connections.
+// Close stops accepting connections. In-flight sessions keep running;
+// use Shutdown to wait for (or cut off) them.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closed = true
 	if s.ln != nil {
 		return s.ln.Close()
 	}
 	return nil
+}
+
+// Shutdown closes the listener and waits for in-flight sessions. If
+// ctx expires first the remaining connections are force-closed (each
+// handler's deferred Unlock still releases its mailbox lock) and ctx's
+// error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
 }
 
 // Addr returns the listener address, for tests.
@@ -90,16 +181,21 @@ func (s *Server) Addr() net.Addr {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	flush := func() error {
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		return w.Flush()
+	}
 	ok := func(msg string) bool {
 		fmt.Fprintf(w, "+OK %s\r\n", msg)
-		return w.Flush() == nil
+		return flush() == nil
 	}
 	bad := func(msg string) bool {
 		fmt.Fprintf(w, "-ERR %s\r\n", msg)
-		return w.Flush() == nil
+		return flush() == nil
 	}
 	if !ok("mailboat POP3 ready") {
 		return
@@ -120,6 +216,9 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 
 	for {
+		if s.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
 		line, err := r.ReadString('\n')
 		if err != nil {
 			return
@@ -142,7 +241,10 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			m, err := s.backend.Pickup(u)
 			if err != nil {
-				bad("maildrop unavailable")
+				// Transient store failure: the session stays open so
+				// the client can retry PASS, per the graceful-
+				// degradation contract.
+				bad("[SYS/TEMP] maildrop unavailable, try again later")
 				continue
 			}
 			authedUser, authed = u, true
@@ -174,7 +276,7 @@ func (s *Server) handle(conn net.Conn) {
 				}
 			}
 			fmt.Fprintf(w, ".\r\n")
-			if w.Flush() != nil {
+			if flush() != nil {
 				return
 			}
 		case "RETR":
@@ -185,7 +287,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			ok(fmt.Sprintf("%d octets", len(msgs[i].Contents)))
 			writeMultiline(w, msgs[i].Contents)
-			if w.Flush() != nil {
+			if flush() != nil {
 				return
 			}
 		case "TOP":
@@ -198,7 +300,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			ok("top of message follows")
 			writeMultiline(w, topOf(msgs[i].Contents, lines))
-			if w.Flush() != nil {
+			if flush() != nil {
 				return
 			}
 		case "UIDL":
@@ -222,7 +324,7 @@ func (s *Server) handle(conn net.Conn) {
 				}
 			}
 			fmt.Fprintf(w, ".\r\n")
-			if w.Flush() != nil {
+			if flush() != nil {
 				return
 			}
 		case "DELE":
@@ -242,13 +344,23 @@ func (s *Server) handle(conn net.Conn) {
 			ok("")
 		case "QUIT":
 			if authed {
+				failed := 0
 				for i, m := range msgs {
 					if deleted[i] {
-						s.backend.Delete(authedUser, m.ID)
+						if err := s.backend.Delete(authedUser, m.ID); err != nil {
+							failed++
+						}
 					}
 				}
 				s.backend.Unlock(authedUser)
 				authed = false
+				if failed > 0 {
+					// RFC 1939 UPDATE state: deletes that could not be
+					// applied are reported, not silently dropped; the
+					// messages remain in the maildrop.
+					bad(fmt.Sprintf("[SYS/TEMP] %d message(s) not removed, still in maildrop", failed))
+					return
+				}
 			}
 			ok("bye")
 			return

@@ -1,0 +1,123 @@
+package smtp
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// startHardened boots a server with the given knobs applied.
+func startHardened(t *testing.T, backend Deliverer, tune func(*Server)) (*Server, string) {
+	t.Helper()
+	s := NewServer(backend, 10)
+	tune(s)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return s, ln.Addr().String()
+}
+
+func TestMaxConnsAnswers421(t *testing.T) {
+	_, addr := startHardened(t, &fakeBackend{}, func(s *Server) { s.MaxConns = 1 })
+
+	c1 := dial(t, addr)
+	c1.expect(t, "220") // first connection is being served
+
+	// The second connection must be refused with 421, not silently
+	// dropped and not left hanging.
+	c2 := dial(t, addr)
+	c2.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	c2.expect(t, "421")
+
+	// Once the first session ends, capacity frees up.
+	c1.send(t, "QUIT")
+	c1.expect(t, "221")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(time.Second))
+		buf := make([]byte, 3)
+		if _, err := conn.Read(buf); err == nil && string(buf) == "220" {
+			conn.Close()
+			return
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("capacity never freed after QUIT")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestReadTimeoutDropsStuckPeer(t *testing.T) {
+	_, addr := startHardened(t, &fakeBackend{}, func(s *Server) { s.ReadTimeout = 50 * time.Millisecond })
+	c := dial(t, addr)
+	c.expect(t, "220")
+	// Send nothing: the server must hang up rather than pin the handler.
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("server kept a silent connection past its read deadline")
+	}
+}
+
+func TestShutdownWaitsThenForces(t *testing.T) {
+	s, addr := startHardened(t, &fakeBackend{}, func(*Server) {})
+
+	// No sessions: Shutdown returns promptly.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("idle shutdown: %v", err)
+	}
+
+	// With a hung session, an expired context force-closes it.
+	s2, addr2 := startHardened(t, &fakeBackend{}, func(*Server) {})
+	c := dial(t, addr2)
+	c.expect(t, "220")
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	if err := s2.Shutdown(ctx2); err != context.DeadlineExceeded {
+		t.Fatalf("forced shutdown: %v", err)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("connection survived forced shutdown")
+	}
+	_ = addr
+}
+
+type panickyBackend struct{}
+
+func (panickyBackend) Deliver(uint64, []byte) error { panic("backend exploded") }
+
+func TestHandlerPanicCostsOnlyItsConnection(t *testing.T) {
+	_, addr := startHardened(t, panickyBackend{}, func(*Server) {})
+
+	c := dial(t, addr)
+	c.expect(t, "220")
+	c.send(t, "MAIL FROM:<s@x>")
+	c.expect(t, "250")
+	c.send(t, "RCPT TO:<user1@x>")
+	c.expect(t, "250")
+	c.send(t, "DATA")
+	c.expect(t, "354")
+	c.send(t, "boom")
+	c.send(t, ".")
+	// The handler panics in Deliver; this connection dies...
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	c.r.ReadString('\n') // whatever happens here, the server must survive
+
+	// ...but the server keeps accepting and serving.
+	c2 := dial(t, addr)
+	c2.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	c2.expect(t, "220")
+	c2.send(t, "NOOP")
+	c2.expect(t, "250")
+}

@@ -7,20 +7,28 @@
 // The protocol implementation is deliberately outside the verified
 // core, matching the paper's TCB boundary: "The protocol implementation
 // is unverified, but works with the Postal mail server benchmarking
-// library".
+// library". Because it is unverified it degrades gracefully instead of
+// trusting anything: transient store failures answer 451 (try again
+// later) rather than dropping the connection, a full server answers 421
+// at accept time, per-connection deadlines bound stuck peers, and a
+// panicking handler kills only its own connection.
 package smtp
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Deliverer accepts completed messages; the Mailboat adapter in
-// cmd/mailboat implements it over the verified library.
+// internal/mailboatd implements it over the verified library. A nil
+// error acknowledges the message as durably accepted; any error is
+// reported to the client as transient (451), so the sender retries.
 type Deliverer interface {
 	Deliver(user uint64, msg []byte) error
 }
@@ -50,17 +58,29 @@ type Server struct {
 	users   uint64
 	backend Deliverer
 
-	mu sync.Mutex
-	ln net.Listener
-	wg sync.WaitGroup
+	// ReadTimeout and WriteTimeout bound each command read and each
+	// response write; zero means no deadline. A peer that stalls longer
+	// loses its connection rather than pinning a handler goroutine.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections; excess connections
+	// are answered 421 and closed. Zero means unlimited.
+	MaxConns int
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // NewServer creates an SMTP server delivering into backend.
 func NewServer(backend Deliverer, users uint64) *Server {
-	return &Server{users: users, backend: backend}
+	return &Server{users: users, backend: backend, conns: map[net.Conn]struct{}{}}
 }
 
-// Serve accepts connections on ln until Close. It blocks.
+// Serve accepts connections on ln until Close/Shutdown. It blocks, and
+// returns nil after a deliberate Close.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
@@ -69,14 +89,56 @@ func (s *Server) Serve(ln net.Listener) error {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.wg.Wait()
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
 			return err
+		}
+		if !s.track(conn) {
+			s.refuse(conn)
+			continue
 		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			// An unverified protocol handler must not take the whole
+			// server down: a panic costs only this connection.
+			defer func() { recover() }()
 			s.handle(conn)
 		}()
 	}
+}
+
+// track registers conn, refusing when at capacity or shutting down.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || (s.MaxConns > 0 && len(s.conns) >= s.MaxConns) {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// refuse answers a connection the server cannot serve right now with
+// 421 (service not available, try later) instead of a silent close.
+func (s *Server) refuse(conn net.Conn) {
+	if s.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+	}
+	fmt.Fprintf(conn, "421 mailboat too busy, try again later\r\n")
+	conn.Close()
 }
 
 // ListenAndServe listens on addr (e.g. "127.0.0.1:2525") and serves.
@@ -88,14 +150,41 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// Close stops accepting connections.
+// Close stops accepting connections. In-flight sessions keep running;
+// use Shutdown to wait for (or cut off) them.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closed = true
 	if s.ln != nil {
 		return s.ln.Close()
 	}
 	return nil
+}
+
+// Shutdown closes the listener and waits for in-flight sessions to
+// finish. If ctx expires first the remaining connections are
+// force-closed (their handlers then exit on the next read) and ctx's
+// error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
 }
 
 // Addr returns the listener address, for tests.
@@ -114,11 +203,19 @@ type session struct {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	readLine := func() (string, error) {
+		if s.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
+		return r.ReadString('\n')
+	}
 	say := func(code int, msg string) bool {
 		fmt.Fprintf(w, "%d %s\r\n", code, msg)
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
 		return w.Flush() == nil
 	}
 	if !say(220, "mailboat SMTP service ready") {
@@ -127,7 +224,7 @@ func (s *Server) handle(conn net.Conn) {
 
 	var st session
 	for {
-		line, err := r.ReadString('\n')
+		line, err := readLine()
 		if err != nil {
 			return
 		}
@@ -161,7 +258,7 @@ func (s *Server) handle(conn net.Conn) {
 			if !say(354, "end with <CRLF>.<CRLF>") {
 				return
 			}
-			body, err := readData(r)
+			body, err := readData(readLine)
 			if err != nil {
 				return
 			}
@@ -173,7 +270,10 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			st = session{}
 			if failed {
-				say(451, "delivery failed")
+				// Transient store failure: degrade gracefully with 451
+				// so the sender retries, instead of dropping the
+				// connection. The message was NOT acknowledged.
+				say(451, "local error in processing, try again later")
 			} else {
 				say(250, "delivered")
 			}
@@ -193,10 +293,10 @@ func (s *Server) handle(conn net.Conn) {
 
 // readData reads a DATA body up to the lone-dot terminator, undoing
 // dot-stuffing per RFC 5321 §4.5.2.
-func readData(r *bufio.Reader) ([]byte, error) {
+func readData(readLine func() (string, error)) ([]byte, error) {
 	var b strings.Builder
 	for {
-		line, err := r.ReadString('\n')
+		line, err := readLine()
 		if err != nil {
 			return nil, err
 		}
