@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	mailbench [-cores 1,2,4,8] [-requests N] [-users N] [-servers a,b,c] [-dir path]
+//	mailbench [-cores 1,2,4,8] [-requests N] [-users N] [-servers a,b,c]
+//	          [-dir path] [-json path]
+//
+// -json additionally writes the sweep as machine-readable JSON (one
+// object with run parameters and a per-point array carrying
+// requests/sec plus deliver/pickup latency count, mean, p50/p90/p99 in
+// seconds, measured with the internal/obs histograms).
 //
 // Servers: mailboat (verified library, direct calls — the paper's
 // measurement method), gomail, cmail (simulated), and mailboat-net (the
@@ -15,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +39,7 @@ func main() {
 	servers := flag.String("servers", "mailboat,gomail,cmail", "comma-separated servers to measure")
 	dir := flag.String("dir", "", "scratch directory (default: RAM-backed)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	jsonPath := flag.String("json", "", "also write machine-readable results to this file")
 	flag.Parse()
 
 	var cores []int
@@ -59,6 +67,26 @@ func main() {
 	fmt.Print(postal.FormatSweep(points))
 	fmt.Printf("\nstore: %s; workload: %d requests/point, %d users, 50/50 deliver:pickup\n",
 		storeDesc(*dir), *requests, *users)
+
+	if *jsonPath != "" {
+		out := struct {
+			RequestsPerPoint int                 `json:"requests_per_point"`
+			Users            uint64              `json:"users"`
+			Seed             int64               `json:"seed"`
+			Store            string              `json:"store"`
+			Points           []postal.SweepPoint `json:"points"`
+		}{*requests, *users, *seed, storeDesc(*dir), points}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mailbench: encoding json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mailbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("json results written to %s\n", *jsonPath)
+	}
 }
 
 func defaultCores() string {

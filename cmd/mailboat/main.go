@@ -7,42 +7,80 @@
 // Usage:
 //
 //	mailboat [-dir path] [-users N] [-smtp addr] [-pop3 addr]
-//	         [-max-conns N] [-timeout d] [-grace d] [-sync]
+//	         [-admin addr] [-max-conns N] [-timeout d] [-grace d] [-sync]
 //	         [-retries N] [-backoff d]
 //	         [-fault-seed N] [-fault-rate N] [-fault-max N]
 //
 // Deliver mail to userN@any-domain over SMTP; read it back by
 // authenticating as userN over POP3 (any password).
 //
+// -admin starts an operational HTTP listener serving Prometheus-text
+// /metrics (every layer: gfs_*, mailboat_*, mailboatd_*, smtp_*,
+// pop3_*), /healthz, and net/http/pprof under /debug/pprof/. Metrics
+// are collected whether or not the listener is enabled.
+//
 // The -fault-* flags run the server in fault-drill mode: a
 // deterministic gfs.Faulty layer injects transient file-system faults
 // (1 in -fault-rate calls per operation class) from -fault-seed's
-// schedule. The same seed replays the same drill; the injected-fault
-// log is printed on shutdown. Clients see SMTP 451 / POP3 -ERR
-// [SYS/TEMP] for failures the retry layer cannot absorb — never lost
-// acknowledged mail.
+// schedule. The same seed replays the same drill; a per-class summary
+// of the injected-fault log (plus the first few events) is printed on
+// shutdown. Clients see SMTP 451 / POP3 -ERR [SYS/TEMP] for failures
+// the retry layer cannot absorb — never lost acknowledged mail.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/admin"
 	"repro/internal/gfs"
 	"repro/internal/mailboatd"
+	"repro/internal/obs"
 	"repro/internal/pop3"
 	"repro/internal/smtp"
 )
+
+// faultLogDumpCap bounds the shutdown fault-log dump: a long drill can
+// inject millions of faults, and dumping them all would bury the
+// summary (and stall shutdown). The full log stays available over
+// -admin while the process runs.
+const faultLogDumpCap = 20
+
+// dumpFaultLog prints a per-class summary of the drill's injected
+// faults, then the first faultLogDumpCap events verbatim.
+func dumpFaultLog(fl []gfs.FaultEvent) {
+	var perClass [gfs.NumFaultOps]int
+	for _, e := range fl {
+		perClass[e.Op]++
+	}
+	log.Printf("mailboat: drill injected %d faults:", len(fl))
+	for op := gfs.FaultOp(0); op < gfs.NumFaultOps; op++ {
+		if n := perClass[op]; n > 0 {
+			log.Printf("mailboat:   %-10s %d", op.String(), n)
+		}
+	}
+	for i, e := range fl {
+		if i == faultLogDumpCap {
+			log.Printf("mailboat:   ... %d more events suppressed", len(fl)-faultLogDumpCap)
+			break
+		}
+		log.Printf("mailboat:   %s", e)
+	}
+}
 
 func main() {
 	dir := flag.String("dir", "./mailboat-data", "mail store directory")
 	users := flag.Uint64("users", 100, "number of user mailboxes")
 	smtpAddr := flag.String("smtp", "127.0.0.1:2525", "SMTP listen address")
 	popAddr := flag.String("pop3", "127.0.0.1:2110", "POP3 listen address")
+	adminAddr := flag.String("admin", "", "admin HTTP listen address for /metrics, /healthz, /debug/pprof (empty = off)")
 	maxConns := flag.Int("max-conns", 0, "max concurrent connections per listener (0 = unlimited)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-connection read/write deadline (0 = none)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period before force-closing sessions")
@@ -54,12 +92,16 @@ func main() {
 	faultMax := flag.Uint64("fault-max", 0, "cap on total injected faults (0 = unlimited)")
 	flag.Parse()
 
+	// Metrics are always collected (the disabled path costs one nil
+	// check per event); -admin only controls whether they are served.
+	reg := obs.NewRegistry()
 	opts := mailboatd.Options{
 		Users:          *users,
 		Seed:           time.Now().UnixNano(),
 		SyncOnDeliver:  *syncDeliver,
 		DeliverRetries: *retries,
 		DeliverBackoff: *backoff,
+		Metrics:        reg,
 	}
 	if *faultRate > 0 {
 		opts.Fault = &mailboatd.FaultOptions{
@@ -83,16 +125,32 @@ func main() {
 		*write = *timeout
 		*conns = *maxConns
 	}
-	errs := make(chan error, 2)
+	errs := make(chan error, 3)
 	ss := smtp.NewServer(adapter, *users)
+	ss.Metrics = smtp.NewMetrics(reg)
 	harden(&ss.ReadTimeout, &ss.WriteTimeout, &ss.MaxConns)
 	go func() { errs <- ss.ListenAndServe(*smtpAddr) }()
 	log.Printf("mailboat: SMTP on %s", *smtpAddr)
 
 	ps := pop3.NewServer(adapter, *users)
+	ps.Metrics = pop3.NewMetrics(reg)
 	harden(&ps.ReadTimeout, &ps.WriteTimeout, &ps.MaxConns)
 	go func() { errs <- ps.ListenAndServe(*popAddr) }()
 	log.Printf("mailboat: POP3 on %s", *popAddr)
+
+	if *adminAddr != "" {
+		// Healthy = both protocol listeners are up.
+		healthz := func() error {
+			if ss.Addr() == nil || ps.Addr() == nil {
+				return errors.New("protocol listener not up")
+			}
+			return nil
+		}
+		as := &http.Server{Addr: *adminAddr, Handler: admin.Handler(reg, healthz)}
+		go func() { errs <- as.ListenAndServe() }()
+		defer as.Close()
+		log.Printf("mailboat: admin HTTP on %s (/metrics, /healthz, /debug/pprof)", *adminAddr)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -113,10 +171,7 @@ func main() {
 			log.Printf("mailboat: pop3 shutdown: %v", err)
 		}
 		if fl := adapter.FaultLog(); fl != nil {
-			log.Printf("mailboat: drill injected %d faults:", len(fl))
-			for _, e := range fl {
-				log.Printf("mailboat:   %s", e)
-			}
+			dumpFaultLog(fl)
 		}
 		log.Printf("mailboat: bye")
 	}

@@ -59,16 +59,14 @@ func main() {
 		}
 		fmt.Printf("%-34s %-38s %v\n", e.Scenario.Name, status, elapsed)
 		fmt.Printf("    %s\n", rep.String())
+		fmt.Printf("    stats: %s\n", rep.Stats)
 		if rep.Counterexample != nil && (!e.WantViolation || *verbose) {
 			if *minimize {
 				min := explore.Minimize(e.Scenario, rep.Counterexample.Choices)
-				trace, hist, reason := explore.Replay(e.Scenario, min)
 				fmt.Printf("    minimized to %d choices (from %d): %v\n",
 					len(min), len(rep.Counterexample.Choices), min)
-				fmt.Printf("    %s\n", reason)
-				fmt.Println(indent(hist.Format(), "    "))
-				for _, l := range trace {
-					fmt.Printf("      %s\n", l)
+				if cx := explore.ReplayCx(e.Scenario, min); cx != nil {
+					fmt.Println(indent(cx.Format(), "    "))
 				}
 			} else {
 				fmt.Println(indent(rep.Counterexample.Format(), "    "))

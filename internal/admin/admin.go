@@ -1,0 +1,43 @@
+// Package admin serves the operational side-channel of a mailboat
+// deployment: Prometheus-text /metrics from an obs.Registry, a
+// liveness /healthz, and the standard net/http/pprof profiling
+// surface. It is deliberately a separate listener from the mail
+// protocols — scraping and profiling must keep working when the SMTP
+// and POP3 listeners are saturated, and the admin port can be bound to
+// a management-only interface.
+package admin
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// Handler builds the admin mux over reg. healthz, when non-nil, is
+// consulted by /healthz: nil error answers 200 "ok", an error answers
+// 503 with the error text. A nil healthz always answers 200.
+func Handler(reg *obs.Registry, healthz func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthz != nil {
+			if err := healthz(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,172 @@
+package admin_test
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/admin"
+	"repro/internal/mailboatd"
+	"repro/internal/obs"
+	"repro/internal/pop3"
+	"repro/internal/smtp"
+)
+
+// TestAdminEndToEnd is the in-tree version of the acceptance drill:
+// boot the full server stack with metrics wired through every layer,
+// push real SMTP/POP3 traffic, then scrape /metrics and check the
+// deliver/pickup counters and latency histograms are live and nonzero.
+func TestAdminEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	adapter, err := mailboatd.NewWithOptions(t.TempDir(), mailboatd.Options{
+		Users:   4,
+		Seed:    1,
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(adapter.Close)
+
+	ss := smtp.NewServer(adapter, adapter.Users())
+	ss.Metrics = smtp.NewMetrics(reg)
+	sl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ss.Serve(sl)
+	t.Cleanup(func() { ss.Close() })
+
+	ps := pop3.NewServer(adapter, adapter.Users())
+	ps.Metrics = pop3.NewMetrics(reg)
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ps.Serve(pl)
+	t.Cleanup(func() { ps.Close() })
+
+	srv := httptest.NewServer(admin.Handler(reg, func() error { return nil }))
+	t.Cleanup(srv.Close)
+
+	// Drive one delivery and one pickup over the wire.
+	s := dialLine(t, sl.Addr().String())
+	s.cmd(t, "", "220")
+	s.cmd(t, "MAIL FROM:<x@y>", "250")
+	s.cmd(t, "RCPT TO:<user1@z>", "250")
+	s.cmd(t, "DATA", "354")
+	fmt.Fprintf(s.conn, "observable mail\r\n.\r\n")
+	s.cmd(t, "", "250")
+	s.cmd(t, "QUIT", "221")
+
+	p := dialLine(t, pl.Addr().String())
+	p.cmd(t, "", "+OK")
+	p.cmd(t, "USER user1", "+OK")
+	p.cmd(t, "PASS x", "+OK maildrop has 1")
+	p.cmd(t, "DELE 1", "+OK")
+	p.cmd(t, "QUIT", "+OK")
+
+	if body := get(t, srv.URL+"/healthz", http.StatusOK); !strings.HasPrefix(body, "ok") {
+		t.Errorf("/healthz body: %q", body)
+	}
+
+	metrics := get(t, srv.URL+"/metrics", http.StatusOK)
+	for _, want := range []string{
+		// Library layer: the delivery and pickup were counted and timed.
+		"mailboat_deliver_attempts_total 1",
+		"mailboat_deliver_committed_total 1",
+		"mailboat_pickup_messages_total 1",
+		"mailboat_deliver_seconds_count 1",
+		"mailboat_pickup_seconds_count 1",
+		"mailboat_delete_total 1",
+		"mailboat_recover_total 1",
+		// File-system layer: spool create happened and was timed.
+		`gfs_ops_total{op="create"} `,
+		`gfs_op_seconds_count{op="create"} `,
+		// Adapter layer: outcomes by op.
+		`mailboatd_ops_total{op="deliver",outcome="ok"} 1`,
+		`mailboatd_ops_total{op="pickup",outcome="ok"} 1`,
+		// Front ends: per-verb command counters and connection gauges.
+		`smtp_commands_total{verb="DATA"} 1`,
+		"smtp_connections_accepted_total 1",
+		`pop3_commands_total{verb="PASS"} 1`,
+		"pop3_connections_accepted_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", metrics)
+	}
+}
+
+func TestHealthzFailure(t *testing.T) {
+	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), func() error {
+		return errors.New("listener down")
+	}))
+	defer srv.Close()
+	if body := get(t, srv.URL+"/healthz", http.StatusServiceUnavailable); !strings.Contains(body, "listener down") {
+		t.Errorf("/healthz body: %q", body)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil))
+	defer srv.Close()
+	if body := get(t, srv.URL+"/debug/pprof/", http.StatusOK); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: %q", body)
+	}
+}
+
+func get(t *testing.T, url string, wantStatus int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+type lineConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialLine(t *testing.T, addr string) *lineConn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &lineConn{conn: c, r: bufio.NewReader(c)}
+}
+
+func (l *lineConn) cmd(t *testing.T, line, wantPrefix string) {
+	t.Helper()
+	if line != "" {
+		fmt.Fprintf(l.conn, "%s\r\n", line)
+	}
+	resp, err := l.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("after %q: %v", line, err)
+	}
+	if !strings.HasPrefix(resp, wantPrefix) {
+		t.Fatalf("after %q: got %q, want prefix %q", line, resp, wantPrefix)
+	}
+}

@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/history"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -95,8 +97,13 @@ type Scenario struct {
 
 // Counterexample captures one failing execution.
 type Counterexample struct {
-	// Choices is the decision sequence that reproduces the execution.
+	// Choices is the decision sequence that reproduces the execution
+	// (feed it to Replay/ReplayCx or perennial-check -replay).
 	Choices []int
+	// Schedule is the structured form of the same execution: the exact
+	// sequence of thread steps, crash points, and injected-fault /
+	// random choices, with era boundaries.
+	Schedule Schedule
 	// Trace is the machine's event trace.
 	Trace []string
 	// History is the recorded operation history.
@@ -110,6 +117,11 @@ func (c *Counterexample) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "reason: %s\n", c.Reason)
 	fmt.Fprintf(&b, "choices: %v\n", c.Choices)
+	if len(c.Schedule) > 0 {
+		fmt.Fprintf(&b, "schedule (%d decisions, %d crash(es)):\n",
+			len(c.Schedule), c.Schedule.Crashes())
+		b.WriteString(c.Schedule.Format())
+	}
 	b.WriteString("history:\n")
 	b.WriteString(c.History.Format())
 	b.WriteString("trace:\n")
@@ -134,6 +146,29 @@ type Report struct {
 	Counterexample *Counterexample
 	// CheckedStates sums the refinement checker's explored states.
 	CheckedStates int
+	// Stats carries exploration statistics.
+	Stats Stats
+}
+
+// Stats summarizes how the exploration went, for tuning budgets and
+// spotting pathological scenarios (e.g. a depth histogram skewed to
+// the step bound means executions are being truncated, not explored).
+type Stats struct {
+	// Duration is the wall-clock time of the whole exploration.
+	Duration time.Duration
+	// ExecsPerSec and StatesPerSec are derived throughput rates.
+	ExecsPerSec  float64
+	StatesPerSec float64
+	// Depth records the choice-sequence depth of each execution.
+	Depth *obs.Histogram
+}
+
+// String renders the statistics on one line.
+func (st Stats) String() string {
+	p50 := st.Depth.Quantile(0.50)
+	p99 := st.Depth.Quantile(0.99)
+	return fmt.Sprintf("%.3fs, %.0f execs/s, %.0f states/s, depth p50=%.0f p99=%.0f",
+		st.Duration.Seconds(), st.ExecsPerSec, st.StatesPerSec, p50, p99)
 }
 
 // OK reports whether no violation was found.
@@ -182,7 +217,15 @@ func Run(s *Scenario, opts Options) *Report {
 	if opts.StressCrashWeight == 0 {
 		opts.StressCrashWeight = 20
 	}
-	rep := &Report{Scenario: s.Name}
+	rep := &Report{Scenario: s.Name, Stats: Stats{Depth: obs.NewHistogram(obs.DepthBuckets)}}
+	start := time.Now()
+	defer func() {
+		rep.Stats.Duration = time.Since(start)
+		if sec := rep.Stats.Duration.Seconds(); sec > 0 {
+			rep.Stats.ExecsPerSec = float64(rep.Executions) / sec
+			rep.Stats.StatesPerSec = float64(rep.CheckedStates) / sec
+		}
+	}()
 
 	// Systematic DFS over choice sequences.
 	d := &dfsChooser{}
@@ -191,7 +234,6 @@ func Run(s *Scenario, opts Options) *Report {
 		d.reset()
 		cx := runOne(s, d, rep)
 		if cx != nil {
-			cx.Choices = d.taken()
 			rep.Counterexample = cx
 			return rep
 		}
@@ -222,12 +264,7 @@ func stressOne(s *Scenario, opts Options, i int, rep *Report) *Counterexample {
 	rc := machine.NewRandChooser(opts.StressSeed + int64(i))
 	rc.CrashWeight = opts.StressCrashWeight
 	rc.CrashOption = s.MaxCrashes > 0
-	rec := &recordingChooser{inner: rc}
-	cx := runOne(s, rec, rep)
-	if cx != nil {
-		cx.Choices = rec.choices
-	}
-	return cx
+	return runOne(s, rc, rep)
 }
 
 // runStressParallel fans the stress executions across workers. Each
@@ -245,7 +282,8 @@ func runStressParallel(s *Scenario, opts Options, rep *Report) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		reps[w] = &Report{}
+		// The depth histogram is lock-free, so workers share it.
+		reps[w] = &Report{Stats: Stats{Depth: rep.Stats.Depth}}
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < opts.StressExecutions; i += workers {
@@ -279,18 +317,28 @@ func runStressParallel(s *Scenario, opts Options, rep *Report) {
 // runOne executes the scenario once under the given chooser and checks
 // the resulting history. It returns a counterexample on violation.
 func runOne(s *Scenario, ch machine.Chooser, rep *Report) *Counterexample {
+	// The recorder sits at the inner-chooser position (below any
+	// RandPolicy), so its choice sequence is exactly what ScriptChooser
+	// replays, and doubles as the machine Observer for thread identity.
+	rec := &scheduleRecorder{inner: ch}
+	chooser := machine.Chooser(rec)
 	if s.RandPolicy != nil {
-		ch = &randPolicyChooser{inner: ch, policy: s.RandPolicy}
+		chooser = &randPolicyChooser{inner: rec, policy: s.RandPolicy, rec: rec}
 	}
-	m := machine.New(s.MachineOpts)
+	mo := s.MachineOpts
+	mo.Observer = rec
+	m := machine.New(mo)
+	defer func() { rep.Stats.Depth.Observe(float64(len(rec.choices))) }()
 	w := s.Setup(m)
 	h := &Harness{}
 
 	fail := func(reason string) *Counterexample {
 		return &Counterexample{
-			Trace:   append([]string{}, m.Trace()...),
-			History: h.rec.History(),
-			Reason:  reason,
+			Choices:  append([]int{}, rec.choices...),
+			Schedule: append(Schedule{}, rec.steps...),
+			Trace:    append([]string{}, m.Trace()...),
+			History:  h.rec.History(),
+			Reason:   reason,
 		}
 	}
 	checkInv := func(when string) *Counterexample {
@@ -304,7 +352,8 @@ func runOne(s *Scenario, ch machine.Chooser, rep *Report) *Counterexample {
 	}
 
 	if s.Init != nil {
-		res := m.RunEra(ch, false, func(t *machine.T) { s.Init(t, w) })
+		rec.era("init")
+		res := m.RunEra(chooser, false, func(t *machine.T) { s.Init(t, w) })
 		if res.Outcome == machine.Violation {
 			return fail("machine violation in init phase: " + res.Err.Error())
 		}
@@ -314,7 +363,8 @@ func runOne(s *Scenario, ch machine.Chooser, rep *Report) *Counterexample {
 	}
 
 	crashesLeft := s.MaxCrashes
-	res := m.RunEra(ch, crashesLeft > 0, func(t *machine.T) { s.Main(t, w, h) })
+	rec.era("main")
+	res := m.RunEra(chooser, crashesLeft > 0, func(t *machine.T) { s.Main(t, w, h) })
 	crashed := false
 	for res.Outcome == machine.Crashed {
 		if !crashed {
@@ -328,7 +378,8 @@ func runOne(s *Scenario, ch machine.Chooser, rep *Report) *Counterexample {
 			res = machine.EraResult{Outcome: machine.Done}
 			break
 		}
-		res = m.RunEra(ch, crashesLeft > 0, func(t *machine.T) { s.Recover(t, w) })
+		rec.era("recovery")
+		res = m.RunEra(chooser, crashesLeft > 0, func(t *machine.T) { s.Recover(t, w) })
 		if res.Outcome == machine.Done {
 			if cx := checkInv("after recovery"); cx != nil {
 				return cx
@@ -340,7 +391,8 @@ func runOne(s *Scenario, ch machine.Chooser, rep *Report) *Counterexample {
 	}
 
 	if s.Post != nil {
-		res = m.RunEra(ch, false, func(t *machine.T) { s.Post(t, w, h) })
+		rec.era("post")
+		res = m.RunEra(chooser, false, func(t *machine.T) { s.Post(t, w, h) })
 		if res.Outcome == machine.Violation {
 			return fail("machine violation in post phase: " + res.Err.Error())
 		}
@@ -420,10 +472,13 @@ func (d *dfsChooser) taken() []int {
 }
 
 // randPolicyChooser resolves "rand"-tagged choices with a deterministic
-// per-call policy and forwards everything else.
+// per-call policy and forwards everything else. Policy-resolved choices
+// are reported to the schedule recorder (they are part of the
+// structured schedule) but not to the replayable choice sequence.
 type randPolicyChooser struct {
 	inner  machine.Chooser
 	policy func(call, n int) int
+	rec    *scheduleRecorder
 	calls  int
 }
 
@@ -435,33 +490,29 @@ func (r *randPolicyChooser) Choose(n int, tag string) int {
 			c = 0
 		}
 		r.calls++
+		if r.rec != nil {
+			r.rec.policyChoice(n, c)
+		}
 		return c
 	}
 	return r.inner.Choose(n, tag)
 }
 
-// recordingChooser wraps a chooser and records the choices it made, so
-// randomized counterexamples are reproducible.
-type recordingChooser struct {
-	inner   machine.Chooser
-	choices []int
-}
-
-// Choose implements machine.Chooser.
-func (r *recordingChooser) Choose(n int, tag string) int {
-	c := r.inner.Choose(n, tag)
-	r.choices = append(r.choices, c)
-	return c
-}
-
-// Replay runs the scenario once with an explicit choice script (e.g. a
-// counterexample's Choices) and returns the machine trace and history.
-// Useful for debugging a failure interactively.
-func Replay(s *Scenario, choices []int) (trace []string, h history.History, reason string) {
+// ReplayCx runs the scenario once with an explicit choice script (e.g.
+// a counterexample's Choices) and returns the resulting counterexample
+// — schedule, trace, and history included — or nil when the script no
+// longer fails.
+func ReplayCx(s *Scenario, choices []int) *Counterexample {
 	rep := &Report{}
-	sc := &machine.ScriptChooser{Script: choices}
-	cx := runOne(s, sc, rep)
-	if cx != nil {
+	sc := &machine.ScriptChooser{Script: append([]int{}, choices...)}
+	return runOne(s, sc, rep)
+}
+
+// Replay runs the scenario once with an explicit choice script and
+// returns the machine trace and history. Useful for debugging a
+// failure interactively; ReplayCx keeps the structured schedule too.
+func Replay(s *Scenario, choices []int) (trace []string, h history.History, reason string) {
+	if cx := ReplayCx(s, choices); cx != nil {
 		return cx.Trace, cx.History, cx.Reason
 	}
 	return nil, nil, ""

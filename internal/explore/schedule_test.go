@@ -1,0 +1,144 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// brokenScenario is the torn-write register with recovery disabled —
+// the standing source of a real counterexample for these tests.
+func brokenScenario() *Scenario {
+	s := scenario(true, true)
+	s.Recover = func(t *machine.T, wAny any) {}
+	return s
+}
+
+func TestCounterexampleCarriesSchedule(t *testing.T) {
+	rep := Run(brokenScenario(), Options{MaxExecutions: 1000})
+	if rep.OK() {
+		t.Fatal("torn write not caught")
+	}
+	cx := rep.Counterexample
+	if len(cx.Schedule) == 0 {
+		t.Fatal("counterexample has no structured schedule")
+	}
+	if got := cx.Schedule.Crashes(); got < 1 {
+		t.Fatalf("schedule records %d crashes, want >= 1", got)
+	}
+	var sawThread, sawMain, sawRecovery bool
+	for _, st := range cx.Schedule {
+		switch {
+		case st.Kind == StepThread:
+			if st.Thread < 0 {
+				t.Fatalf("thread step with unresolved thread id: %+v", st)
+			}
+			sawThread = true
+		case st.Kind == StepEra && st.Tag == "main":
+			sawMain = true
+		case st.Kind == StepEra && st.Tag == "recovery":
+			sawRecovery = true
+		}
+	}
+	if !sawThread || !sawMain || !sawRecovery {
+		t.Fatalf("schedule missing expected steps (thread=%v main=%v recovery=%v):\n%s",
+			sawThread, sawMain, sawRecovery, cx.Schedule.Format())
+	}
+	body := cx.Format()
+	for _, want := range []string{"schedule (", "CRASH injected", "-- era: main --"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("Format() missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestReplayCxReproducesSchedule(t *testing.T) {
+	s := brokenScenario()
+	rep := Run(s, Options{MaxExecutions: 1000})
+	if rep.OK() {
+		t.Fatal("torn write not caught")
+	}
+	cx := rep.Counterexample
+	cx2 := ReplayCx(s, cx.Choices)
+	if cx2 == nil {
+		t.Fatal("replay of counterexample choices did not fail")
+	}
+	if cx2.Reason != cx.Reason {
+		t.Fatalf("replay reason %q, original %q", cx2.Reason, cx.Reason)
+	}
+	if fmt.Sprint(cx2.Schedule) != fmt.Sprint(cx.Schedule) {
+		t.Fatalf("replayed schedule differs:\noriginal:\n%s\nreplay:\n%s",
+			cx.Schedule.Format(), cx2.Schedule.Format())
+	}
+}
+
+func TestRunPopulatesStats(t *testing.T) {
+	rep := Run(scenario(true, false), Options{MaxExecutions: 1000})
+	if !rep.OK() {
+		t.Fatalf("violation:\n%s", rep.Counterexample.Format())
+	}
+	st := rep.Stats
+	if st.Duration <= 0 {
+		t.Errorf("Duration = %v, want > 0", st.Duration)
+	}
+	if st.ExecsPerSec <= 0 || st.StatesPerSec <= 0 {
+		t.Errorf("rates not derived: %+v", st)
+	}
+	_, counts := st.Depth.Snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != uint64(rep.Executions) {
+		t.Errorf("depth histogram holds %d observations, want %d", total, rep.Executions)
+	}
+	if !strings.Contains(st.String(), "execs/s") {
+		t.Errorf("Stats.String() = %q", st.String())
+	}
+}
+
+func TestParallelStressSharesDepthHistogram(t *testing.T) {
+	rep := Run(scenario(true, false), Options{
+		MaxExecutions:     1, // skip past the systematic phase quickly
+		StressExecutions:  40,
+		StressParallelism: 4,
+	})
+	if !rep.OK() {
+		t.Fatalf("violation:\n%s", rep.Counterexample.Format())
+	}
+	_, counts := rep.Stats.Depth.Snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != uint64(rep.Executions) {
+		t.Errorf("depth histogram holds %d observations, want %d", total, rep.Executions)
+	}
+}
+
+func TestScheduleFormatCompressesRuns(t *testing.T) {
+	sc := Schedule{
+		{Kind: StepEra, Tag: "main"},
+		{Kind: StepThread, Thread: 1, N: 3, Chosen: 1},
+		{Kind: StepThread, Thread: 1, N: 3, Chosen: 1},
+		{Kind: StepThread, Thread: 1, N: 3, Chosen: 1},
+		{Kind: StepChoice, Tag: "fault", N: 2, Chosen: 1},
+		{Kind: StepCrash, N: 4, Chosen: 3},
+	}
+	got := sc.Format()
+	for _, want := range []string{
+		"-- era: main --",
+		"run t1 for 3 steps",
+		"choose fault = 1 of 2",
+		"CRASH injected (option 3 of 4)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Format() missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "run t1") != 1 {
+		t.Errorf("thread run not compressed:\n%s", got)
+	}
+}

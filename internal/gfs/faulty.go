@@ -204,8 +204,14 @@ type Faulty struct {
 	// N-th call of each class sleep before executing — cheap tail-latency
 	// injection for the OS backend. Never applied under the model (real
 	// sleeps would only slow the checker, not change its schedules).
-	Latency      time.Duration
+	Latency       time.Duration
 	LatencyEveryN uint64
+
+	// Metrics, when non-nil, counts injected faults per class into the
+	// shared file-system metrics (gfs_faults_injected_total). The
+	// replayable log above stays authoritative for drills; the counters
+	// exist for scraping.
+	Metrics *FSMetrics
 
 	mu     sync.Mutex
 	calls  [NumFaultOps]uint64
@@ -269,6 +275,7 @@ func (f *Faulty) begin(t T, op FaultOp, detail string) bool {
 	f.faults[op]++
 	f.log = append(f.log, FaultEvent{Op: op, Index: idx, Detail: detail})
 	f.mu.Unlock()
+	f.Metrics.FaultInjected(op)
 	return true
 }
 

@@ -1,0 +1,167 @@
+package gfs
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fsOps enumerates the System operations for metric labels.
+var fsOps = []string{
+	"create", "open", "append", "close", "readat",
+	"size", "sync", "delete", "link", "list",
+}
+
+// FSMetrics is the file-system layer's slice of the observability
+// surface: per-op-class call counters and latency histograms, plus
+// per-class injected-fault counters fed by Faulty. One FSMetrics is
+// shared by the whole backend chain (Observed counts every call,
+// whether or not a Faulty layer below it injects).
+type FSMetrics struct {
+	calls   map[string]*obs.Counter
+	latency map[string]*obs.Histogram
+	faults  [NumFaultOps]*obs.Counter
+}
+
+// NewFSMetrics registers the file-system metric families
+// (gfs_ops_total, gfs_op_seconds, gfs_faults_injected_total) in r.
+func NewFSMetrics(r *obs.Registry) *FSMetrics {
+	m := &FSMetrics{
+		calls:   map[string]*obs.Counter{},
+		latency: map[string]*obs.Histogram{},
+	}
+	for _, op := range fsOps {
+		m.calls[op] = r.Counter("gfs_ops_total",
+			"File-system operations by class.", "op", op)
+		m.latency[op] = r.Histogram("gfs_op_seconds",
+			"File-system operation latency by class.", obs.DefLatencyBuckets, "op", op)
+	}
+	for op := FaultOp(0); op < NumFaultOps; op++ {
+		m.faults[op] = r.Counter("gfs_faults_injected_total",
+			"Transient faults injected by gfs.Faulty, by class.", "class", op.String())
+	}
+	return m
+}
+
+// FaultInjected counts one injected fault (called by Faulty).
+func (m *FSMetrics) FaultInjected(op FaultOp) {
+	if m == nil {
+		return
+	}
+	m.faults[op].Inc()
+}
+
+// observe records one completed call. All methods tolerate a nil
+// receiver so Observed can be built unconditionally.
+func (m *FSMetrics) observe(op string, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.calls[op].Inc()
+	m.latency[op].ObserveSince(start)
+}
+
+// Observed is a metrics middleware over any System: it counts every
+// call and times it into a per-op-class histogram, then forwards to the
+// inner backend. Stack it outermost — above Faulty — so injected faults
+// and retries are measured exactly as the caller experienced them.
+//
+// Timing uses the wall clock. That is meaningful for the OS backend
+// (which is what production wires up); under the modeled backend the
+// durations are merely the checker's own processing time, so scenarios
+// normally run without an Observed layer.
+type Observed struct {
+	inner System
+	m     *FSMetrics
+}
+
+// NewObserved wraps inner so every call is counted and timed into m.
+func NewObserved(inner System, m *FSMetrics) *Observed {
+	return &Observed{inner: inner, m: m}
+}
+
+// Inner returns the wrapped backend.
+func (o *Observed) Inner() System { return o.inner }
+
+// NewLock implements System (not measured: lock allocation is volatile
+// memory, not an I/O class).
+func (o *Observed) NewLock(t T, name string) Lock { return o.inner.NewLock(t, name) }
+
+// Create implements System.
+func (o *Observed) Create(t T, dir, name string) (FD, bool) {
+	start := time.Now()
+	fd, ok := o.inner.Create(t, dir, name)
+	o.m.observe("create", start)
+	return fd, ok
+}
+
+// Open implements System.
+func (o *Observed) Open(t T, dir, name string) (FD, bool) {
+	start := time.Now()
+	fd, ok := o.inner.Open(t, dir, name)
+	o.m.observe("open", start)
+	return fd, ok
+}
+
+// Append implements System.
+func (o *Observed) Append(t T, fd FD, data []byte) bool {
+	start := time.Now()
+	ok := o.inner.Append(t, fd, data)
+	o.m.observe("append", start)
+	return ok
+}
+
+// Close implements System.
+func (o *Observed) Close(t T, fd FD) {
+	start := time.Now()
+	o.inner.Close(t, fd)
+	o.m.observe("close", start)
+}
+
+// ReadAt implements System.
+func (o *Observed) ReadAt(t T, fd FD, off, n uint64) []byte {
+	start := time.Now()
+	data := o.inner.ReadAt(t, fd, off, n)
+	o.m.observe("readat", start)
+	return data
+}
+
+// Size implements System.
+func (o *Observed) Size(t T, fd FD) uint64 {
+	start := time.Now()
+	n := o.inner.Size(t, fd)
+	o.m.observe("size", start)
+	return n
+}
+
+// Sync implements System.
+func (o *Observed) Sync(t T, fd FD) bool {
+	start := time.Now()
+	ok := o.inner.Sync(t, fd)
+	o.m.observe("sync", start)
+	return ok
+}
+
+// Delete implements System.
+func (o *Observed) Delete(t T, dir, name string) bool {
+	start := time.Now()
+	ok := o.inner.Delete(t, dir, name)
+	o.m.observe("delete", start)
+	return ok
+}
+
+// Link implements System.
+func (o *Observed) Link(t T, oldDir, oldName, newDir, newName string) bool {
+	start := time.Now()
+	ok := o.inner.Link(t, oldDir, oldName, newDir, newName)
+	o.m.observe("link", start)
+	return ok
+}
+
+// List implements System.
+func (o *Observed) List(t T, dir string) []string {
+	start := time.Now()
+	names := o.inner.List(t, dir)
+	o.m.observe("list", start)
+	return names
+}

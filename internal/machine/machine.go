@@ -45,6 +45,21 @@ type ChooserFunc func(n int, tag string) int
 // Choose implements Chooser.
 func (f ChooserFunc) Choose(n int, tag string) int { return f(n, tag) }
 
+// Observer receives structured schedule events as the machine runs:
+// which thread each "sched" choice resolved to, and when a crash is
+// injected. The Chooser alone cannot see this — it is offered an
+// anonymous option count, while the machine knows which runnable
+// thread an option denotes. internal/explore uses an Observer to
+// record replayable counterexample schedules. Callbacks run on the
+// scheduler, between atomic steps; they must not call back into the
+// machine.
+type Observer interface {
+	// Scheduled reports that the next atomic step belongs to tid.
+	Scheduled(tid TID)
+	// CrashInjected reports that the era is ending in an injected crash.
+	CrashInjected()
+}
+
 // Device is durable hardware attached to the machine. Crash is invoked
 // on every machine crash; the device must discard volatile state (e.g.
 // open file descriptors) and keep durable state (e.g. disk blocks).
@@ -128,6 +143,8 @@ type Options struct {
 	MaxSteps int
 	// TraceDepth bounds the retained trace (0 = keep everything).
 	TraceDepth int
+	// Observer, when non-nil, receives structured schedule events.
+	Observer Observer
 }
 
 // Machine is one simulated machine instance. Durable devices survive
@@ -260,11 +277,17 @@ func (m *Machine) RunEra(chooser Chooser, allowCrash bool, main func(t *T)) EraR
 		}
 		if allowCrash && choice == n-1 {
 			m.Tracef("scheduler: inject crash")
+			if m.opts.Observer != nil {
+				m.opts.Observer.CrashInjected()
+			}
 			m.killAll()
 			return EraResult{Outcome: Crashed}
 		}
 
 		th := runnable[choice]
+		if m.opts.Observer != nil {
+			m.opts.Observer.Scheduled(th.id)
+		}
 		th.resume <- resumeGo
 		rep := <-m.reports
 		m.handleReport(rep)

@@ -68,6 +68,12 @@ type Config struct {
 	// threads; modeled threads never sleep — the model checker owns
 	// time there. 0 disables backoff.
 	DeliverBackoff time.Duration
+	// Metrics, when non-nil, records spec-level operation outcomes
+	// (deliver attempts/retries/failures, pickup volume, recovery spool
+	// sweeps). Leave nil under the model checker: disabled metrics cost
+	// nothing, and enabled ones read the wall clock, which a checked
+	// execution has no business doing.
+	Metrics *Metrics
 }
 
 // nameAttempts bounds fresh-name allocation loops (spool create, link
@@ -164,6 +170,7 @@ func (mb *Mailboat) WithSystem(sys gfs.System) *Mailboat {
 // silently.
 func (mb *Mailboat) Deliver(t gfs.T, j *core.JTok, user uint64, msg []byte) bool {
 	mb.checkUser(t, user)
+	start := mb.cfg.Metrics.start()
 	retries := mb.cfg.DeliverRetries
 	if retries <= 0 {
 		retries = 3
@@ -173,6 +180,7 @@ func (mb *Mailboat) Deliver(t gfs.T, j *core.JTok, user uint64, msg []byte) bool
 			mb.backoff(t, attempt)
 		}
 		if mb.deliverAttempt(t, j, user, msg) {
+			mb.cfg.Metrics.observeDeliver(start, attempt+1, true)
 			return true
 		}
 	}
@@ -181,6 +189,7 @@ func (mb *Mailboat) Deliver(t gfs.T, j *core.JTok, user uint64, msg []byte) bool
 	if mb.g != nil && j != nil {
 		mb.g.StepSim(modelT(t), j, false)
 	}
+	mb.cfg.Metrics.observeDeliver(start, retries, false)
 	return false
 }
 
@@ -280,6 +289,7 @@ func (mb *Mailboat) deliverAttempt(t gfs.T, j *core.JTok, user uint64, msg []byt
 // bug.
 func (mb *Mailboat) Pickup(t gfs.T, j *core.JTok, user uint64) []Message {
 	mb.checkUser(t, user)
+	start := mb.cfg.Metrics.start()
 	mb.locks[user].Acquire(t)
 
 	var expected []Message
@@ -326,6 +336,7 @@ func (mb *Mailboat) Pickup(t gfs.T, j *core.JTok, user uint64) []Message {
 		mb.sys.Close(t, fd)
 		msgs = append(msgs, Message{ID: name, Contents: string(contents)})
 	}
+	mb.cfg.Metrics.observePickup(start, msgs)
 	return msgs
 }
 
@@ -349,6 +360,7 @@ func (mb *Mailboat) Delete(t gfs.T, j *core.JTok, user uint64, id string) bool {
 			mb.g.StepSim(modelT(t), j, ok)
 		}
 	}
+	mb.cfg.Metrics.observeDelete(ok)
 	return ok
 }
 
@@ -369,9 +381,15 @@ func (mb *Mailboat) Unlock(t gfs.T, j *core.JTok, user uint64) {
 // old carries the pre-crash ghost handles; it may be nil when the ghost
 // context is nil (production boot).
 func Recover(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config, old *Mailboat) *Mailboat {
+	swept, sweepFailed := 0, 0
 	for _, name := range sys.List(t, SpoolDir) {
-		sys.Delete(t, SpoolDir, name)
+		if sys.Delete(t, SpoolDir, name) {
+			swept++
+		} else {
+			sweepFailed++
+		}
 	}
+	cfg.Metrics.observeRecover(swept, sweepFailed)
 	if g == nil {
 		return Init(t, nil, sys, cfg)
 	}

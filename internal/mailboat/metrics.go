@@ -1,0 +1,129 @@
+package mailboat
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the verified library's slice of the observability surface:
+// spec-level operation outcomes rather than raw file-system calls
+// (those belong to gfs.FSMetrics). Every method is nil-receiver-safe,
+// so the library instruments itself unconditionally and scenarios that
+// run under the model checker (Config.Metrics == nil) pay nothing — in
+// particular no wall-clock reads, which keeps checker executions free
+// of stray syscalls.
+type Metrics struct {
+	// Deliver protocol: attempts counts every spool-write-link round
+	// (so attempts - committed - failed = retries still in flight),
+	// retries counts rounds after the first, committed/failed are the
+	// spec-level outcomes, and latency spans the whole retry loop.
+	DeliverAttempts  *obs.Counter
+	DeliverRetries   *obs.Counter
+	DeliverCommitted *obs.Counter
+	DeliverFailed    *obs.Counter
+	DeliverSeconds   *obs.Histogram
+
+	// Pickup: one count per Pickup call, plus the messages and bytes it
+	// returned and the time it took (listing + chunked reads).
+	Pickups        *obs.Counter
+	PickupMessages *obs.Counter
+	PickupBytes    *obs.Counter
+	PickupSeconds  *obs.Histogram
+
+	// Delete outcomes (a false Delete is the spec's transient refusal).
+	Deletes      *obs.Counter
+	DeleteFailed *obs.Counter
+
+	// Recovery: runs and the spool entries cleaned up (§8.3's TmpInv
+	// made measurable: how much half-delivered garbage each crash left).
+	Recoveries         *obs.Counter
+	RecoverSpoolSwept  *obs.Counter
+	RecoverSweepFailed *obs.Counter
+}
+
+// NewMetrics registers the library's metric families in r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		DeliverAttempts:  r.Counter("mailboat_deliver_attempts_total", "Spool-write-link delivery attempts (including retries)."),
+		DeliverRetries:   r.Counter("mailboat_deliver_retries_total", "Delivery attempts after the first, per Deliver call."),
+		DeliverCommitted: r.Counter("mailboat_deliver_committed_total", "Deliveries committed (message visible in the mailbox)."),
+		DeliverFailed:    r.Counter("mailboat_deliver_failed_total", "Deliveries that exhausted retries and reported transient failure."),
+		DeliverSeconds:   r.Histogram("mailboat_deliver_seconds", "Deliver latency including retries and backoff.", obs.DefLatencyBuckets),
+		Pickups:          r.Counter("mailboat_pickup_total", "Pickup calls (mailbox listings plus reads)."),
+		PickupMessages:   r.Counter("mailboat_pickup_messages_total", "Messages returned by Pickup."),
+		PickupBytes:      r.Counter("mailboat_pickup_bytes_total", "Message bytes returned by Pickup."),
+		PickupSeconds:    r.Histogram("mailboat_pickup_seconds", "Pickup latency (listing plus chunked reads).", obs.DefLatencyBuckets),
+		Deletes:          r.Counter("mailboat_delete_total", "Delete calls that removed the message."),
+		DeleteFailed:     r.Counter("mailboat_delete_failed_total", "Delete calls transiently refused by the store."),
+		Recoveries:       r.Counter("mailboat_recover_total", "Recovery runs (boot and post-crash)."),
+		RecoverSpoolSwept: r.Counter("mailboat_recover_spool_swept_total",
+			"Leftover spool files removed by recovery (half-finished deliveries)."),
+		RecoverSweepFailed: r.Counter("mailboat_recover_spool_sweep_failed_total",
+			"Spool files recovery could not remove (transient delete failures)."),
+	}
+}
+
+// start returns a timestamp when metrics are enabled, the zero time
+// otherwise; obs histograms ignore zero starts, so call sites need no
+// second branch.
+func (m *Metrics) start() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeDeliver records one finished Deliver call.
+func (m *Metrics) observeDeliver(start time.Time, attempts int, committed bool) {
+	if m == nil {
+		return
+	}
+	m.DeliverAttempts.Add(uint64(attempts))
+	if attempts > 1 {
+		m.DeliverRetries.Add(uint64(attempts - 1))
+	}
+	if committed {
+		m.DeliverCommitted.Inc()
+	} else {
+		m.DeliverFailed.Inc()
+	}
+	m.DeliverSeconds.ObserveSince(start)
+}
+
+// observePickup records one finished Pickup call.
+func (m *Metrics) observePickup(start time.Time, msgs []Message) {
+	if m == nil {
+		return
+	}
+	m.Pickups.Inc()
+	m.PickupMessages.Add(uint64(len(msgs)))
+	var bytes uint64
+	for _, msg := range msgs {
+		bytes += uint64(len(msg.Contents))
+	}
+	m.PickupBytes.Add(bytes)
+	m.PickupSeconds.ObserveSince(start)
+}
+
+// observeDelete records one Delete outcome.
+func (m *Metrics) observeDelete(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.Deletes.Inc()
+	} else {
+		m.DeleteFailed.Inc()
+	}
+}
+
+// observeRecover records one recovery run and its spool sweep tallies.
+func (m *Metrics) observeRecover(swept, failed int) {
+	if m == nil {
+		return
+	}
+	m.Recoveries.Inc()
+	m.RecoverSpoolSwept.Add(uint64(swept))
+	m.RecoverSweepFailed.Add(uint64(failed))
+}

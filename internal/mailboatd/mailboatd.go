@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/gfs"
 	"repro/internal/mailboat"
+	"repro/internal/obs"
 )
 
 // ErrTransient reports a transient store failure: the operation did not
@@ -58,6 +59,38 @@ type Options struct {
 	// Fault, when non-nil, wraps the file system in gfs.Faulty with a
 	// seeded policy.
 	Fault *FaultOptions
+	// Metrics, when non-nil, registers the full store-side metric
+	// surface there: gfs_* file-system counters and latency histograms
+	// (measured outermost, so drills count the latency the library
+	// experiences including injected faults and retries), mailboat_*
+	// library metrics, and mailboatd_ops_total adapter outcomes.
+	Metrics *obs.Registry
+}
+
+// opMetrics counts adapter-level operation outcomes — the boundary
+// where library booleans become ErrTransient. All fields may be nil
+// (metrics disabled); obs counters ignore writes through nil.
+type opMetrics struct {
+	deliverOK, deliverTransient *obs.Counter
+	pickupOK                    *obs.Counter
+	deleteOK, deleteTransient   *obs.Counter
+	unlockOK                    *obs.Counter
+}
+
+func newOpMetrics(r *obs.Registry) opMetrics {
+	c := func(op, outcome string) *obs.Counter {
+		return r.Counter("mailboatd_ops_total",
+			"Adapter operations by outcome (transient = reported to the client as retryable).",
+			"op", op, "outcome", outcome)
+	}
+	return opMetrics{
+		deliverOK:        c("deliver", "ok"),
+		deliverTransient: c("deliver", "transient"),
+		pickupOK:         c("pickup", "ok"),
+		deleteOK:         c("delete", "ok"),
+		deleteTransient:  c("delete", "transient"),
+		unlockOK:         c("unlock", "ok"),
+	}
 }
 
 // Adapter exposes the Mailboat library as the smtp.Deliverer and
@@ -72,6 +105,7 @@ type Adapter struct {
 	faulty *gfs.Faulty // nil unless Options.Fault was set
 	mb     *mailboat.Mailboat
 	cfg    mailboat.Config
+	ops    opMetrics
 
 	rng atomic.Uint64
 }
@@ -101,9 +135,22 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := &Adapter{fs: fs, sys: fs, cfg: cfg}
+	// Metrics wrap OUTERMOST: under a fault drill the histograms record
+	// the latency and call counts the library experiences, injected
+	// faults included.
+	var fsm *gfs.FSMetrics
+	sys := gfs.System(fs)
+	if o.Metrics != nil {
+		fsm = gfs.NewFSMetrics(o.Metrics)
+		cfg.Metrics = mailboat.NewMetrics(o.Metrics)
+		sys = gfs.NewObserved(fs, fsm)
+	}
+	a := &Adapter{fs: fs, sys: sys, cfg: cfg}
+	if o.Metrics != nil {
+		a.ops = newOpMetrics(o.Metrics)
+	}
 	a.rng.Store(uint64(o.Seed))
-	a.mb = mailboat.Recover(a, nil, fs, cfg, nil)
+	a.mb = mailboat.Recover(a, nil, sys, cfg, nil)
 	if o.Fault != nil {
 		a.faulty = gfs.NewFaulty(fs, &gfs.SeededPolicy{
 			Seed:      o.Fault.Seed,
@@ -112,8 +159,12 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 		})
 		a.faulty.Latency = o.Fault.Latency
 		a.faulty.LatencyEveryN = o.Fault.LatencyEveryN
+		a.faulty.Metrics = fsm
 		a.sys = a.faulty
-		a.mb = a.mb.WithSystem(a.faulty)
+		if fsm != nil {
+			a.sys = gfs.NewObserved(a.faulty, fsm)
+		}
+		a.mb = a.mb.WithSystem(a.sys)
 	}
 	return a, nil
 }
@@ -151,26 +202,46 @@ func (a *Adapter) RandUint64(bound uint64) uint64 {
 // NOT accepted (retries exhausted) and the client must retry later.
 func (a *Adapter) Deliver(user uint64, msg []byte) error {
 	if !a.mb.Deliver(a, nil, user, msg) {
+		a.ops.deliverTransient.Inc()
 		return ErrTransient
 	}
+	a.ops.deliverOK.Inc()
 	return nil
 }
 
-// Pickup implements pop3.Maildrop.
+// Pickup implements pop3.Maildrop. The returned error is always nil by
+// design, not oversight: every store-level hazard on the pickup path
+// is absorbed below this layer. Short reads (POSIX short reads, or
+// gfs.Faulty's read-short class) are retried from the advanced offset
+// by the library's chunk loop — only a zero-length read means
+// end-of-file — and a listed name failing to Open could only come from
+// a concurrent delete, which the per-user lock held from Pickup to
+// Unlock excludes, so the library skips it as already-handled. Listing
+// itself has no fault class in the §8.3 fault model. The error in the
+// signature exists for pop3.Maildrop implementations over stores that
+// CAN transiently fail a pickup (e.g. a remote store); such
+// implementations return ErrTransient and the front end answers
+// "-ERR [SYS/TEMP]". TestPickupUnderReadFaults drills this contract
+// with every read faulted.
 func (a *Adapter) Pickup(user uint64) ([]mailboat.Message, error) {
-	return a.mb.Pickup(a, nil, user), nil
+	msgs := a.mb.Pickup(a, nil, user)
+	a.ops.pickupOK.Inc()
+	return msgs, nil
 }
 
 // Delete implements pop3.Maildrop. ErrTransient means the message is
 // still in the maildrop.
 func (a *Adapter) Delete(user uint64, id string) error {
 	if !a.mb.Delete(a, nil, user, id) {
+		a.ops.deleteTransient.Inc()
 		return ErrTransient
 	}
+	a.ops.deleteOK.Inc()
 	return nil
 }
 
 // Unlock implements pop3.Maildrop.
 func (a *Adapter) Unlock(user uint64) {
 	a.mb.Unlock(a, nil, user)
+	a.ops.unlockOK.Inc()
 }

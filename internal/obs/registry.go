@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry names metrics and renders them in the Prometheus text
+// exposition format. Metrics are grouped into families (one name, one
+// type, one help string) with any number of label-distinguished series.
+// Registration is idempotent: asking for an existing (name, labels)
+// series returns the same metric, so call sites may re-register freely.
+//
+// Registration takes the registry lock; the returned metrics are the
+// lock-free primitives above, so the observation path never touches the
+// registry again.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+type family struct {
+	name, help, kind string
+	buckets          []float64 // histograms only
+	series           map[string]any
+	order            []string // label signatures, registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// labelSig renders labels ("k1", "v1", "k2", "v2", ...) as a canonical
+// `{k1="v1",k2="v2"}` signature, sorted by key; empty labels yield "".
+func labelSig(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key/value pairs")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) family(name, help, kind string, buckets []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: map[string]any{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+// Counter registers (or finds) a counter series. labels are alternating
+// key/value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "counter", nil)
+	sig := labelSig(labels)
+	if m, ok := f.series[sig]; ok {
+		return m.(*Counter)
+	}
+	c := NewCounter()
+	f.series[sig] = c
+	f.order = append(f.order, sig)
+	return c
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "gauge", nil)
+	sig := labelSig(labels)
+	if m, ok := f.series[sig]; ok {
+		return m.(*Gauge)
+	}
+	g := NewGauge()
+	f.series[sig] = g
+	f.order = append(f.order, sig)
+	return g
+}
+
+// Histogram registers (or finds) a histogram series. All series of one
+// family share the first registration's bucket layout.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	f := r.family(name, help, "histogram", bounds)
+	sig := labelSig(labels)
+	if m, ok := f.series[sig]; ok {
+		return m.(*Histogram)
+	}
+	h := NewHistogram(f.buckets)
+	f.series[sig] = h
+	f.order = append(f.order, sig)
+	return h
+}
+
+// formatFloat renders a float the way Prometheus text format expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// mergeLabels splices extra labels (like le) into an existing label
+// signature.
+func mergeLabels(sig, extra string) string {
+	if sig == "" {
+		return "{" + extra + "}"
+	}
+	return sig[:len(sig)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), families in registration
+// order, series in registration order within a family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, sig := range f.order {
+			switch m := f.series[sig].(type) {
+			case *Counter:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, sig, m.Value()); err != nil {
+					return err
+				}
+			case *Gauge:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, sig, m.Value()); err != nil {
+					return err
+				}
+			case *Histogram:
+				bounds, counts := m.Snapshot()
+				var cum uint64
+				for i, b := range bounds {
+					cum += counts[i]
+					le := mergeLabels(sig, fmt.Sprintf("le=%q", formatFloat(b)))
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
+						return err
+					}
+				}
+				cum += counts[len(counts)-1]
+				le := mergeLabels(sig, `le="+Inf"`)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, sig, formatFloat(m.Sum())); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, sig, m.Count()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition output: families
+// in registration order, label signatures canonicalized (keys sorted),
+// histograms with cumulative le buckets, _sum, and _count. Scrapers
+// parse this bytes-exactly, so the format is a compatibility surface.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+
+	d := r.Counter("mail_deliver_total", "Deliveries committed.")
+	d.Add(42)
+	r.Counter("mail_ops_total", "Operations by class.", "op", "pickup").Add(7)
+	r.Counter("mail_ops_total", "Operations by class.", "op", "deliver").Add(9)
+
+	g := r.Gauge("mail_active_connections", "Connections being served.")
+	g.Set(3)
+
+	h := r.Histogram("mail_op_seconds", "Operation latency.", []float64{0.001, 0.01, 0.1}, "op", "deliver")
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	want := `# HELP mail_deliver_total Deliveries committed.
+# TYPE mail_deliver_total counter
+mail_deliver_total 42
+# HELP mail_ops_total Operations by class.
+# TYPE mail_ops_total counter
+mail_ops_total{op="pickup"} 7
+mail_ops_total{op="deliver"} 9
+# HELP mail_active_connections Connections being served.
+# TYPE mail_active_connections gauge
+mail_active_connections 3
+# HELP mail_op_seconds Operation latency.
+# TYPE mail_op_seconds histogram
+mail_op_seconds_bucket{op="deliver",le="0.001"} 2
+mail_op_seconds_bucket{op="deliver",le="0.01"} 2
+mail_op_seconds_bucket{op="deliver",le="0.1"} 3
+mail_op_seconds_bucket{op="deliver",le="+Inf"} 4
+mail_op_seconds_sum{op="deliver"} 2.051
+mail_op_seconds_count{op="deliver"} 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition format drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelCanonicalization(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", "b", "2", "a", "1")
+	b := r.Counter("x_total", "x", "a", "1", "b", "2")
+	if a != b {
+		t.Error("label order must not distinguish series")
+	}
+	a.Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `x_total{a="1",b="2"} 1`) {
+		t.Errorf("labels not canonicalized:\n%s", sb.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("y_total", "y")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("y_total", "y")
+}

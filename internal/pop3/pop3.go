@@ -49,6 +49,9 @@ type Server struct {
 	// are answered "-ERR [SYS/TEMP] too busy" and closed. Zero means
 	// unlimited.
 	MaxConns int
+	// Metrics, when non-nil, records connection and command metrics
+	// (see NewMetrics). Set it before Serve.
+	Metrics *Metrics
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -81,18 +84,25 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		if !s.track(conn) {
+			s.Metrics.connRefused()
 			s.refuse(conn)
 			continue
 		}
+		s.Metrics.connOpened()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer s.untrack(conn)
 			defer conn.Close()
+			defer s.Metrics.connClosed()
 			// A panic in the unverified handler costs only this
 			// connection; the handler's own deferred Unlock has already
 			// run by the time the panic reaches here.
-			defer func() { recover() }()
+			defer func() {
+				if r := recover(); r != nil {
+					s.Metrics.panicked()
+				}
+			}()
 			s.handle(conn)
 		}()
 	}
@@ -215,16 +225,10 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}()
 
-	for {
-		if s.ReadTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
-		}
-		line, err := r.ReadString('\n')
-		if err != nil {
-			return
-		}
-		line = strings.TrimRight(line, "\r\n")
-		verb, arg, _ := strings.Cut(line, " ")
+	// command executes one POP3 command against the session state,
+	// reporting true when the connection must end (QUIT, or a write
+	// failure mid-response).
+	command := func(verb, arg string) (quit bool) {
 		switch strings.ToUpper(verb) {
 		case "USER":
 			pendUser = strings.TrimSpace(arg)
@@ -232,20 +236,21 @@ func (s *Server) handle(conn net.Conn) {
 		case "PASS":
 			if authed {
 				bad("already authenticated")
-				continue
+				return false
 			}
 			u, err := parseUser(pendUser, s.users)
 			if err != nil {
 				bad("no such user")
-				continue
+				return false
 			}
 			m, err := s.backend.Pickup(u)
 			if err != nil {
 				// Transient store failure: the session stays open so
 				// the client can retry PASS, per the graceful-
 				// degradation contract.
+				s.Metrics.tempFailure()
 				bad("[SYS/TEMP] maildrop unavailable, try again later")
-				continue
+				return false
 			}
 			authedUser, authed = u, true
 			msgs = m
@@ -254,7 +259,7 @@ func (s *Server) handle(conn net.Conn) {
 		case "STAT":
 			if !authed {
 				bad("authenticate first")
-				continue
+				return false
 			}
 			n, bytes := 0, 0
 			for i, m := range msgs {
@@ -267,7 +272,7 @@ func (s *Server) handle(conn net.Conn) {
 		case "LIST":
 			if !authed {
 				bad("authenticate first")
-				continue
+				return false
 			}
 			ok("scan listing follows")
 			for i, m := range msgs {
@@ -277,18 +282,18 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			fmt.Fprintf(w, ".\r\n")
 			if flush() != nil {
-				return
+				return true
 			}
 		case "RETR":
 			i, valid := s.msgIndex(arg, msgs, deleted)
 			if !authed || !valid {
 				bad("no such message")
-				continue
+				return false
 			}
 			ok(fmt.Sprintf("%d octets", len(msgs[i].Contents)))
 			writeMultiline(w, msgs[i].Contents)
 			if flush() != nil {
-				return
+				return true
 			}
 		case "TOP":
 			num, rest, _ := strings.Cut(strings.TrimSpace(arg), " ")
@@ -296,26 +301,26 @@ func (s *Server) handle(conn net.Conn) {
 			lines, err := strconv.Atoi(strings.TrimSpace(rest))
 			if !authed || !valid || err != nil || lines < 0 {
 				bad("no such message")
-				continue
+				return false
 			}
 			ok("top of message follows")
 			writeMultiline(w, topOf(msgs[i].Contents, lines))
 			if flush() != nil {
-				return
+				return true
 			}
 		case "UIDL":
 			if !authed {
 				bad("authenticate first")
-				continue
+				return false
 			}
 			if strings.TrimSpace(arg) != "" {
 				i, valid := s.msgIndex(arg, msgs, deleted)
 				if !valid {
 					bad("no such message")
-					continue
+					return false
 				}
 				ok(fmt.Sprintf("%d %s", i+1, msgs[i].ID))
-				continue
+				return false
 			}
 			ok("unique-id listing follows")
 			for i, m := range msgs {
@@ -325,13 +330,13 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			fmt.Fprintf(w, ".\r\n")
 			if flush() != nil {
-				return
+				return true
 			}
 		case "DELE":
 			i, valid := s.msgIndex(arg, msgs, deleted)
 			if !authed || !valid {
 				bad("no such message")
-				continue
+				return false
 			}
 			deleted[i] = true
 			ok("marked for deletion")
@@ -358,14 +363,34 @@ func (s *Server) handle(conn net.Conn) {
 					// RFC 1939 UPDATE state: deletes that could not be
 					// applied are reported, not silently dropped; the
 					// messages remain in the maildrop.
+					s.Metrics.tempFailure()
 					bad(fmt.Sprintf("[SYS/TEMP] %d message(s) not removed, still in maildrop", failed))
-					return
+					return true
 				}
 			}
 			ok("bye")
-			return
+			return true
 		default:
 			bad("unrecognized command")
+		}
+		return false
+	}
+
+	for {
+		if s.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		verb, arg, _ := strings.Cut(line, " ")
+		start := s.Metrics.cmdStart()
+		quit := command(verb, arg)
+		s.Metrics.command(verb, start)
+		if quit {
+			return
 		}
 	}
 }

@@ -8,9 +8,9 @@ import (
 
 // SweepPoint is one (server, cores) measurement of the Figure 11 sweep.
 type SweepPoint struct {
-	Server string
-	Cores  int
-	Result Result
+	Server string `json:"server"`
+	Cores  int    `json:"cores"`
+	Result Result `json:"result"`
 }
 
 // SweepOptions configures a Figure 11 reproduction.

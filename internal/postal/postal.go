@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/mailboat"
+	"repro/internal/obs"
 )
 
 // Backend abstracts a mail server under benchmark. The worker index
@@ -62,22 +63,54 @@ func (o *Options) fill() {
 	}
 }
 
-// Result summarizes one run.
+// Result summarizes one run. The JSON field names are a stable
+// machine-readable interface (mailbench -json).
 type Result struct {
-	Requests   int
-	Delivers   int
-	Pickups    int
-	Messages   int // messages verified during pickups
-	BadHashes  int // rabid-style verification failures
-	Errors     int
-	Elapsed    time.Duration
-	Throughput float64 // requests per second
+	Requests   int            `json:"requests"`
+	Delivers   int            `json:"delivers"`
+	Pickups    int            `json:"pickups"`
+	Messages   int            `json:"messages_verified"` // messages verified during pickups
+	BadHashes  int            `json:"bad_hashes"`        // rabid-style verification failures
+	Errors     int            `json:"errors"`
+	Elapsed    time.Duration  `json:"elapsed_ns"`
+	Throughput float64        `json:"requests_per_second"`
+	Deliver    LatencySummary `json:"deliver_latency"`
+	Pickup     LatencySummary `json:"pickup_latency"`
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%d reqs in %v = %.0f req/s (%d delivers, %d pickups, %d msgs verified, %d bad, %d errors)",
+	return fmt.Sprintf("%d reqs in %v = %.0f req/s (%d delivers, %d pickups, %d msgs verified, %d bad, %d errors; deliver p50/p99 %s/%s, pickup p50/p99 %s/%s)",
 		r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput,
-		r.Delivers, r.Pickups, r.Messages, r.BadHashes, r.Errors)
+		r.Delivers, r.Pickups, r.Messages, r.BadHashes, r.Errors,
+		fmtSec(r.Deliver.P50), fmtSec(r.Deliver.P99),
+		fmtSec(r.Pickup.P50), fmtSec(r.Pickup.P99))
+}
+
+func fmtSec(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// LatencySummary condenses an obs latency histogram: quantiles are
+// bucket-interpolated (histogram_quantile style), in seconds.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P90   float64 `json:"p90_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+func summarize(h *obs.Histogram) LatencySummary {
+	s := LatencySummary{
+		Count: h.Count(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.Mean = h.Sum() / float64(s.Count)
+	}
+	return s
 }
 
 // Compose builds a message body of approximately size bytes whose first
@@ -123,6 +156,9 @@ func Run(b Backend, opts Options) Result {
 	opts.fill()
 	perWorker := opts.TotalRequests / opts.Workers
 	var delivers, pickups, messages, bad, errs atomic.Int64
+	// Lock-free histograms, shared by all workers without aggregation.
+	deliverLat := obs.NewHistogram(obs.DefLatencyBuckets)
+	pickupLat := obs.NewHistogram(obs.DefLatencyBuckets)
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -135,14 +171,21 @@ func Run(b Backend, opts Options) Result {
 				user := uint64(rng.Int63n(int64(opts.Users)))
 				if rng.Intn(2) == 0 {
 					msg := Compose(rng, opts.MessageBytes)
-					if err := b.Deliver(w, user, msg); err != nil {
+					t0 := time.Now()
+					err := b.Deliver(w, user, msg)
+					deliverLat.ObserveSince(t0)
+					if err != nil {
 						errs.Add(1)
 					} else {
 						delivers.Add(1)
 					}
 				} else {
+					// The pickup latency covers the whole POP3-style
+					// session: listing, verification, deletes, unlock.
+					t0 := time.Now()
 					msgs, err := b.Pickup(w, user)
 					if err != nil {
+						pickupLat.ObserveSince(t0)
 						errs.Add(1)
 						continue
 					}
@@ -156,6 +199,7 @@ func Run(b Backend, opts Options) Result {
 						}
 					}
 					b.Unlock(w, user)
+					pickupLat.ObserveSince(t0)
 					pickups.Add(1)
 				}
 			}
@@ -174,5 +218,7 @@ func Run(b Backend, opts Options) Result {
 		Errors:     int(errs.Load()),
 		Elapsed:    elapsed,
 		Throughput: float64(total) / elapsed.Seconds(),
+		Deliver:    summarize(deliverLat),
+		Pickup:     summarize(pickupLat),
 	}
 }

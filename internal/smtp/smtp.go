@@ -66,6 +66,9 @@ type Server struct {
 	// MaxConns caps concurrently served connections; excess connections
 	// are answered 421 and closed. Zero means unlimited.
 	MaxConns int
+	// Metrics, when non-nil, records connection and command metrics
+	// (see NewMetrics). Set it before Serve.
+	Metrics *Metrics
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -98,17 +101,24 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		if !s.track(conn) {
+			s.Metrics.connRefused()
 			s.refuse(conn)
 			continue
 		}
+		s.Metrics.connOpened()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer s.untrack(conn)
 			defer conn.Close()
+			defer s.Metrics.connClosed()
 			// An unverified protocol handler must not take the whole
 			// server down: a panic costs only this connection.
-			defer func() { recover() }()
+			defer func() {
+				if r := recover(); r != nil {
+					s.Metrics.panicked()
+				}
+			}()
 			s.handle(conn)
 		}()
 	}
@@ -230,65 +240,79 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		line = strings.TrimRight(line, "\r\n")
 		verb, arg, _ := strings.Cut(line, " ")
-		switch strings.ToUpper(verb) {
-		case "HELO", "EHLO":
-			say(250, "mailboat at your service")
-		case "MAIL":
-			st = session{inOrder: true}
-			say(250, "ok")
-		case "RCPT":
-			if !st.inOrder {
-				say(503, "need MAIL first")
-				continue
-			}
-			arg = strings.TrimPrefix(strings.TrimSpace(arg), "TO:")
-			arg = strings.TrimPrefix(arg, "to:")
-			user, err := ParseRecipient(arg, s.users)
-			if err != nil {
-				say(550, "no such mailbox")
-				continue
-			}
-			st.rcpts = append(st.rcpts, user)
-			say(250, "ok")
-		case "DATA":
-			if len(st.rcpts) == 0 {
-				say(503, "need RCPT first")
-				continue
-			}
-			if !say(354, "end with <CRLF>.<CRLF>") {
-				return
-			}
-			body, err := readData(readLine)
-			if err != nil {
-				return
-			}
-			failed := false
-			for _, user := range st.rcpts {
-				if err := s.backend.Deliver(user, body); err != nil {
-					failed = true
-				}
-			}
-			st = session{}
-			if failed {
-				// Transient store failure: degrade gracefully with 451
-				// so the sender retries, instead of dropping the
-				// connection. The message was NOT acknowledged.
-				say(451, "local error in processing, try again later")
-			} else {
-				say(250, "delivered")
-			}
-		case "RSET":
-			st = session{}
-			say(250, "ok")
-		case "NOOP":
-			say(250, "ok")
-		case "QUIT":
-			say(221, "bye")
+		start := s.Metrics.cmdStart()
+		quit := s.command(&st, verb, arg, readLine, say)
+		s.Metrics.command(verb, start)
+		if quit {
 			return
-		default:
-			say(500, "unrecognized command")
 		}
 	}
+}
+
+// command executes one SMTP command against the session state,
+// reporting true when the connection must end (QUIT, or a read/write
+// failure mid-command).
+func (s *Server) command(st *session, verb, arg string, readLine func() (string, error), say func(int, string) bool) bool {
+	switch strings.ToUpper(verb) {
+	case "HELO", "EHLO":
+		say(250, "mailboat at your service")
+	case "MAIL":
+		*st = session{inOrder: true}
+		say(250, "ok")
+	case "RCPT":
+		if !st.inOrder {
+			say(503, "need MAIL first")
+			return false
+		}
+		arg = strings.TrimPrefix(strings.TrimSpace(arg), "TO:")
+		arg = strings.TrimPrefix(arg, "to:")
+		user, err := ParseRecipient(arg, s.users)
+		if err != nil {
+			say(550, "no such mailbox")
+			return false
+		}
+		st.rcpts = append(st.rcpts, user)
+		say(250, "ok")
+	case "DATA":
+		if len(st.rcpts) == 0 {
+			say(503, "need RCPT first")
+			return false
+		}
+		if !say(354, "end with <CRLF>.<CRLF>") {
+			return true
+		}
+		body, err := readData(readLine)
+		if err != nil {
+			return true
+		}
+		failed := false
+		for _, user := range st.rcpts {
+			if err := s.backend.Deliver(user, body); err != nil {
+				failed = true
+			}
+		}
+		*st = session{}
+		if failed {
+			// Transient store failure: degrade gracefully with 451
+			// so the sender retries, instead of dropping the
+			// connection. The message was NOT acknowledged.
+			s.Metrics.tempFailure()
+			say(451, "local error in processing, try again later")
+		} else {
+			say(250, "delivered")
+		}
+	case "RSET":
+		*st = session{}
+		say(250, "ok")
+	case "NOOP":
+		say(250, "ok")
+	case "QUIT":
+		say(221, "bye")
+		return true
+	default:
+		say(500, "unrecognized command")
+	}
+	return false
 }
 
 // readData reads a DATA body up to the lone-dot terminator, undoing
