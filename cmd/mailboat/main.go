@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mailboat [-dir path] [-users N] [-smtp addr] [-pop3 addr]
+//	mailboat [-dir path] [-mirror path] [-users N] [-smtp addr] [-pop3 addr]
 //	         [-admin addr] [-max-conns N] [-timeout d] [-grace d] [-sync]
 //	         [-retries N] [-backoff d]
 //	         [-fault-seed N] [-fault-rate N] [-fault-max N]
@@ -18,6 +18,12 @@
 // /metrics (every layer: gfs_*, mailboat_*, mailboatd_*, smtp_*,
 // pop3_*), /healthz, and net/http/pprof under /debug/pprof/. Metrics
 // are collected whether or not the listener is enabled.
+//
+// -mirror runs the store mirrored across two directories (put them on
+// different disks): every write goes to both replicas, reads fail over
+// if a replica dies, and a reboot resilvers a replaced replica from the
+// survivor before serving. While degraded, /healthz answers 503 with
+// the per-replica status as JSON. Mutually exclusive with -fault-rate.
 //
 // The -fault-* flags run the server in fault-drill mode: a
 // deterministic gfs.Faulty layer injects transient file-system faults
@@ -84,6 +90,7 @@ func main() {
 	maxConns := flag.Int("max-conns", 0, "max concurrent connections per listener (0 = unlimited)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-connection read/write deadline (0 = none)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period before force-closing sessions")
+	mirrorDir := flag.String("mirror", "", "second replica directory: run the store mirrored (writes to both, reads fail over, boot resilvers a replaced replica)")
 	syncDeliver := flag.Bool("sync", false, "fsync spool files before publishing (survives OS crashes)")
 	retries := flag.Int("retries", 0, "delivery retry attempts on transient store failure (0 = default)")
 	backoff := flag.Duration("backoff", 10*time.Millisecond, "base backoff between delivery retries")
@@ -102,6 +109,7 @@ func main() {
 		DeliverRetries: *retries,
 		DeliverBackoff: *backoff,
 		Metrics:        reg,
+		MirrorRoot:     *mirrorDir,
 	}
 	if *faultRate > 0 {
 		opts.Fault = &mailboatd.FaultOptions{
@@ -116,6 +124,9 @@ func main() {
 	}
 	defer adapter.Close()
 	log.Printf("mailboat: store %s recovered, %d users", *dir, *users)
+	if *mirrorDir != "" {
+		log.Printf("mailboat: MIRRORED with replica %s (status %+v)", *mirrorDir, *adapter.MirrorStatus())
+	}
 	if opts.Fault != nil {
 		log.Printf("mailboat: FAULT DRILL active (seed %d, 1 in %d calls)", *faultSeed, *faultRate)
 	}
@@ -146,7 +157,10 @@ func main() {
 			}
 			return nil
 		}
-		as := &http.Server{Addr: *adminAddr, Handler: admin.Handler(reg, healthz)}
+		// While the mirror is degraded or resilvering, /healthz answers
+		// 503 with the per-replica status as JSON (nil func on plain,
+		// non-mirrored stores keeps the 200 "ok" contract).
+		as := &http.Server{Addr: *adminAddr, Handler: admin.Handler(reg, healthz, adapter.MirrorStatus)}
 		go func() { errs <- as.ListenAndServe() }()
 		defer as.Close()
 		log.Printf("mailboat: admin HTTP on %s (/metrics, /healthz, /debug/pprof)", *adminAddr)

@@ -8,17 +8,26 @@
 package admin
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 
+	"repro/internal/gfs"
 	"repro/internal/obs"
 )
 
 // Handler builds the admin mux over reg. healthz, when non-nil, is
 // consulted by /healthz: nil error answers 200 "ok", an error answers
 // 503 with the error text. A nil healthz always answers 200.
-func Handler(reg *obs.Registry, healthz func() error) http.Handler {
+//
+// mirror, when non-nil, reports the mirrored store's replica health
+// (mailboatd.Adapter.MirrorStatus fits the signature). A healthy (or
+// absent: nil return) mirror keeps the plain 200 "ok" contract; while
+// the mirror is degraded or resilvering, /healthz answers 503 with the
+// per-replica status as JSON, so orchestrators pull the instance from
+// rotation and operators see which replica died at a glance.
+func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorStatus) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -28,6 +37,14 @@ func Handler(reg *obs.Registry, healthz func() error) http.Handler {
 		if healthz != nil {
 			if err := healthz(); err != nil {
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		if mirror != nil {
+			if st := mirror(); st != nil && (st.Degraded || st.Resilvering) {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				json.NewEncoder(w).Encode(st)
 				return
 			}
 		}

@@ -2,6 +2,7 @@ package admin_test
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/admin"
+	"repro/internal/gfs"
 	"repro/internal/mailboatd"
 	"repro/internal/obs"
 	"repro/internal/pop3"
@@ -52,7 +54,7 @@ func TestAdminEndToEnd(t *testing.T) {
 	go ps.Serve(pl)
 	t.Cleanup(func() { ps.Close() })
 
-	srv := httptest.NewServer(admin.Handler(reg, func() error { return nil }))
+	srv := httptest.NewServer(admin.Handler(reg, func() error { return nil }, adapter.MirrorStatus))
 	t.Cleanup(srv.Close)
 
 	// Drive one delivery and one pickup over the wire.
@@ -107,10 +109,92 @@ func TestAdminEndToEnd(t *testing.T) {
 	}
 }
 
+// TestAdminMirrorDegradedHealthz drills the mirrored health surface end
+// to end: healthy answers plain "ok"; after a replica fail-stops and
+// the store notices, /healthz flips to 503 with the per-replica status
+// as JSON and /metrics carries the mirror counters; a reboot (which
+// resilvers) restores the plain 200 "ok".
+func TestAdminMirrorDegradedHealthz(t *testing.T) {
+	reg := obs.NewRegistry()
+	root0, root1 := t.TempDir(), t.TempDir()
+	adapter, err := mailboatd.NewWithOptions(root0, mailboatd.Options{
+		Users:      2,
+		Seed:       1,
+		MirrorRoot: root1,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus))
+	t.Cleanup(srv.Close)
+
+	if body := get(t, srv.URL+"/healthz", http.StatusOK); !strings.HasPrefix(body, "ok") {
+		t.Errorf("healthy mirrored /healthz body: %q", body)
+	}
+
+	// Kill the published replica; the next store operation notices,
+	// fails the read over, and flips the mirror to degraded.
+	if err := adapter.Deliver(0, []byte("pre-kill")); err != nil {
+		t.Fatal(err)
+	}
+	adapter.FailStopReplica(0)
+	msgs, _ := adapter.Pickup(0)
+	adapter.Unlock(0)
+	if len(msgs) != 1 || msgs[0].Contents != "pre-kill" {
+		t.Fatalf("pickup after replica kill did not fail over: %+v", msgs)
+	}
+
+	body := get(t, srv.URL+"/healthz", http.StatusServiceUnavailable)
+	var st gfs.MirrorStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("degraded /healthz is not JSON: %v (body %q)", err, body)
+	}
+	if !st.Degraded || st.Replicas[0].Live || !st.Replicas[1].Live {
+		t.Fatalf("degraded /healthz status: %+v", st)
+	}
+
+	metrics := get(t, srv.URL+"/metrics", http.StatusOK)
+	for _, want := range []string{
+		"gfs_mirror_degraded 1",
+		"gfs_mirror_failovers_total 1",
+		`gfs_mirror_replica_failed_total{replica="0"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Reboot over the same roots: recovery resilvers the stale replica
+	// and health goes back to the plain-text contract.
+	adapter.Close()
+	reg2 := obs.NewRegistry()
+	adapter2, err := mailboatd.NewWithOptions(root0, mailboatd.Options{
+		Users:      2,
+		Seed:       2,
+		MirrorRoot: root1,
+		Metrics:    reg2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(adapter2.Close)
+	srv2 := httptest.NewServer(admin.Handler(reg2, nil, adapter2.MirrorStatus))
+	t.Cleanup(srv2.Close)
+	if body := get(t, srv2.URL+"/healthz", http.StatusOK); !strings.HasPrefix(body, "ok") {
+		t.Errorf("post-resilver /healthz body: %q", body)
+	}
+	metrics2 := get(t, srv2.URL+"/metrics", http.StatusOK)
+	if !strings.Contains(metrics2, "gfs_mirror_resilver_runs_total 1") {
+		t.Errorf("/metrics missing resilver run after reboot:\n%s", metrics2)
+	}
+}
+
 func TestHealthzFailure(t *testing.T) {
 	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), func() error {
 		return errors.New("listener down")
-	}))
+	}, nil))
 	defer srv.Close()
 	if body := get(t, srv.URL+"/healthz", http.StatusServiceUnavailable); !strings.Contains(body, "listener down") {
 		t.Errorf("/healthz body: %q", body)
@@ -118,7 +202,7 @@ func TestHealthzFailure(t *testing.T) {
 }
 
 func TestPprofIndex(t *testing.T) {
-	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil))
+	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil, nil))
 	defer srv.Close()
 	if body := get(t, srv.URL+"/debug/pprof/", http.StatusOK); !strings.Contains(body, "goroutine") {
 		t.Errorf("pprof index: %q", body)

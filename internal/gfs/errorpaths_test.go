@@ -78,14 +78,20 @@ func TestErrorPathsAllBackends(t *testing.T) {
 	}
 	never := func(inner System) System { return NewFaulty(inner, NeverPolicy{}) }
 	osBackend := func(t *testing.T) System { return newOSFS(t, errorPathDirs) }
+	mirrorBackend := func(t *testing.T) System {
+		metaDirs := append([]string{MirrorMetaDir}, errorPathDirs...)
+		return NewMirrored(newOSFS(t, metaDirs), newOSFS(t, metaDirs), errorPathDirs)
+	}
 
-	// Native backends: OS bare and behind a quiet fault layer.
+	// Native backends: OS bare, behind a quiet fault layer, and mirrored.
 	for _, tc := range []struct {
 		name string
 		mk   func(t *testing.T) System
 	}{
 		{"os", osBackend},
 		{"faulty(os,never)", wrap(never, osBackend)},
+		{"mirrored(os,os)", mirrorBackend},
+		{"faulty(mirrored,never)", wrap(never, mirrorBackend)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			errorPathBody(tc.mk(t), NewNative(1), t.Errorf)
@@ -114,6 +120,24 @@ func TestErrorPathsAllBackends(t *testing.T) {
 			}
 		})
 	}
+
+	// Mirrored over two models: same body, both replicas fd-clean.
+	t.Run("mirrored(model,model)", func(t *testing.T) {
+		metaDirs := append([]string{MirrorMetaDir}, errorPathDirs...)
+		mm := machine.New(machine.Options{MaxSteps: 20000})
+		r0 := NewModel(mm, metaDirs)
+		r1 := NewModel(mm, metaDirs)
+		m := NewMirrored(r0, r1, errorPathDirs)
+		res := mm.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+			errorPathBody(m, mt, mt.Failf)
+		})
+		if res.Outcome != machine.Done {
+			t.Fatalf("res=%+v", res)
+		}
+		if n0, n1 := r0.OpenFDs(), r1.OpenFDs(); n0 != 0 || n1 != 0 {
+			t.Fatalf("leaked fds: r0=%d r1=%d", n0, n1)
+		}
+	})
 }
 
 // TestErrorPathsUnderAlwaysFaults checks that injected faults surface

@@ -31,6 +31,14 @@ const (
 	FaultDelete
 	// FaultLink fails a Link (the new entry is not created).
 	FaultLink
+	// FaultFailStop is the permanent fail-stop class: once injected, the
+	// wrapped backend is dead — every subsequent operation fails without
+	// touching it, reads and listings included, until Revive. It models
+	// a replica (disk) failing permanently, the failure mode of the
+	// paper's replicated disk (Figure 1), as opposed to the six
+	// transient classes above. UniformRates deliberately leaves its rate
+	// at 0: permanent death must be opted into explicitly.
+	FaultFailStop
 	// NumFaultOps is the number of fault classes.
 	NumFaultOps
 )
@@ -50,6 +58,8 @@ func (op FaultOp) String() string {
 		return "delete"
 	case FaultLink:
 		return "link"
+	case FaultFailStop:
+		return "fail-stop"
 	default:
 		return fmt.Sprintf("FaultOp(%d)", int(op))
 	}
@@ -106,15 +116,26 @@ type SeededPolicy struct {
 	// bit-for-bit log reproducibility matters.
 	MaxFaults uint64
 
+	// MaxPerClass, when nonzero for a class, caps that class's injected
+	// faults independently of MaxFaults (same concurrency caveat). The
+	// natural use is bounding FaultFailStop to a single replica death
+	// while transient classes keep firing.
+	MaxPerClass [NumFaultOps]uint64
+
 	mu       sync.Mutex
 	injected uint64
+	perClass [NumFaultOps]uint64
 }
 
-// UniformRates returns a Rates array failing every class 1 in n calls.
+// UniformRates returns a Rates array failing every transient class 1 in
+// n calls. FaultFailStop stays at 0: a uniform drill should degrade the
+// store, not kill it — permanent death is opted into per class.
 func UniformRates(n uint64) [NumFaultOps]uint64 {
 	var r [NumFaultOps]uint64
-	for i := range r {
-		r[i] = n
+	for op := FaultOp(0); op < NumFaultOps; op++ {
+		if op != FaultFailStop {
+			r[op] = n
+		}
 	}
 	return r
 }
@@ -129,31 +150,45 @@ func (p *SeededPolicy) Decide(_ T, op FaultOp, index uint64) bool {
 	if h%rate != 0 {
 		return false
 	}
-	if p.MaxFaults > 0 {
+	if p.MaxFaults > 0 || p.MaxPerClass[op] > 0 {
 		p.mu.Lock()
 		defer p.mu.Unlock()
-		if p.injected >= p.MaxFaults {
+		if p.MaxFaults > 0 && p.injected >= p.MaxFaults {
+			return false
+		}
+		if p.MaxPerClass[op] > 0 && p.perClass[op] >= p.MaxPerClass[op] {
 			return false
 		}
 		p.injected++
+		p.perClass[op]++
 	}
 	return true
 }
 
 // ChooserPolicy resolves fault decisions through the modeled machine's
-// Chooser (tag "fault"), so the model checker enumerates transient
-// faults exactly like it enumerates schedules and crash points. Budget
-// bounds the injected faults per execution: once spent, no further
-// choices are consumed, keeping the DFS space finite even though the
-// implementation retries faulted operations. Eligible, when non-nil,
-// restricts which classes branch (nil = all).
+// Chooser (tag "fault" for transient classes, "failstop" for permanent
+// replica death), so the model checker enumerates faults exactly like it
+// enumerates schedules and crash points. Budget bounds the injected
+// faults per execution: once spent, no further choices are consumed,
+// keeping the DFS space finite even though the implementation retries
+// faulted operations. Eligible, when non-nil, restricts which classes
+// branch; nil means all *transient* classes — FaultFailStop only
+// branches when listed explicitly, consistent with UniformRates:
+// permanent death is opted into, never implied. PerClass, when non-nil,
+// caps individual classes within the overall Budget — e.g. at most one
+// FaultFailStop so the search covers "one replica dies" without ever
+// killing both.
 //
 // A ChooserPolicy is per-execution state; build a fresh one in the
-// scenario's Setup.
+// scenario's Setup. Sharing one instance between the Faulty layers of
+// two mirror replicas makes the budgets span both replicas, which is
+// how a scenario says "at most one replica death total".
 type ChooserPolicy struct {
 	Budget   int
 	Eligible map[FaultOp]bool
+	PerClass map[FaultOp]int
 	used     int
+	perClass [NumFaultOps]int
 }
 
 // Decide implements Policy. With a non-model thread it never faults.
@@ -162,11 +197,25 @@ func (p *ChooserPolicy) Decide(t T, op FaultOp, index uint64) bool {
 	if !ok || p.used >= p.Budget {
 		return false
 	}
-	if p.Eligible != nil && !p.Eligible[op] {
+	if p.Eligible == nil {
+		if op == FaultFailStop {
+			return false
+		}
+	} else if !p.Eligible[op] {
 		return false
 	}
-	if mt.Choose(2, "fault") == 1 {
+	if p.PerClass != nil {
+		if cap, capped := p.PerClass[op]; capped && p.perClass[op] >= cap {
+			return false
+		}
+	}
+	tag := "fault"
+	if op == FaultFailStop {
+		tag = "failstop"
+	}
+	if mt.Choose(2, tag) == 1 {
 		p.used++
+		p.perClass[op]++
 		return true
 	}
 	return false
@@ -180,12 +229,17 @@ type NeverPolicy struct{}
 func (NeverPolicy) Decide(T, FaultOp, uint64) bool { return false }
 
 // AlwaysPolicy faults every eligible call of the classes in Ops (all
-// classes when Ops is nil) — for tests exercising retry exhaustion.
+// *transient* classes when Ops is nil — FaultFailStop, as everywhere,
+// must be opted into explicitly) — for tests exercising retry
+// exhaustion.
 type AlwaysPolicy struct{ Ops map[FaultOp]bool }
 
 // Decide implements Policy.
 func (p AlwaysPolicy) Decide(_ T, op FaultOp, _ uint64) bool {
-	return p.Ops == nil || p.Ops[op]
+	if p.Ops == nil {
+		return op != FaultFailStop
+	}
+	return p.Ops[op]
 }
 
 // Faulty is a fault-injecting System middleware: it wraps either
@@ -217,6 +271,14 @@ type Faulty struct {
 	calls  [NumFaultOps]uint64
 	faults [NumFaultOps]uint64
 	log    []FaultEvent
+
+	// failStopped is the permanent-death latch: once set (by the policy
+	// injecting FaultFailStop, or by FailStopNow), every operation fails
+	// without reaching the inner backend until Revive. calls[FaultFailStop]
+	// counts fail-stop *decision points* — operations that consulted the
+	// policy while alive — so seeded fail-stop schedules are a pure
+	// function of (seed, index) exactly like the transient classes.
+	failStopped bool
 }
 
 // NewFaulty wraps inner with the given fault policy.
@@ -249,6 +311,81 @@ func (f *Faulty) ResetLog() {
 	f.log = nil
 	f.calls = [NumFaultOps]uint64{}
 	f.faults = [NumFaultOps]uint64{}
+}
+
+// FailStopped reports whether the backend is latched dead. Mirrored
+// uses it (via the FailStopper interface) to tell "replica died" apart
+// from ordinary operation failures.
+func (f *Faulty) FailStopped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failStopped
+}
+
+// FailStopNow latches the backend dead immediately, bypassing the
+// policy — the operational kill switch (drills, soak tests, demos).
+// It records a fail-stop event like a policy-injected death.
+func (f *Faulty) FailStopNow(detail string) {
+	f.mu.Lock()
+	already := f.failStopped
+	f.failStopped = true
+	if !already {
+		f.faults[FaultFailStop]++
+		f.log = append(f.log, FaultEvent{Op: FaultFailStop, Index: f.calls[FaultFailStop], Detail: detail})
+	}
+	f.mu.Unlock()
+	if !already {
+		f.Metrics.FaultInjected(FaultFailStop)
+	}
+}
+
+// Revive clears the fail-stop latch: the inner backend is reachable
+// again, with whatever (possibly stale) state it holds. This models
+// plugging in a replacement disk — Mirrored.ReplaceReplica revives the
+// layer and resilvering makes the state trustworthy. Revive does not
+// refund any policy budget: a ChooserPolicy that killed once stays
+// spent, which is what bounds checker scenarios to one death.
+func (f *Faulty) Revive() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failStopped = false
+}
+
+// failStop is the per-operation fail-stop gate, consulted by every
+// operation before anything else (including the classes that are never
+// transiently faulted — a dead disk fails reads, listings and stats
+// too). It reports true when the operation must fail: either the latch
+// is already set, or this operation is the policy-chosen point of
+// death. Each alive call is one decision point with its own index, so
+// seeded schedules replay and the model checker enumerates "the replica
+// dies at step i" for every i.
+func (f *Faulty) failStop(t T, detail string) bool {
+	f.mu.Lock()
+	if f.failStopped {
+		f.mu.Unlock()
+		if mt, ok := t.(*machine.T); ok {
+			mt.Step("fs.dead")
+		}
+		return true
+	}
+	idx := f.calls[FaultFailStop]
+	f.calls[FaultFailStop]++
+	f.mu.Unlock()
+
+	if !f.policy.Decide(t, FaultFailStop, idx) {
+		return false
+	}
+	if mt, ok := t.(*machine.T); ok {
+		mt.Step("fs.failstop")
+		mt.Tracef("fs.failstop #%d %s", idx, detail)
+	}
+	f.mu.Lock()
+	f.failStopped = true
+	f.faults[FaultFailStop]++
+	f.log = append(f.log, FaultEvent{Op: FaultFailStop, Index: idx, Detail: detail})
+	f.mu.Unlock()
+	f.Metrics.FaultInjected(FaultFailStop)
+	return true
 }
 
 // begin counts the call, applies optional latency, and decides the
@@ -284,20 +421,29 @@ func (f *Faulty) NewLock(t T, name string) Lock { return f.inner.NewLock(t, name
 
 // Create implements System.
 func (f *Faulty) Create(t T, dir, name string) (FD, bool) {
+	if f.failStop(t, "create "+dir+"/"+name) {
+		return nil, false
+	}
 	if f.begin(t, FaultCreate, dir+"/"+name) {
 		return nil, false
 	}
 	return f.inner.Create(t, dir, name)
 }
 
-// Open implements System (not faulted; absent-file failure is already
-// part of the API).
+// Open implements System (no transient class; absent-file failure is
+// already part of the API). A fail-stopped backend fails every Open.
 func (f *Faulty) Open(t T, dir, name string) (FD, bool) {
+	if f.failStop(t, "open "+dir+"/"+name) {
+		return nil, false
+	}
 	return f.inner.Open(t, dir, name)
 }
 
 // Append implements System.
 func (f *Faulty) Append(t T, fd FD, data []byte) bool {
+	if f.failStop(t, "append") {
+		return false
+	}
 	if f.begin(t, FaultAppend, fmt.Sprintf("%d bytes", len(data))) {
 		return false
 	}
@@ -312,7 +458,13 @@ func (f *Faulty) Close(t T, fd FD) { f.inner.Close(t, fd) }
 // its actual length, but never to zero bytes (zero means end-of-file in
 // this API, as in POSIX), so robust callers that advance by the
 // returned length still terminate correctly.
+// A fail-stopped backend returns no data at all: callers that treat an
+// empty read as end-of-file are exactly why Mirrored checks the latch
+// (FailStopped) rather than inferring death from results.
 func (f *Faulty) ReadAt(t T, fd FD, off, n uint64) []byte {
+	if f.failStop(t, fmt.Sprintf("read off %d", off)) {
+		return nil
+	}
 	data := f.inner.ReadAt(t, fd, off, n)
 	if len(data) < 2 {
 		return data
@@ -323,11 +475,20 @@ func (f *Faulty) ReadAt(t T, fd FD, off, n uint64) []byte {
 	return data
 }
 
-// Size implements System (never faulted).
-func (f *Faulty) Size(t T, fd FD) uint64 { return f.inner.Size(t, fd) }
+// Size implements System (no transient class). A fail-stopped backend
+// reports zero; callers distinguish "dead" from "empty" via FailStopped.
+func (f *Faulty) Size(t T, fd FD) uint64 {
+	if f.failStop(t, "size") {
+		return 0
+	}
+	return f.inner.Size(t, fd)
+}
 
 // Sync implements System.
 func (f *Faulty) Sync(t T, fd FD) bool {
+	if f.failStop(t, "sync") {
+		return false
+	}
 	if f.begin(t, FaultSync, "") {
 		return false
 	}
@@ -336,6 +497,9 @@ func (f *Faulty) Sync(t T, fd FD) bool {
 
 // Delete implements System.
 func (f *Faulty) Delete(t T, dir, name string) bool {
+	if f.failStop(t, "delete "+dir+"/"+name) {
+		return false
+	}
 	if f.begin(t, FaultDelete, dir+"/"+name) {
 		return false
 	}
@@ -344,11 +508,20 @@ func (f *Faulty) Delete(t T, dir, name string) bool {
 
 // Link implements System.
 func (f *Faulty) Link(t T, oldDir, oldName, newDir, newName string) bool {
+	if f.failStop(t, "link "+oldDir+"/"+oldName+" -> "+newDir+"/"+newName) {
+		return false
+	}
 	if f.begin(t, FaultLink, oldDir+"/"+oldName+" -> "+newDir+"/"+newName) {
 		return false
 	}
 	return f.inner.Link(t, oldDir, oldName, newDir, newName)
 }
 
-// List implements System (never faulted; the model keeps it atomic).
-func (f *Faulty) List(t T, dir string) []string { return f.inner.List(t, dir) }
+// List implements System (no transient class; the model keeps it
+// atomic). A fail-stopped backend lists nothing.
+func (f *Faulty) List(t T, dir string) []string {
+	if f.failStop(t, "list "+dir) {
+		return nil
+	}
+	return f.inner.List(t, dir)
+}

@@ -238,3 +238,204 @@ func TestChooserPolicyInertOnNativeThreads(t *testing.T) {
 		t.Fatalf("expected 6 delivered files, got %v", got)
 	}
 }
+
+// TestFailStopLatchAndRevive pins the permanent-death semantics: once
+// the policy injects FaultFailStop, every operation class fails without
+// reaching the inner backend (reads, listings and stats included), the
+// log records exactly one fail-stop event no matter how many dead
+// operations follow, and Revive restores the (possibly stale) inner
+// state untouched.
+func TestFailStopLatchAndRevive(t *testing.T) {
+	mm := machine.New(machine.Options{MaxSteps: 10000})
+	fs := NewModel(mm, []string{"d"})
+	// Rate 1 kills at the first decision point; MaxPerClass bounds it to
+	// one death so post-Revive operations stay alive.
+	var rates [NumFaultOps]uint64
+	rates[FaultFailStop] = 1
+	var caps [NumFaultOps]uint64
+	caps[FaultFailStop] = 1
+	f := NewFaulty(fs, &SeededPolicy{Seed: 1, Rates: rates, MaxPerClass: caps})
+
+	res := mm.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {
+		// Pre-seed real state through the inner backend.
+		fd, ok := fs.Create(mt, "d", "x")
+		if !ok {
+			mt.Failf("inner create failed")
+		}
+		fs.Append(mt, fd, []byte("abcd"))
+		fs.Close(mt, fd)
+
+		// First wrapped operation dies; everything after fails dead.
+		if _, ok := f.Create(mt, "d", "y"); ok {
+			mt.Failf("create succeeded at the point of death")
+		}
+		if !f.FailStopped() {
+			mt.Failf("latch not set after injection")
+		}
+		if _, ok := f.Open(mt, "d", "x"); ok {
+			mt.Failf("open succeeded on a dead backend")
+		}
+		if f.List(mt, "d") != nil {
+			mt.Failf("list returned entries on a dead backend")
+		}
+		if f.Link(mt, "d", "x", "d", "z") || f.Delete(mt, "d", "x") {
+			mt.Failf("mutation succeeded on a dead backend")
+		}
+		rfd, _ := fs.Open(mt, "d", "x")
+		if f.ReadAt(mt, rfd, 0, 64) != nil {
+			mt.Failf("read returned data on a dead backend")
+		}
+		if f.Size(mt, rfd) != 0 {
+			mt.Failf("size nonzero on a dead backend")
+		}
+		fs.Close(mt, rfd)
+
+		// Inner state is untouched by the dead operations.
+		if d := fs.PeekDir("d"); len(d) != 1 || string(d["x"]) != "abcd" {
+			mt.Failf("dead operations touched inner state: %v", d)
+		}
+
+		// Revive: the stale inner state is reachable again.
+		f.Revive()
+		if f.FailStopped() {
+			mt.Failf("latch survived Revive")
+		}
+		if names := f.List(mt, "d"); len(names) != 1 || names[0] != "x" {
+			mt.Failf("post-revive list: %v", names)
+		}
+	})
+	if res.Outcome != machine.Done {
+		t.Fatalf("res=%+v", res)
+	}
+
+	_, faults := f.Counters()
+	if faults[FaultFailStop] != 1 {
+		t.Fatalf("fail-stop injected %d times, want exactly 1", faults[FaultFailStop])
+	}
+	var events int
+	for _, e := range f.Log() {
+		if e.Op == FaultFailStop {
+			events++
+		}
+	}
+	if events != 1 {
+		t.Fatalf("%d fail-stop log events, want exactly 1 (dead operations must not spam the log)", events)
+	}
+}
+
+// TestSeededFailStopReproducible extends the seeded-replay parity
+// guarantee to the permanent class: with fail-stop in the rate table,
+// the same seed must reproduce the same point of death — and everything
+// before it — bit-for-bit across runs.
+func TestSeededFailStopReproducible(t *testing.T) {
+	run := func(seed int64) ([]FaultEvent, [NumFaultOps]uint64, [NumFaultOps]uint64) {
+		o := newOSFS(t, faultScriptDirs)
+		rates := UniformRates(3)
+		rates[FaultFailStop] = 20
+		f := NewFaulty(o, &SeededPolicy{Seed: seed, Rates: rates})
+		faultScript(f, NewNative(1))
+		calls, faults := f.Counters()
+		return f.Log(), calls, faults
+	}
+
+	var killed bool
+	for seed := int64(1); seed <= 32 && !killed; seed++ {
+		log1, calls1, faults1 := run(seed)
+		log2, calls2, faults2 := run(seed)
+		if !reflect.DeepEqual(log1, log2) || calls1 != calls2 || faults1 != faults2 {
+			t.Fatalf("seed %d: schedules diverge:\n%v\nvs\n%v", seed, log1, log2)
+		}
+		killed = faults1[FaultFailStop] == 1
+	}
+	if !killed {
+		t.Fatal("no seed in 1..32 injected a fail-stop at rate 1-in-20; rate table is dead")
+	}
+}
+
+// TestFailStopNowKillSwitch: the operational kill switch latches
+// immediately regardless of policy, logs one event, and is idempotent.
+func TestFailStopNowKillSwitch(t *testing.T) {
+	o := newOSFS(t, faultScriptDirs)
+	f := NewFaulty(o, NeverPolicy{})
+	th := NewNative(1)
+
+	if fd, ok := f.Create(th, "spool", "a"); !ok {
+		t.Fatal("create failed before the kill switch")
+	} else {
+		f.Close(th, fd)
+	}
+	f.FailStopNow("drill")
+	f.FailStopNow("drill again")
+	if !f.FailStopped() {
+		t.Fatal("kill switch did not latch")
+	}
+	if _, ok := f.Open(th, "spool", "a"); ok {
+		t.Fatal("open succeeded after the kill switch")
+	}
+	_, faults := f.Counters()
+	if faults[FaultFailStop] != 1 {
+		t.Fatalf("idempotent kill switch recorded %d faults, want 1", faults[FaultFailStop])
+	}
+	f.Revive()
+	if names := f.List(th, "spool"); len(names) != 1 {
+		t.Fatalf("post-revive list: %v", names)
+	}
+}
+
+// TestChooserPolicyFailStopOptIn: with a nil Eligible set the chooser
+// policy must never branch on (let alone inject) permanent death, even
+// when the chooser would take every fault branch offered; with
+// FaultFailStop explicitly eligible, the "failstop" tag branches and
+// the PerClass cap bounds it to one death.
+func TestChooserPolicyFailStopOptIn(t *testing.T) {
+	greedy := machine.ChooserFunc(func(n int, tag string) int { return n - 1 })
+
+	// Nil Eligible: fail-stop never offered. The workload still faults
+	// transiently everywhere (greedy chooser), so finish a full script.
+	mm := machine.New(machine.Options{MaxSteps: 100000})
+	fs := NewModel(mm, faultScriptDirs)
+	f := NewFaulty(fs, &ChooserPolicy{Budget: 1 << 30})
+	res := mm.RunEra(greedy, false, func(mt *machine.T) { faultScript(f, mt) })
+	if res.Outcome != machine.Done {
+		t.Fatalf("res=%+v", res)
+	}
+	_, faults := f.Counters()
+	if faults[FaultFailStop] != 0 {
+		t.Fatal("nil Eligible enumerated permanent death")
+	}
+	if faults[FaultCreate] == 0 {
+		t.Fatal("greedy chooser injected no transient faults; test is vacuous")
+	}
+
+	// Explicit opt-in with PerClass cap: exactly one death, tagged
+	// "failstop" at the chooser.
+	var sawTag bool
+	tagSpy := machine.ChooserFunc(func(n int, tag string) int {
+		if tag == "failstop" {
+			sawTag = true
+			return 1
+		}
+		return 0
+	})
+	mm2 := machine.New(machine.Options{MaxSteps: 100000})
+	fs2 := NewModel(mm2, faultScriptDirs)
+	f2 := NewFaulty(fs2, &ChooserPolicy{
+		Budget:   1 << 30,
+		Eligible: map[FaultOp]bool{FaultFailStop: true},
+		PerClass: map[FaultOp]int{FaultFailStop: 1},
+	})
+	res = mm2.RunEra(tagSpy, false, func(mt *machine.T) { faultScript(f2, mt) })
+	if res.Outcome != machine.Done {
+		t.Fatalf("res=%+v", res)
+	}
+	if !sawTag {
+		t.Fatal("no failstop-tagged choice reached the chooser")
+	}
+	_, faults2 := f2.Counters()
+	if faults2[FaultFailStop] != 1 {
+		t.Fatalf("PerClass cap 1 but %d deaths injected", faults2[FaultFailStop])
+	}
+	if !f2.FailStopped() {
+		t.Fatal("injection did not latch")
+	}
+}

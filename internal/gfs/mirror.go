@@ -1,0 +1,823 @@
+package gfs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// This file is the gfs-level lift of the paper's replicated disk
+// (Figure 1 / Table 3): two whole file-system backends mirrored behind
+// the System interface, a permanent fail-stop fault turning the mirror
+// into tracked degraded mode, reads failing over to the survivor, and a
+// recovery-time Resilver that copies the authoritative replica onto a
+// replacement to restore redundancy — the gfs analog of the replicated
+// disk's recovery repair.
+//
+// The protocol keeps one invariant instead of cross-replica locks
+// (which would wedge the cooperative model scheduler if held across
+// machine steps):
+//
+//	every directory entry of replica 0 also exists in replica 1,
+//	and replica 0's file contents are a prefix of replica 1's.
+//
+// Insertions (Create, Link, Append) therefore go to replica 1 FIRST and
+// replica 0 second; removals (Delete) go to replica 0 first and
+// replica 1 second; reads serve from replica 0, the published view.
+// A crash or fault between the two legs leaves replica 1 ahead — an
+// entry that exists but was never published, exactly the "operation in
+// flight at the crash" state the spec already allows — never a
+// published entry missing its backup. When the second leg of an insert
+// fails transiently, the first leg is undone (close + delete); when the
+// second leg of a removal fails transiently, the removal has already
+// been published, so the leg is retried and a replica that persistently
+// cannot follow is kicked from the mirror, RAID-style.
+//
+// Which replica survived a death is persisted as a generation marker:
+// a dedicated MirrorMetaDir directory whose FILE COUNT is the
+// generation (the API is write-once — no appends to existing files —
+// so "bump" means creating one more empty file). The survivor bumps its
+// generation the moment the mirror degrades; at recovery, the replica
+// with the higher generation is the resilver source, so a reboot that
+// lost all in-memory state still copies the survivor onto the stale
+// replica and never backwards. Resilver copies MirrorMetaDir LAST: a
+// crash mid-resilver leaves the generations unequal and the next
+// recovery re-runs the (idempotent) copy.
+
+// MirrorMetaDir is the mirror's bookkeeping directory. Callers must
+// include it in every replica's directory set (NewOS creation list,
+// NewModel dirs) alongside the data directories handed to NewMirrored.
+const MirrorMetaDir = ".mirror"
+
+// secondLegRetries bounds how often the second leg of a published
+// removal is retried before the replica is kicked as unable to follow.
+const secondLegRetries = 3
+
+// FailStopper is implemented by layers that can latch permanently dead
+// (gfs.Faulty). Mirrored uses it to tell "replica died" apart from
+// ordinary operation failures such as create-exists or open-absent.
+type FailStopper interface {
+	FailStopped() bool
+}
+
+// Resilverer is implemented by layers that can restore redundancy
+// during recovery. mailboat.Recover finds it with AsResilverer and runs
+// it before anything else touches the store.
+type Resilverer interface {
+	// Resilver copies the authoritative replica onto the other and
+	// returns the bytes written and whether full redundancy was
+	// restored. It must only run quiescent (single-threaded recovery).
+	Resilver(t T) (resilverBytes uint64, ok bool)
+}
+
+type innerer interface{ Inner() System }
+
+// AsFailStopper unwraps Inner() chains (Observed, Faulty, …) until it
+// finds a FailStopper; nil if the stack has none.
+func AsFailStopper(sys System) FailStopper {
+	for sys != nil {
+		if fs, ok := sys.(FailStopper); ok {
+			return fs
+		}
+		iw, ok := sys.(innerer)
+		if !ok {
+			return nil
+		}
+		sys = iw.Inner()
+	}
+	return nil
+}
+
+// AsResilverer unwraps Inner() chains until it finds a Resilverer
+// (in practice the Mirrored under an Observed); nil if the stack has
+// none — which is how single-backend stacks skip resilvering entirely.
+func AsResilverer(sys System) Resilverer {
+	for sys != nil {
+		if r, ok := sys.(Resilverer); ok {
+			return r
+		}
+		iw, ok := sys.(innerer)
+		if !ok {
+			return nil
+		}
+		sys = iw.Inner()
+	}
+	return nil
+}
+
+// ReplicaStatus is one replica's health in a MirrorStatus.
+type ReplicaStatus struct {
+	// Live is false while the replica is latched out of the mirror
+	// (fail-stopped or kicked).
+	Live bool `json:"live"`
+	// Stale is true from ReplaceReplica until a successful Resilver:
+	// the replica serves again but its contents are not yet trusted.
+	Stale bool `json:"stale"`
+}
+
+// MirrorStatus is the mirror's health snapshot, JSON-shaped for the
+// admin /healthz endpoint.
+type MirrorStatus struct {
+	Degraded    bool             `json:"degraded"`
+	Resilvering bool             `json:"resilvering"`
+	Failovers   uint64           `json:"failovers"`
+	Replicas    [2]ReplicaStatus `json:"replicas"`
+}
+
+// MirrorMetrics is the mirror's slice of the observability surface.
+// All fields may be nil (metrics disabled); no method reads the clock
+// unless metrics are enabled, keeping checker executions syscall-free.
+type MirrorMetrics struct {
+	// Failovers counts reads re-served from the survivor after the
+	// primary read replica died mid-operation.
+	Failovers *obs.Counter
+	// Degraded is 1 while the mirror is not fully redundant (a replica
+	// failed, or a replacement has not been resilvered yet).
+	Degraded *obs.Gauge
+	// DegradedSeconds observes the length of each degraded interval,
+	// from first failure to the resilver that restores redundancy; its
+	// sum is the total degraded seconds.
+	DegradedSeconds *obs.Histogram
+	// ResilverBytes counts bytes written to the target replica by
+	// resilver runs; ResilverRuns counts completed runs.
+	ResilverBytes *obs.Counter
+	ResilverRuns  *obs.Counter
+	// ReplicaFailed counts permanent replica failures by replica index.
+	ReplicaFailed [2]*obs.Counter
+}
+
+// NewMirrorMetrics registers the mirror metric families in r.
+func NewMirrorMetrics(r *obs.Registry) *MirrorMetrics {
+	m := &MirrorMetrics{
+		Failovers: r.Counter("gfs_mirror_failovers_total",
+			"Reads failed over to the surviving replica."),
+		Degraded: r.Gauge("gfs_mirror_degraded",
+			"1 while the mirror is not fully redundant."),
+		DegradedSeconds: r.Histogram("gfs_mirror_degraded_seconds",
+			"Length of degraded intervals (failure to resilver).",
+			[]float64{0.001, 0.01, 0.1, 1, 10, 60, 600, 3600}),
+		ResilverBytes: r.Counter("gfs_mirror_resilver_bytes_total",
+			"Bytes copied onto the target replica by resilver runs."),
+		ResilverRuns: r.Counter("gfs_mirror_resilver_runs_total",
+			"Completed resilver runs."),
+	}
+	for i := 0; i < 2; i++ {
+		m.ReplicaFailed[i] = r.Counter("gfs_mirror_replica_failed_total",
+			"Permanent replica failures by replica index.",
+			"replica", fmt.Sprintf("%d", i))
+	}
+	return m
+}
+
+// replicaFailed records one replica loss (nil-receiver-safe, like the
+// rest of the obs surface).
+func (mm *MirrorMetrics) replicaFailed(i int) {
+	if mm == nil {
+		return
+	}
+	mm.ReplicaFailed[i].Inc()
+	mm.Degraded.Set(1)
+}
+
+// failover records one read served from the survivor.
+func (mm *MirrorMetrics) failover() {
+	if mm == nil {
+		return
+	}
+	mm.Failovers.Inc()
+}
+
+// resilverDone records a successful resilver and closes the degraded
+// interval.
+func (mm *MirrorMetrics) resilverDone(bytes uint64, degradedFor time.Duration) {
+	if mm == nil {
+		return
+	}
+	mm.Degraded.Set(0)
+	mm.ResilverRuns.Inc()
+	mm.ResilverBytes.Add(bytes)
+	if degradedFor > 0 {
+		mm.DegradedSeconds.ObserveDuration(degradedFor)
+	}
+}
+
+// Mirrored is a System middleware mirroring every operation over two
+// replica backends (any mix of Model, OS, and Faulty stacks). It is
+// safe for concurrent use when its replicas are; per-FD state follows
+// the usual file-descriptor rule of one thread per descriptor.
+type Mirrored struct {
+	rep  [2]System
+	dirs []string
+
+	// Metrics, when non-nil, records failovers, degraded intervals and
+	// resilver volume (gfs_mirror_*).
+	Metrics *MirrorMetrics
+
+	// mu guards only the flag words below; it is never held across a
+	// replica operation, so the cooperative model scheduler can always
+	// make progress.
+	mu          sync.Mutex
+	failed      [2]bool
+	stale       [2]bool
+	resilvering bool
+	failovers   uint64
+	degradedAt  time.Time // set only when Metrics != nil
+}
+
+// NewMirrored mirrors the two replicas over the given data directories
+// (the set Resilver walks — pass the same list the backends were built
+// with, MirrorMetaDir excluded; the mirror adds it itself).
+func NewMirrored(r0, r1 System, dirs []string) *Mirrored {
+	return &Mirrored{rep: [2]System{r0, r1}, dirs: dirs}
+}
+
+// Replica returns replica i's backend stack (for tests and drills).
+func (m *Mirrored) Replica(i int) System { return m.rep[i] }
+
+// Status returns the mirror's health snapshot.
+func (m *Mirrored) Status() MirrorStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MirrorStatus{
+		Degraded:    m.failed[0] || m.failed[1] || m.stale[0] || m.stale[1],
+		Resilvering: m.resilvering,
+		Failovers:   m.failovers,
+		Replicas: [2]ReplicaStatus{
+			{Live: !m.failed[0], Stale: m.stale[0]},
+			{Live: !m.failed[1], Stale: m.stale[1]},
+		},
+	}
+}
+
+// Degraded reports whether the mirror is not fully redundant.
+func (m *Mirrored) Degraded() bool {
+	s := m.Status()
+	return s.Degraded
+}
+
+// ReplaceReplica declares replica i replaced: live again immediately,
+// with whatever (stale) state its backend now holds, and flagged stale
+// until a Resilver copies the survivor over it. Callers revive the
+// backend first (Faulty.Revive, or a fresh directory tree) and must be
+// quiescent — replacement is a recovery-time action. Marking the
+// replica live BEFORE resilvering is deliberate: recovery runs Resilver
+// before any reads, and a recovery procedure that forgets to is exactly
+// the mutation the explore scenarios must catch (stale reads surface as
+// refinement violations instead of hiding behind a dead-replica latch).
+func (m *Mirrored) ReplaceReplica(i int) {
+	m.mu.Lock()
+	m.failed[i] = false
+	m.stale[i] = true
+	m.mu.Unlock()
+}
+
+func (m *Mirrored) alive(i int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.failed[i]
+}
+
+// readReplica picks the replica serving reads: the published replica 0
+// while it lives, the survivor otherwise.
+func (m *Mirrored) readReplica() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.failed[0] {
+		return 0
+	}
+	return 1
+}
+
+// noteDead checks whether replica i's stack is latched fail-stopped
+// after one of its operations failed, marking it out of the mirror on
+// first detection. It reports whether the replica is (now) failed, so
+// callers can tell "replica died, reroute" from "the operation itself
+// failed".
+func (m *Mirrored) noteDead(t T, i int) bool {
+	if fs := AsFailStopper(m.rep[i]); fs == nil || !fs.FailStopped() {
+		return !m.alive(i)
+	}
+	m.markFailed(t, i, "fail-stop")
+	return true
+}
+
+// markFailed latches replica i out of the mirror and, on first
+// detection, bumps the survivor's generation so the authoritative
+// replica is known across crashes and reboots.
+func (m *Mirrored) markFailed(t T, i int, why string) {
+	m.mu.Lock()
+	if m.failed[i] {
+		m.mu.Unlock()
+		return
+	}
+	m.failed[i] = true
+	if m.Metrics != nil && m.degradedAt.IsZero() {
+		m.degradedAt = time.Now()
+	}
+	m.mu.Unlock()
+
+	if mt, ok := t.(*machine.T); ok {
+		mt.Tracef("mirror: replica %d failed (%s); degraded", i, why)
+	}
+	m.Metrics.replicaFailed(i)
+	m.bumpGeneration(t, 1-i)
+}
+
+// generation returns replica i's generation: the file count of its
+// MirrorMetaDir (zero for a dead or empty replica).
+func (m *Mirrored) generation(t T, i int) int {
+	return len(m.rep[i].List(t, MirrorMetaDir))
+}
+
+// bumpGeneration adds one marker file to replica j's MirrorMetaDir —
+// the write-once API's increment. Best-effort: if the survivor cannot
+// record the bump (itself dying), resilver source selection falls back
+// to the in-memory flags.
+func (m *Mirrored) bumpGeneration(t T, j int) {
+	n := m.generation(t, j)
+	for k := 0; k < 8; k++ {
+		fd, ok := m.rep[j].Create(t, MirrorMetaDir, fmt.Sprintf("g%d", n+k))
+		if !ok {
+			continue
+		}
+		m.rep[j].Sync(t, fd)
+		m.rep[j].Close(t, fd)
+		return
+	}
+}
+
+func (m *Mirrored) countFailover(t T) {
+	m.mu.Lock()
+	m.failovers++
+	m.mu.Unlock()
+	if mt, ok := t.(*machine.T); ok {
+		mt.Tracef("mirror: read failed over to survivor")
+	}
+	m.Metrics.failover()
+}
+
+// mirrorFD is the mirror's descriptor. Append-mode descriptors carry
+// one leg per replica that was alive at creation; read-mode descriptors
+// serve from one replica and remember (dir, name) so a mid-read death
+// can fail over by reopening on the survivor.
+type mirrorFD struct {
+	w         [2]FD // append-mode legs; nil where the replica had none
+	reading   bool
+	rep       int
+	rfd       FD
+	dir, name string
+}
+
+// NewLock implements System. Locks are volatile shared memory, not
+// replicated state; replica 0's allocator serves them (Faulty never
+// gates NewLock, so a dead replica 0 still allocates).
+func (m *Mirrored) NewLock(t T, name string) Lock { return m.rep[0].NewLock(t, name) }
+
+// Create implements System: insert-ordered, replica 1 first. A mixed
+// result with both replicas alive means the second leg transiently
+// failed (the ordering invariant excludes honest disagreement), so the
+// first leg is undone and the create reports failure.
+func (m *Mirrored) Create(t T, dir, name string) (FD, bool) {
+	if !m.alive(1) {
+		fd, ok := m.rep[0].Create(t, dir, name)
+		if !ok {
+			m.noteDead(t, 0)
+			return nil, false
+		}
+		return &mirrorFD{w: [2]FD{fd, nil}}, true
+	}
+	fd1, ok1 := m.rep[1].Create(t, dir, name)
+	if !ok1 {
+		if m.noteDead(t, 1) {
+			return m.Create(t, dir, name) // reroute to the survivor
+		}
+		return nil, false // exists (or replica 1 transient): nothing touched
+	}
+	if !m.alive(0) {
+		return &mirrorFD{w: [2]FD{nil, fd1}}, true
+	}
+	fd0, ok0 := m.rep[0].Create(t, dir, name)
+	if !ok0 {
+		if m.noteDead(t, 0) {
+			return &mirrorFD{w: [2]FD{nil, fd1}}, true
+		}
+		// Replica 0 alive but refused: undo the replica 1 leg so the
+		// failed create leaves no orphan (and no burnt name).
+		m.rep[1].Close(t, fd1)
+		m.rep[1].Delete(t, dir, name)
+		return nil, false
+	}
+	return &mirrorFD{w: [2]FD{fd0, fd1}}, true
+}
+
+// Open implements System: serves from the published replica, failing
+// over to the survivor when the read replica turns out dead.
+func (m *Mirrored) Open(t T, dir, name string) (FD, bool) {
+	i := m.readReplica()
+	fd, ok := m.rep[i].Open(t, dir, name)
+	if !ok {
+		if !m.noteDead(t, i) || !m.alive(1-i) {
+			return nil, false
+		}
+		m.countFailover(t)
+		i = 1 - i
+		if fd, ok = m.rep[i].Open(t, dir, name); !ok {
+			return nil, false
+		}
+	}
+	return &mirrorFD{reading: true, rep: i, rfd: fd, dir: dir, name: name}, true
+}
+
+// Append implements System: insert-ordered like Create, so replica 0's
+// contents stay a prefix of replica 1's. A transient second-leg failure
+// reports false — the caller abandons the file, which erases the
+// divergence; a dead second leg leaves the survivor's write standing.
+func (m *Mirrored) Append(t T, fd FD, data []byte) bool {
+	mf := fd.(*mirrorFD)
+	wrote1 := false
+	if mf.w[1] != nil && m.alive(1) {
+		if m.rep[1].Append(t, mf.w[1], data) {
+			wrote1 = true
+		} else if !m.noteDead(t, 1) {
+			return false // replica 1 transient: replica 0 untouched
+		}
+	}
+	if mf.w[0] != nil && m.alive(0) {
+		if m.rep[0].Append(t, mf.w[0], data) {
+			return true
+		}
+		if m.noteDead(t, 0) {
+			return wrote1
+		}
+		return false // replica 0 transient: not published, caller abandons
+	}
+	return wrote1
+}
+
+// Close implements System. Legs on dead replicas are still closed —
+// Faulty passes Close through its latch precisely so descriptors never
+// leak on a dead backend.
+func (m *Mirrored) Close(t T, fd FD) {
+	mf := fd.(*mirrorFD)
+	if mf.reading {
+		m.rep[mf.rep].Close(t, mf.rfd)
+		return
+	}
+	for i := 0; i < 2; i++ {
+		if mf.w[i] != nil {
+			m.rep[i].Close(t, mf.w[i])
+		}
+	}
+}
+
+// failoverFD moves a read descriptor to the survivor after its replica
+// died mid-use: close the dead leg, reopen (dir, name) on the other
+// side. Reports whether the descriptor now serves from a live replica.
+func (m *Mirrored) failoverFD(t T, mf *mirrorFD) bool {
+	other := 1 - mf.rep
+	if !m.alive(other) {
+		return false
+	}
+	m.rep[mf.rep].Close(t, mf.rfd)
+	nfd, ok := m.rep[other].Open(t, mf.dir, mf.name)
+	if !ok {
+		mf.rfd = nil
+		return false
+	}
+	m.countFailover(t)
+	mf.rep, mf.rfd = other, nfd
+	return true
+}
+
+// ReadAt implements System. ReadAt is stateless in the offset, so a
+// mid-read failover just re-issues the same (off, n) on the survivor.
+func (m *Mirrored) ReadAt(t T, fd FD, off, n uint64) []byte {
+	mf := fd.(*mirrorFD)
+	if !mf.reading {
+		// Append-mode reads are unusual but legal; serve a live leg.
+		for _, i := range []int{0, 1} {
+			if mf.w[i] != nil && m.alive(i) {
+				return m.rep[i].ReadAt(t, mf.w[i], off, n)
+			}
+		}
+		return nil
+	}
+	if mf.rfd == nil {
+		return nil
+	}
+	data := m.rep[mf.rep].ReadAt(t, mf.rfd, off, n)
+	if len(data) == 0 && m.noteDead(t, mf.rep) && m.failoverFD(t, mf) {
+		data = m.rep[mf.rep].ReadAt(t, mf.rfd, off, n)
+	}
+	return data
+}
+
+// Size implements System.
+func (m *Mirrored) Size(t T, fd FD) uint64 {
+	mf := fd.(*mirrorFD)
+	if !mf.reading {
+		for _, i := range []int{0, 1} {
+			if mf.w[i] != nil && m.alive(i) {
+				return m.rep[i].Size(t, mf.w[i])
+			}
+		}
+		return 0
+	}
+	if mf.rfd == nil {
+		return 0
+	}
+	size := m.rep[mf.rep].Size(t, mf.rfd)
+	if size == 0 && m.noteDead(t, mf.rep) && m.failoverFD(t, mf) {
+		size = m.rep[mf.rep].Size(t, mf.rfd)
+	}
+	return size
+}
+
+// Sync implements System: true only when every live leg made the data
+// durable (a dead replica's durability is the resilver's problem).
+func (m *Mirrored) Sync(t T, fd FD) bool {
+	mf := fd.(*mirrorFD)
+	if mf.reading {
+		return m.rep[mf.rep].Sync(t, mf.rfd)
+	}
+	synced := false
+	for _, i := range []int{1, 0} {
+		if mf.w[i] == nil || !m.alive(i) {
+			continue
+		}
+		if m.rep[i].Sync(t, mf.w[i]) {
+			synced = true
+		} else if !m.noteDead(t, i) {
+			return false
+		}
+	}
+	return synced
+}
+
+// Delete implements System: remove-ordered, replica 0 first. Once the
+// published replica has removed the entry the operation is committed,
+// so a replica 1 that cannot follow (and is not dead) is retried and
+// then kicked — the mirror drops the replica rather than un-publish a
+// removal it cannot undo.
+func (m *Mirrored) Delete(t T, dir, name string) bool {
+	if !m.alive(0) {
+		ok := m.rep[1].Delete(t, dir, name)
+		if !ok {
+			m.noteDead(t, 1)
+		}
+		return ok
+	}
+	if !m.rep[0].Delete(t, dir, name) {
+		if m.noteDead(t, 0) {
+			return m.Delete(t, dir, name) // reroute to the survivor
+		}
+		return false // absent (or replica 0 transient): replica 1 untouched
+	}
+	if !m.alive(1) {
+		return true
+	}
+	for attempt := 0; attempt < secondLegRetries; attempt++ {
+		if m.rep[1].Delete(t, dir, name) {
+			return true
+		}
+		if m.noteDead(t, 1) {
+			return true
+		}
+	}
+	m.markFailed(t, 1, "kicked: cannot complete delete "+dir+"/"+name)
+	return true
+}
+
+// Link implements System: insert-ordered like Create, with the same
+// undo of the replica 1 leg when replica 0 transiently refuses.
+func (m *Mirrored) Link(t T, oldDir, oldName, newDir, newName string) bool {
+	if !m.alive(1) {
+		ok := m.rep[0].Link(t, oldDir, oldName, newDir, newName)
+		if !ok {
+			m.noteDead(t, 0)
+		}
+		return ok
+	}
+	if !m.rep[1].Link(t, oldDir, oldName, newDir, newName) {
+		if m.noteDead(t, 1) {
+			return m.Link(t, oldDir, oldName, newDir, newName)
+		}
+		return false
+	}
+	if !m.alive(0) {
+		return true
+	}
+	if m.rep[0].Link(t, oldDir, oldName, newDir, newName) {
+		return true
+	}
+	if m.noteDead(t, 0) {
+		return true
+	}
+	m.rep[1].Delete(t, newDir, newName) // undo: leave no orphan
+	return false
+}
+
+// List implements System, from the published replica with failover.
+func (m *Mirrored) List(t T, dir string) []string {
+	i := m.readReplica()
+	names := m.rep[i].List(t, dir)
+	if names == nil && m.noteDead(t, i) && m.alive(1-i) {
+		m.countFailover(t)
+		names = m.rep[1-i].List(t, dir)
+	}
+	return names
+}
+
+// resilverSource picks the authoritative replica: a failed or stale
+// replica can never be the source; with both trusted, the higher
+// persisted generation wins (the survivor of a pre-reboot death), and
+// a tie normally means no death happened, so the published replica 0 is
+// the truth (replica 1 may hold unpublished crash orphans, which
+// copying replica 0 over it un-does — the "operation did not happen"
+// outcome the spec allows for an operation in flight at the crash).
+//
+// The one exception to the tie rule: a replica that is completely
+// blank — no data files and no generation markers — while its peer is
+// not. That is a factory-fresh replacement for a disk that died while
+// the mirror was OFF: no running survivor was around to witness the
+// death and bump its own generation, so the generations still tie. A
+// blank replica must never be the copy source (it would wipe the
+// survivor), so the survivor's authority is persisted with a
+// generation bump first — a crash mid-resilver then re-picks it by
+// generation even once the replacement is partially populated and no
+// longer blank. The replacement is flagged stale so the mirror reports
+// degraded until the copy completes.
+func (m *Mirrored) resilverSource(t T) (src int, ok bool) {
+	m.mu.Lock()
+	failed, stale := m.failed, m.stale
+	m.mu.Unlock()
+	switch {
+	case failed[0] || stale[0]:
+		src = 1
+	case failed[1] || stale[1]:
+		src = 0
+	case m.generation(t, 1) > m.generation(t, 0):
+		src = 1
+	case m.blank(t, 0) && !m.blank(t, 1):
+		m.bumpGeneration(t, 1)
+		m.mu.Lock()
+		m.stale[0] = true
+		m.mu.Unlock()
+		src = 1
+	default:
+		src = 0
+	}
+	if failed[src] || stale[src] {
+		return 0, false // no trusted replica to copy from
+	}
+	return src, true
+}
+
+// blank reports whether replica i holds no files at all — no data and
+// no generation markers — as a factory-fresh replacement disk would.
+// (A fail-stopped replica also lists as blank; resilverSource's callers
+// tolerate that, since a copy toward or from a dead replica fails
+// before mutating anything.)
+func (m *Mirrored) blank(t T, i int) bool {
+	if len(m.rep[i].List(t, MirrorMetaDir)) > 0 {
+		return false
+	}
+	for _, dir := range m.dirs {
+		if len(m.rep[i].List(t, dir)) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// readAll reads a whole file from one replica in MaxAppend chunks.
+func readAll(t T, sys System, dir, name string) ([]byte, bool) {
+	fd, ok := sys.Open(t, dir, name)
+	if !ok {
+		return nil, false
+	}
+	defer sys.Close(t, fd)
+	size := sys.Size(t, fd)
+	buf := make([]byte, 0, size)
+	for uint64(len(buf)) < size {
+		chunk := sys.ReadAt(t, fd, uint64(len(buf)), MaxAppend)
+		if len(chunk) == 0 {
+			return nil, false
+		}
+		buf = append(buf, chunk...)
+	}
+	return buf, true
+}
+
+// copyFile rewrites dir/name on dst as an exact copy of data (the API
+// is write-once, so "rewrite" is delete + create + chunked appends).
+func copyFile(t T, dst System, dir, name string, data []byte) (uint64, bool) {
+	dst.Delete(t, dir, name) // absent is fine
+	fd, ok := dst.Create(t, dir, name)
+	if !ok {
+		return 0, false
+	}
+	var written uint64
+	for off := 0; off < len(data); off += MaxAppend {
+		end := off + MaxAppend
+		if end > len(data) {
+			end = len(data)
+		}
+		if !dst.Append(t, fd, data[off:end]) {
+			dst.Close(t, fd)
+			return written, false
+		}
+		written += uint64(end - off)
+	}
+	ok = dst.Sync(t, fd)
+	dst.Close(t, fd)
+	return written, ok
+}
+
+// Resilver implements Resilverer: it copies the authoritative replica
+// over the other, directory by directory — deleting extraneous names,
+// rewriting differing files in MaxAppend chunks — and finishes by
+// equalizing the generation markers, so a crash anywhere mid-resilver
+// leaves the generations unequal and the next recovery simply re-runs
+// the copy (every step is idempotent). On success both replicas are
+// byte-identical, the stale flags clear, and the mirror is redundant
+// again. It must run quiescent (the single-threaded recovery era).
+func (m *Mirrored) Resilver(t T) (resilverBytes uint64, ok bool) {
+	src, ok := m.resilverSource(t)
+	if !ok {
+		return 0, false
+	}
+	dst := 1 - src
+	if !m.alive(dst) {
+		return 0, false // dead and not replaced: still degraded
+	}
+
+	m.mu.Lock()
+	m.resilvering = true
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.resilvering = false
+		if ok {
+			m.stale = [2]bool{}
+		}
+		degradedFor := time.Duration(0)
+		if ok && !m.degradedAt.IsZero() {
+			degradedFor = time.Since(m.degradedAt)
+			m.degradedAt = time.Time{}
+		}
+		m.mu.Unlock()
+		if ok {
+			m.Metrics.resilverDone(resilverBytes, degradedFor)
+		}
+	}()
+
+	if mt, isModel := t.(*machine.T); isModel {
+		mt.Tracef("mirror: resilver replica %d <- replica %d", dst, src)
+	}
+
+	// Data directories first, the generation directory LAST: equal
+	// generations assert "replicas identical", so they must become
+	// equal only after the data truly is.
+	dirs := append(append([]string{}, m.dirs...), MirrorMetaDir)
+	for _, dir := range dirs {
+		srcNames := m.rep[src].List(t, dir)
+		// A fail-stopped source lies plausibly: its List reads as an
+		// empty directory and its Size as 0 bytes, either of which would
+		// make the copy destroy the destination's good data. Re-check
+		// the source's health after every read of it, before any write
+		// to the destination (the recovery era is single-threaded, so no
+		// new death can slip in between the read and the check).
+		if m.noteDead(t, src) {
+			return resilverBytes, false
+		}
+		have := make(map[string]bool, len(srcNames))
+		for _, name := range srcNames {
+			have[name] = true
+		}
+		for _, name := range m.rep[dst].List(t, dir) {
+			if !have[name] && !m.rep[dst].Delete(t, dir, name) {
+				return resilverBytes, false
+			}
+		}
+		for _, name := range srcNames {
+			want, rok := readAll(t, m.rep[src], dir, name)
+			if !rok || m.noteDead(t, src) {
+				return resilverBytes, false
+			}
+			if got, gok := readAll(t, m.rep[dst], dir, name); gok && bytes.Equal(got, want) {
+				continue
+			}
+			n, wok := copyFile(t, m.rep[dst], dir, name, want)
+			resilverBytes += n
+			if !wok {
+				return resilverBytes, false
+			}
+		}
+	}
+	return resilverBytes, true
+}

@@ -103,6 +103,21 @@ func RecoverWipesMailboxes(t gfs.T, sys gfs.System, cfg Config) *Mailboat {
 	return Init(t, nil, sys, cfg)
 }
 
+// RecoverSkipResilver is a recovery that forgets the mirror-repair step:
+// it sweeps the spool and reinitializes like Recover, but never calls
+// Resilver on the mirrored stack. On a mirror whose replaced replica has
+// not been repaired, the replica serves stale (empty) reads; because the
+// mirror fails reads over to replica 0 by position, skipping resilver
+// makes delivered mail invisible after the next failover — an
+// availability/durability violation the checker catches.
+func RecoverSkipResilver(t gfs.T, sys gfs.System, cfg Config) *Mailboat {
+	// BUG: no gfs.AsResilverer(sys).Resilver(t) call.
+	for _, name := range sys.List(t, SpoolDir) {
+		sys.Delete(t, SpoolDir, name)
+	}
+	return Init(t, nil, sys, cfg)
+}
+
 // DeliverForgetSpoolDelete links the message but forgets to remove the
 // spool entry. This is a space leak, not a correctness bug: the spec
 // does not mandate cleanup (§8.2's Recovery note), and Recover deletes

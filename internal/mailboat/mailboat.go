@@ -381,6 +381,17 @@ func (mb *Mailboat) Unlock(t gfs.T, j *core.JTok, user uint64) {
 // old carries the pre-crash ghost handles; it may be nil when the ghost
 // context is nil (production boot).
 func Recover(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config, old *Mailboat) *Mailboat {
+	// If the stack includes a mirror, restore redundancy before touching
+	// any data: resilvering copies the surviving replica onto its
+	// replacement while the system is still single-threaded, so every
+	// read issued after this line (including the spool sweep below) sees
+	// a fully repaired pair. Skipping this step is the no-resilver
+	// mutation the checker catches — the replacement replica would serve
+	// stale reads. Resilver is idempotent, so a crash mid-copy is
+	// repaired by the next boot's call.
+	if r := gfs.AsResilverer(sys); r != nil {
+		r.Resilver(t)
+	}
 	swept, sweepFailed := 0, 0
 	for _, name := range sys.List(t, SpoolDir) {
 		if sys.Delete(t, SpoolDir, name) {

@@ -17,11 +17,17 @@ import (
 type World struct {
 	G  *core.Ctx
 	FS *gfs.Model
-	// Sys is the System the library runs against: FS itself, or FS
-	// wrapped in a fault-injecting gfs.Faulty when the scenario
-	// enumerates transient faults.
+	// Sys is the System the library runs against: FS itself, FS wrapped
+	// in a fault-injecting gfs.Faulty when the scenario enumerates
+	// transient faults, or a gfs.Mirrored pair when o.Mirror is set.
 	Sys gfs.System
 	MB  *Mailboat
+	// Mirror-mode state: FS is replica 0's model, FS1 replica 1's, F the
+	// per-replica fail-stop layers (sharing one chooser budget), Mirror
+	// the middleware the library runs against.
+	FS1    *gfs.Model
+	F      [2]*gfs.Faulty
+	Mirror *gfs.Mirrored
 }
 
 // Variant selects the implementation under check.
@@ -40,6 +46,9 @@ const (
 	VariantRecoverWipes
 	// VariantForgetSpoolDelete leaves spool entries behind (benign).
 	VariantForgetSpoolDelete
+	// VariantRecoverNoResilver skips the mirror-repair step during
+	// recovery (only meaningful with ScenarioOptions.Mirror).
+	VariantRecoverNoResilver
 )
 
 // ScenarioOptions shapes the workload.
@@ -69,12 +78,32 @@ type ScenarioOptions struct {
 	// FaultOps restricts which fault classes the chooser may inject
 	// (nil = all). Narrowing the classes keeps the DFS space small.
 	FaultOps []gfs.FaultOp
+	// Mirror runs the library on a gfs.Mirrored pair of models, each
+	// behind a fail-stop fault layer sharing one chooser budget of 1: at
+	// every file-system operation the explorer branches on permanently
+	// killing that replica, so every execution sees at most one replica
+	// death at any possible step. Crashes model the whole site
+	// rebooting; the recovery era revives and replaces any dead replica
+	// before the library's Recover runs (which resilvers it). Mirror
+	// scenarios run ghost-free — a mirrored Link is two machine steps,
+	// which breaks the one-atomic-step linearization the ghost machinery
+	// assumes — so refinement rests on the black-box history check, plus
+	// a between-era availability invariant (redundancy restored after
+	// recovery, replicas byte-identical, no leaked descriptors).
+	// Exclusive with BufferedFS and FaultBudget.
+	Mirror bool
 }
 
 // Scenario builds the checkable scenario for the chosen variant.
 func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
-	ghost := v == VariantVerified
+	ghost := v == VariantVerified && !o.Mirror
 	sp := Spec(o.Config)
+	steps := 3000
+	if o.Mirror {
+		// Every operation runs twice (once per replica) and each
+		// recovery resilvers the whole store.
+		steps = 9000
+	}
 
 	deliver := func(t *machine.T, w *World, h *explore.Harness, op OpDeliver) {
 		h.Op(op, func() spec.Ret {
@@ -159,11 +188,29 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 	s := &explore.Scenario{
 		Name:        name,
 		Spec:        sp,
-		MachineOpts: machine.Options{MaxSteps: 3000},
+		MachineOpts: machine.Options{MaxSteps: steps},
 		MaxCrashes:  o.MaxCrashes,
 		RandPolicy:  func(call, n int) int { return call % n },
 		Setup: func(m *machine.Machine) any {
 			w := &World{}
+			if o.Mirror {
+				dirs := Dirs(o.Config)
+				metaDirs := append([]string{gfs.MirrorMetaDir}, dirs...)
+				w.FS = gfs.NewModel(m, metaDirs)
+				w.FS1 = gfs.NewModel(m, metaDirs)
+				// One shared policy instance: its budget of 1 bounds the
+				// execution to at most one replica death, whichever
+				// replica and operation the chooser picks.
+				pol := &gfs.ChooserPolicy{
+					Budget:   1,
+					Eligible: map[gfs.FaultOp]bool{gfs.FaultFailStop: true},
+				}
+				w.F[0] = gfs.NewFaulty(w.FS, pol)
+				w.F[1] = gfs.NewFaulty(w.FS1, pol)
+				w.Mirror = gfs.NewMirrored(w.F[0], w.F[1], dirs)
+				w.Sys = w.Mirror
+				return w
+			}
 			if o.BufferedFS {
 				w.FS = gfs.NewBufferedModel(m, Dirs(o.Config))
 			} else {
@@ -203,9 +250,26 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 		},
 		Recover: func(t *machine.T, wAny any) {
 			w := wAny.(*World)
-			if v == VariantRecoverWipes {
+			if w.Mirror != nil {
+				// The crash models the whole site rebooting: the operator
+				// swaps any fail-stopped replica for a replacement before
+				// the server restarts. The replacement still holds the
+				// replica's pre-death (stale) contents — Recover's
+				// resilver is what makes it trustworthy again, and the
+				// no-resilver variant is how its absence shows up.
+				for i := range w.F {
+					if w.F[i].FailStopped() {
+						w.F[i].Revive()
+						w.Mirror.ReplaceReplica(i)
+					}
+				}
+			}
+			switch {
+			case v == VariantRecoverWipes:
 				w.MB = RecoverWipesMailboxes(t, w.FS, o.Config)
-			} else {
+			case v == VariantRecoverNoResilver:
+				w.MB = RecoverSkipResilver(t, w.Sys, o.Config)
+			default:
 				w.MB = Recover(t, w.G, w.Sys, o.Config, w.MB)
 			}
 		},
@@ -253,6 +317,45 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 					}
 					if !bytes.Equal(onDisk[id], []byte(want)) {
 						return fmt.Errorf("MsgsInv: user %d message %s contents differ", u, id)
+					}
+				}
+			}
+			return nil
+		}
+	}
+
+	if o.Mirror {
+		s.Invariant = func(m *machine.Machine, wAny any) error {
+			w := wAny.(*World)
+			if n0, n1 := w.FS.OpenFDs(), w.FS1.OpenFDs(); n0 != 0 || n1 != 0 {
+				return fmt.Errorf("resource leak: %d/%d descriptors open on replicas", n0, n1)
+			}
+			// While a replica is fail-stopped the mirror legitimately runs
+			// degraded; redundancy is only owed once recovery has replaced
+			// and resilvered it.
+			for i := range w.F {
+				if w.F[i].FailStopped() {
+					return nil
+				}
+			}
+			st := w.Mirror.Status()
+			if st.Degraded || st.Resilvering {
+				return fmt.Errorf("availability: mirror still degraded with both replicas live: %+v", st)
+			}
+			// Both replicas live and repaired: they must be byte-identical
+			// (including the generation markers the resilver copies last).
+			for _, dir := range append([]string{gfs.MirrorMetaDir}, Dirs(o.Config)...) {
+				d0, d1 := w.FS.PeekDir(dir), w.FS1.PeekDir(dir)
+				if len(d0) != len(d1) {
+					return fmt.Errorf("replica divergence: dir %s has %d vs %d files", dir, len(d0), len(d1))
+				}
+				for name, c0 := range d0 {
+					c1, ok := d1[name]
+					if !ok {
+						return fmt.Errorf("replica divergence: %s/%s missing on replica 1", dir, name)
+					}
+					if !bytes.Equal(c0, c1) {
+						return fmt.Errorf("replica divergence: %s/%s contents differ", dir, name)
 					}
 				}
 			}

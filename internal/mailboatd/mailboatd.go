@@ -59,6 +59,15 @@ type Options struct {
 	// Fault, when non-nil, wraps the file system in gfs.Faulty with a
 	// seeded policy.
 	Fault *FaultOptions
+	// MirrorRoot, when non-empty, runs the store mirrored: replica 0
+	// lives under the New root, replica 1 under MirrorRoot, every write
+	// goes to both, and reads fail over if a replica is fail-stopped
+	// (FailStopReplica, or a real dead disk). Boot-time recovery
+	// resilvers a replaced replica from the survivor before serving.
+	// Exclusive with Fault: the drill layer injects transient faults
+	// into a single backend, which the mirror would misread as replica
+	// divergence.
+	MirrorRoot string
 	// Metrics, when non-nil, registers the full store-side metric
 	// surface there: gfs_* file-system counters and latency histograms
 	// (measured outermost, so drills count the latency the library
@@ -107,6 +116,13 @@ type Adapter struct {
 	cfg    mailboat.Config
 	ops    opMetrics
 
+	// Mirror-mode state (nil / zero unless Options.MirrorRoot was set):
+	// fs1 is replica 1's backend, rep the per-replica fail-stop layers
+	// (the kill switch FailStopReplica flips), mirror the middleware.
+	fs1    *gfs.OS
+	rep    [2]*gfs.Faulty
+	mirror *gfs.Mirrored
+
 	rng atomic.Uint64
 }
 
@@ -130,6 +146,12 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 		SyncOnDeliver:  o.SyncOnDeliver,
 		DeliverRetries: o.DeliverRetries,
 		DeliverBackoff: o.DeliverBackoff,
+	}
+	if o.MirrorRoot != "" {
+		if o.Fault != nil {
+			return nil, errors.New("mailboatd: MirrorRoot and Fault are mutually exclusive")
+		}
+		return newMirrored(root, o, cfg)
 	}
 	fs, err := gfs.NewOS(root, mailboat.Dirs(cfg))
 	if err != nil {
@@ -169,8 +191,52 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 	return a, nil
 }
 
+// newMirrored builds the mirrored stack: two OS backends (each with the
+// generation-marker directory alongside the data directories), each
+// behind a quiet gfs.Faulty whose only job is the FailStopReplica kill
+// switch, joined by gfs.Mirrored, with metrics observed outermost.
+// Unlike the single-backend boot, recovery runs through the FULL stack:
+// Recover's resilver hook needs to see the mirror to repair a replaced
+// replica before the first byte of traffic.
+func newMirrored(root string, o Options, cfg mailboat.Config) (*Adapter, error) {
+	metaDirs := append([]string{gfs.MirrorMetaDir}, mailboat.Dirs(cfg)...)
+	fs0, err := gfs.NewOS(root, metaDirs)
+	if err != nil {
+		return nil, err
+	}
+	fs1, err := gfs.NewOS(o.MirrorRoot, metaDirs)
+	if err != nil {
+		fs0.CloseAll()
+		return nil, err
+	}
+	rep := [2]*gfs.Faulty{
+		gfs.NewFaulty(fs0, gfs.NeverPolicy{}),
+		gfs.NewFaulty(fs1, gfs.NeverPolicy{}),
+	}
+	m := gfs.NewMirrored(rep[0], rep[1], mailboat.Dirs(cfg))
+	sys := gfs.System(m)
+	if o.Metrics != nil {
+		fsm := gfs.NewFSMetrics(o.Metrics)
+		cfg.Metrics = mailboat.NewMetrics(o.Metrics)
+		m.Metrics = gfs.NewMirrorMetrics(o.Metrics)
+		sys = gfs.NewObserved(m, fsm)
+	}
+	a := &Adapter{fs: fs0, fs1: fs1, rep: rep, mirror: m, sys: sys, cfg: cfg}
+	if o.Metrics != nil {
+		a.ops = newOpMetrics(o.Metrics)
+	}
+	a.rng.Store(uint64(o.Seed))
+	a.mb = mailboat.Recover(a, nil, sys, cfg, nil)
+	return a, nil
+}
+
 // Close releases the cached directory handles.
-func (a *Adapter) Close() { a.fs.CloseAll() }
+func (a *Adapter) Close() {
+	a.fs.CloseAll()
+	if a.fs1 != nil {
+		a.fs1.CloseAll()
+	}
+}
 
 // Users returns the mailbox count.
 func (a *Adapter) Users() uint64 { return a.cfg.Users }
@@ -182,6 +248,32 @@ func (a *Adapter) FaultLog() []gfs.FaultEvent {
 		return nil
 	}
 	return a.faulty.Log()
+}
+
+// Mirror returns the mirrored middleware when Options.MirrorRoot was
+// set, nil otherwise.
+func (a *Adapter) Mirror() *gfs.Mirrored { return a.mirror }
+
+// MirrorStatus reports the mirror's replica health (nil when the store
+// is not mirrored) — what /healthz serves while degraded.
+func (a *Adapter) MirrorStatus() *gfs.MirrorStatus {
+	if a.mirror == nil {
+		return nil
+	}
+	st := a.mirror.Status()
+	return &st
+}
+
+// FailStopReplica permanently kills replica i (0 or 1) — the operator
+// kill switch for fail-stop drills. All of that replica's subsequent
+// operations fail; the mirror notices on the next touch, fails reads
+// over, and runs degraded until the next boot resilvers a replacement.
+// No-op when the store is not mirrored or i is out of range.
+func (a *Adapter) FailStopReplica(i int) {
+	if a.mirror == nil || i < 0 || i > 1 {
+		return
+	}
+	a.rep[i].FailStopNow("operator kill switch")
 }
 
 // RandUint64 implements gfs.T: a lock-free SplitMix64 stream over an

@@ -113,6 +113,21 @@ func Verified() []Entry {
 			}),
 			Opts: explore.Options{MaxExecutions: 10000},
 		},
+		{
+			// Table 3 parity with rd/failover, on the full server: the
+			// mirrored store must refine the spec while the explorer kills
+			// one replica at any operation and crashes at any step, with
+			// recovery resilvering the replacement back to byte-identical.
+			Pattern: "mailboat-mirror",
+			Scenario: mailboat.Scenario("mb/mirror+replica-death+crash", mailboat.VariantVerified, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 3},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "a"}},
+				MaxCrashes:  1,
+				PostPickups: true,
+				Mirror:      true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
 	}
 }
 
@@ -201,6 +216,21 @@ func Bugs() []Entry {
 				MaxCrashes:  1,
 				PostPickups: true,
 				BufferedFS:  true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			// Recovery that swaps in the replacement replica but forgets
+			// to resilver it: the replacement serves stale reads (or the
+			// mirror stays flagged degraded with both replicas live).
+			Pattern:       "mailboat-mirror",
+			WantViolation: true,
+			Scenario: mailboat.Scenario("mb/mirror-bug:no-resilver", mailboat.VariantRecoverNoResilver, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 3},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "a"}},
+				MaxCrashes:  1,
+				PostPickups: true,
+				Mirror:      true,
 			}),
 			Opts: explore.Options{MaxExecutions: 20000},
 		},
