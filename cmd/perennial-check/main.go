@@ -7,13 +7,26 @@
 //
 // Usage:
 //
-//	perennial-check [-pattern substr] [-max N] [-v]
+//	perennial-check [-pattern substr] [-heaviest] [-max N] [-workers N]
+//	                [-dedup] [-nodedup] [-selfcheck] [-v] [-min]
+//	                [-benchjson FILE]
+//
+// The systematic search runs on -workers workers (default GOMAXPROCS)
+// with crash-boundary state dedup on (disable with -nodedup, or
+// -dedup=false). -selfcheck runs every selected scenario twice — dedup
+// off and on — and fails if pruning changes any verdict (the mechanical
+// witness of DESIGN.md §5). -benchjson runs each selected scenario at
+// 1 and -workers workers, dedup off and on, and writes the measurements
+// as JSON (the source of BENCH_explore.json). See docs/CHECKING.md for
+// the checker handbook.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,25 +36,61 @@ import (
 
 func main() {
 	pattern := flag.String("pattern", "", "only run scenarios whose pattern or name contains this substring")
+	heaviest := flag.Bool("heaviest", false, "only run the heaviest verified scenarios (the benchmark targets)")
 	maxExec := flag.Int("max", 0, "override per-scenario execution budget")
-	verbose := flag.Bool("v", false, "print counterexamples for expected bugs too")
+	workers := flag.Int("workers", 0, "systematic-search workers (0 = GOMAXPROCS)")
+	dedup := flag.Bool("dedup", true, "enable crash-boundary state dedup")
+	noDedup := flag.Bool("nodedup", false, "disable crash-boundary state dedup (escape hatch; same as -dedup=false)")
+	selfCheck := flag.Bool("selfcheck", false, "run each scenario with dedup off and on and fail if verdicts differ")
+	verbose := flag.Bool("v", false, "print counterexamples for expected bugs too, and per-worker stats")
 	minimize := flag.Bool("min", false, "minimize counterexample choice sequences before printing")
+	benchJSON := flag.String("benchjson", "", "write 1-vs-N-worker throughput measurements for the selected scenarios to this JSON file")
 	flag.Parse()
 
-	entries := suite.All()
-	failed := 0
-	ran := 0
-	for _, e := range entries {
-		if *pattern != "" &&
-			!strings.Contains(e.Pattern, *pattern) &&
-			!strings.Contains(e.Scenario.Name, *pattern) {
-			continue
+	entries := selectEntries(*pattern, *heaviest)
+	if len(entries) == 0 {
+		fmt.Fprintf(os.Stderr, "no scenarios match -pattern %q\n", *pattern)
+		os.Exit(1)
+	}
+
+	if *benchJSON != "" {
+		if err := writeBench(*benchJSON, entries, *maxExec, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		ran++
+		return
+	}
+
+	failed := 0
+	for _, e := range entries {
 		opts := e.Opts
 		if *maxExec > 0 {
 			opts.MaxExecutions = *maxExec
 		}
+		opts.Workers = *workers
+		opts.NoDedup = *noDedup || !*dedup
+
+		if *selfCheck {
+			if e.Scenario.Fingerprint == nil {
+				fmt.Printf("%-34s %-38s\n", e.Scenario.Name, "SKIP (no Fingerprint hook)")
+				continue
+			}
+			start := time.Now()
+			with, without, err := explore.SelfCheckDedup(e.Scenario, opts)
+			elapsed := time.Since(start).Round(time.Millisecond)
+			if err != nil {
+				failed++
+				fmt.Printf("%-34s %-38s %v\n", e.Scenario.Name, "SELF-CHECK FAIL", elapsed)
+				fmt.Printf("    %v\n", err)
+				continue
+			}
+			fmt.Printf("%-34s %-38s %v\n", e.Scenario.Name, "SELF-CHECK PASS", elapsed)
+			fmt.Printf("    without dedup: %s\n", without.String())
+			fmt.Printf("    with dedup:    %s (%d boundaries, %d pruned)\n",
+				with.String(), with.Stats.DistinctBoundaries, with.Stats.PrunedStates)
+			continue
+		}
+
 		start := time.Now()
 		rep := explore.Run(e.Scenario, opts)
 		elapsed := time.Since(start).Round(time.Millisecond)
@@ -60,6 +109,16 @@ func main() {
 		fmt.Printf("%-34s %-38s %v\n", e.Scenario.Name, status, elapsed)
 		fmt.Printf("    %s\n", rep.String())
 		fmt.Printf("    stats: %s\n", rep.Stats)
+		if *verbose && len(rep.Stats.PerWorker) > 1 {
+			fmt.Printf("    per-worker:")
+			for w, ws := range rep.Stats.PerWorker {
+				fmt.Printf(" w%d=%d", w, ws.Executions)
+				if ws.Pruned > 0 {
+					fmt.Printf("(%dp)", ws.Pruned)
+				}
+			}
+			fmt.Println()
+		}
 		if rep.Counterexample != nil && (!e.WantViolation || *verbose) {
 			if *minimize {
 				min := explore.Minimize(e.Scenario, rep.Counterexample.Choices)
@@ -73,10 +132,122 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("\n%d scenarios, %d failed\n", ran, failed)
+	fmt.Printf("\n%d scenarios, %d failed\n", len(entries), failed)
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+func selectEntries(pattern string, heaviest bool) []suite.Entry {
+	pool := suite.All()
+	if heaviest {
+		pool = suite.Heaviest()
+	}
+	var out []suite.Entry
+	for _, e := range pool {
+		if pattern != "" &&
+			!strings.Contains(e.Pattern, pattern) &&
+			!strings.Contains(e.Scenario.Name, pattern) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// benchRun is one (workers, dedup) measurement of a scenario.
+type benchRun struct {
+	Workers     int     `json:"workers"`
+	Dedup       bool    `json:"dedup"`
+	Executions  int     `json:"executions"`
+	Pruned      int     `json:"pruned"`
+	Boundaries  int     `json:"distinct_boundaries"`
+	DurationSec float64 `json:"duration_s"`
+	ExecsPerSec float64 `json:"execs_per_sec"`
+	Complete    bool    `json:"complete"`
+	Verdict     string  `json:"verdict"`
+}
+
+type benchScenario struct {
+	Name   string     `json:"name"`
+	Budget int        `json:"budget"`
+	Runs   []benchRun `json:"runs"`
+}
+
+type benchFile struct {
+	CPUs       int             `json:"cpus"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	GoVersion  string          `json:"go_version"`
+	Date       string          `json:"date"`
+	Scenarios  []benchScenario `json:"scenarios"`
+}
+
+// writeBench measures each scenario at 1 and N workers, dedup off and
+// on, at equal budgets, and writes the JSON consumed by EXPERIMENTS.md.
+func writeBench(path string, entries []suite.Entry, maxExec, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := benchFile{
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+	}
+	configs := []struct {
+		workers int
+		dedup   bool
+	}{
+		{1, false},
+		{workers, false},
+		{1, true},
+		{workers, true},
+	}
+	for _, e := range entries {
+		opts := e.Opts
+		if maxExec > 0 {
+			opts.MaxExecutions = maxExec
+		}
+		opts.StressExecutions = 0 // measure the systematic phase only
+		bs := benchScenario{Name: e.Scenario.Name, Budget: opts.MaxExecutions}
+		seen := map[[2]bool]bool{}
+		for _, c := range configs {
+			key := [2]bool{c.workers == 1, c.dedup}
+			if c.workers == 1 || workers == 1 {
+				if seen[key] {
+					continue // 1-worker and N-worker configs coincide
+				}
+				seen[key] = true
+			}
+			o := opts
+			o.Workers = c.workers
+			o.NoDedup = !c.dedup
+			rep := explore.Run(e.Scenario, o)
+			verdict := "OK"
+			if !rep.OK() {
+				verdict = "VIOLATION"
+			}
+			bs.Runs = append(bs.Runs, benchRun{
+				Workers:     c.workers,
+				Dedup:       c.dedup && rep.Stats.DedupActive,
+				Executions:  rep.Executions,
+				Pruned:      rep.Stats.PrunedStates,
+				Boundaries:  rep.Stats.DistinctBoundaries,
+				DurationSec: rep.Stats.Duration.Seconds(),
+				ExecsPerSec: rep.Stats.ExecsPerSec,
+				Complete:    rep.Complete,
+				Verdict:     verdict,
+			})
+			fmt.Printf("%-34s workers=%d dedup=%-5v %8d execs %8.0f execs/s %s\n",
+				e.Scenario.Name, c.workers, c.dedup, rep.Executions, rep.Stats.ExecsPerSec, verdict)
+		}
+		out.Scenarios = append(out.Scenarios, bs)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func indent(s, prefix string) string {

@@ -42,6 +42,18 @@ func New(m *machine.Machine, name string, size int, mayFail bool) *Disk {
 // durable, so a machine crash changes nothing here.
 func (d *Disk) Crash() {}
 
+// AppendDurable implements machine.Fingerprinter: a disk's durable
+// state is its name, its failure latch, and its block contents.
+func (d *Disk) AppendDurable(b []byte) []byte {
+	b = machine.AppendString(b, d.name)
+	b = machine.AppendBool(b, d.failed)
+	b = machine.AppendUint64(b, uint64(len(d.blocks)))
+	for _, v := range d.blocks {
+		b = machine.AppendUint64(b, v)
+	}
+	return b
+}
+
 // Size returns the number of blocks.
 func (d *Disk) Size() uint64 { return uint64(len(d.blocks)) }
 

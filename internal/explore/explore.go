@@ -12,10 +12,44 @@
 // internal/core enforces the per-step ghost rules (Table 1) along the
 // way. A randomized stress mode extends coverage beyond the systematic
 // bound.
+//
+// # Search model
+//
+// Every source of nondeterminism — which thread steps, whether a crash
+// is injected, fault and random choices — is one call to the machine's
+// Chooser, so an execution is fully determined by its choice sequence
+// and the search space is the tree of those sequences. The systematic
+// phase enumerates that tree depth-first, re-executing the scenario
+// from scratch for each sequence (stateless search, in the style of
+// VeriSoft/CHESS/dBug): a dfsChooser replays a recorded prefix and
+// extends it with option 0, then backtracks the deepest choice point
+// with untried options.
+//
+// The enumeration runs on Options.Workers workers (default
+// GOMAXPROCS). The tree is partitioned by schedule prefix: each job
+// pins a prefix, and a worker that notices starving peers donates the
+// untried siblings of its shallowest open choice point as new jobs —
+// an exact partition, so no execution is lost or explored twice. Every
+// execution builds a fresh machine, so checked code never shares state
+// across workers. Counterexamples are canonicalized to the DFS-preorder
+// least candidate, which makes verdicts and counterexamples independent
+// of worker count for searches that run to completion.
+//
+// When a Scenario provides a Fingerprint hook (and every registered
+// device implements machine.Fingerprinter), revisited crash-boundary
+// states are pruned via a lock-striped fingerprint table: after
+// CrashReset all volatile state is dead by construction, so the suffix
+// behavior is a function of the fingerprinted boundary state and an
+// already-enumerated recovery subtree need not be re-explored.
+// Options.NoDedup is the escape hatch, and SelfCheckDedup mechanically
+// witnesses that pruning does not change a scenario's verdict. See
+// DESIGN.md §5 for the soundness argument and docs/CHECKING.md for the
+// user-facing handbook.
 package explore
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -93,6 +127,16 @@ type Scenario struct {
 	// each crash+recovery, and at the end); it may inspect durable state
 	// directly. Returning an error is a violation.
 	Invariant func(m *machine.Machine, w any) error
+	// Fingerprint opts the scenario into crash-boundary state dedup. It
+	// must append a canonical encoding of every piece of crash-surviving
+	// state the world holds OUTSIDE registered machine devices (fault
+	// latches, policy budgets, mirror control state, ...) to b and
+	// return it; device state is appended automatically via
+	// machine.Fingerprinter. A scenario whose crash-surviving state
+	// lives entirely in fingerprintable devices returns b unchanged.
+	// nil disables dedup for the scenario (the safe default: dedup with
+	// an incomplete fingerprint can unsoundly prune distinct states).
+	Fingerprint func(w any, b []byte) []byte
 }
 
 // Counterexample captures one failing execution.
@@ -156,19 +200,55 @@ type Report struct {
 type Stats struct {
 	// Duration is the wall-clock time of the whole exploration.
 	Duration time.Duration
-	// ExecsPerSec and StatesPerSec are derived throughput rates.
+	// ExecsPerSec and StatesPerSec are derived throughput rates over
+	// unique explored executions — stress retries that raced past an
+	// already-found counterexample are excluded (see StressDiscarded).
 	ExecsPerSec  float64
 	StatesPerSec float64
 	// Depth records the choice-sequence depth of each execution.
 	Depth *obs.Histogram
+	// Workers is the systematic-phase worker count actually used.
+	Workers int
+	// DedupActive reports whether crash-boundary dedup ran: the
+	// scenario provided a Fingerprint hook, Options.NoDedup was off,
+	// and every registered device was fingerprintable.
+	DedupActive bool
+	// PrunedStates counts executions cut at a crash boundary whose
+	// recovery subtree another prefix had already claimed.
+	PrunedStates int
+	// DistinctBoundaries is the number of distinct crash-boundary
+	// fingerprints claimed (the dedup table's size).
+	DistinctBoundaries int
+	// StressDiscarded counts stress executions that ran concurrently at
+	// seed offsets above the winning counterexample's; they are real
+	// work but not part of the deterministic result, so Executions and
+	// the throughput rates exclude them.
+	StressDiscarded int
+	// PerWorker is each systematic worker's share of the search.
+	PerWorker []WorkerStats
+}
+
+// WorkerStats is one worker's share of the systematic search.
+type WorkerStats struct {
+	// Executions is the number of executions this worker ran.
+	Executions int
+	// Pruned is how many of them were cut by the dedup table.
+	Pruned int
 }
 
 // String renders the statistics on one line.
 func (st Stats) String() string {
 	p50 := st.Depth.Quantile(0.50)
 	p99 := st.Depth.Quantile(0.99)
-	return fmt.Sprintf("%.3fs, %.0f execs/s, %.0f states/s, depth p50=%.0f p99=%.0f",
-		st.Duration.Seconds(), st.ExecsPerSec, st.StatesPerSec, p50, p99)
+	s := fmt.Sprintf("%.3fs, %.0f execs/s, %.0f states/s, depth p50=%.0f p99=%.0f, workers=%d",
+		st.Duration.Seconds(), st.ExecsPerSec, st.StatesPerSec, p50, p99, st.Workers)
+	if st.DedupActive {
+		s += fmt.Sprintf(", dedup: %d boundaries, %d pruned", st.DistinctBoundaries, st.PrunedStates)
+	}
+	if st.StressDiscarded > 0 {
+		s += fmt.Sprintf(", %d stress retries discarded", st.StressDiscarded)
+	}
+	return s
 }
 
 // OK reports whether no violation was found.
@@ -190,8 +270,19 @@ func (r *Report) String() string {
 
 // Options configures an exploration.
 type Options struct {
-	// MaxExecutions bounds the systematic search. 0 means 20000.
+	// MaxExecutions bounds the systematic search. 0 means 20000. The
+	// budget is shared by all workers (each execution claims one slot),
+	// so the number of executions run is independent of Workers.
 	MaxExecutions int
+	// Workers is the systematic-phase worker count. 0 means
+	// GOMAXPROCS. With 1 worker the search is the classic sequential
+	// DFS; with more, the choice tree is partitioned by schedule prefix
+	// and drained work-stealing style (see the package comment).
+	Workers int
+	// NoDedup disables crash-boundary state dedup even for scenarios
+	// that provide a Fingerprint hook — the escape hatch for suspected
+	// fingerprint bugs or hash collisions (perennial-check -nodedup).
+	NoDedup bool
 	// StressExecutions adds randomized executions after (or instead of)
 	// the systematic search.
 	StressExecutions int
@@ -208,8 +299,10 @@ type Options struct {
 	StressParallelism int
 }
 
-// Run performs a systematic DFS over the scenario's choice space, then
-// optional randomized stress, and returns a report.
+// Run performs a systematic DFS over the scenario's choice space —
+// parallelized across Options.Workers workers with optional
+// crash-boundary dedup — then optional randomized stress, and returns a
+// report.
 func Run(s *Scenario, opts Options) *Report {
 	if opts.MaxExecutions == 0 {
 		opts.MaxExecutions = 20000
@@ -217,7 +310,11 @@ func Run(s *Scenario, opts Options) *Report {
 	if opts.StressCrashWeight == 0 {
 		opts.StressCrashWeight = 20
 	}
-	rep := &Report{Scenario: s.Name, Stats: Stats{Depth: obs.NewHistogram(obs.DepthBuckets)}}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &Report{Scenario: s.Name, Stats: Stats{Depth: obs.NewHistogram(obs.DepthBuckets), Workers: workers}}
 	start := time.Now()
 	defer func() {
 		rep.Stats.Duration = time.Since(start)
@@ -227,20 +324,10 @@ func Run(s *Scenario, opts Options) *Report {
 		}
 	}()
 
-	// Systematic DFS over choice sequences.
-	d := &dfsChooser{}
-	for rep.Executions < opts.MaxExecutions {
-		rep.Executions++
-		d.reset()
-		cx := runOne(s, d, rep)
-		if cx != nil {
-			rep.Counterexample = cx
-			return rep
-		}
-		if !d.next() {
-			rep.Complete = true
-			break
-		}
+	// Systematic phase: prefix-partitioned parallel DFS.
+	runSystematic(s, opts, workers, rep)
+	if rep.Counterexample != nil {
+		return rep
 	}
 
 	// Randomized stress.
@@ -264,12 +351,19 @@ func stressOne(s *Scenario, opts Options, i int, rep *Report) *Counterexample {
 	rc := machine.NewRandChooser(opts.StressSeed + int64(i))
 	rc.CrashWeight = opts.StressCrashWeight
 	rc.CrashOption = s.MaxCrashes > 0
-	return runOne(s, rc, rep)
+	return runOne(s, rc, rep, nil)
 }
 
 // runStressParallel fans the stress executions across workers. Each
 // worker accumulates into a private Report; the aggregates are summed
 // and the smallest-offset counterexample wins (deterministic output).
+//
+// Executions counts only the unique contributing executions — offsets
+// up to and including the winning counterexample's — matching what the
+// sequential stress loop would have run. Executions other workers raced
+// through at higher offsets before noticing the winner are discarded
+// retries, reported in Stats.StressDiscarded instead of inflating the
+// (otherwise nondeterministic) throughput numbers.
 func runStressParallel(s *Scenario, opts Options, rep *Report) {
 	type result struct {
 		offset int
@@ -306,24 +400,39 @@ func runStressParallel(s *Scenario, opts Options, rep *Report) {
 		}(w)
 	}
 	wg.Wait()
+	ran := 0
 	for _, r := range reps {
-		rep.Executions += r.Executions
+		ran += r.Executions
 		rep.CrashedExecutions += r.CrashedExecutions
 		rep.CheckedStates += r.CheckedStates
 	}
+	unique := ran
+	if best.offset != -1 {
+		// Workers cover disjoint offset strides and only stop once their
+		// next offset exceeds the winner, so offsets 0..best.offset each
+		// ran exactly once; everything beyond is a discarded retry.
+		unique = best.offset + 1
+	}
+	rep.Executions += unique
+	rep.Stats.StressDiscarded = ran - unique
 	rep.Counterexample = best.cx
 }
 
 // runOne executes the scenario once under the given chooser and checks
 // the resulting history. It returns a counterexample on violation.
-func runOne(s *Scenario, ch machine.Chooser, rep *Report) *Counterexample {
+// A non-nil dd enables crash-boundary dedup: the execution may be cut
+// short (dd.pruned) when it reaches a boundary state whose recovery
+// subtree another choice prefix already enumerated.
+func runOne(s *Scenario, ch machine.Chooser, rep *Report, dd *dedupRun) *Counterexample {
 	// The recorder sits at the inner-chooser position (below any
 	// RandPolicy), so its choice sequence is exactly what ScriptChooser
 	// replays, and doubles as the machine Observer for thread identity.
 	rec := &scheduleRecorder{inner: ch}
 	chooser := machine.Chooser(rec)
+	var rpc *randPolicyChooser
 	if s.RandPolicy != nil {
-		chooser = &randPolicyChooser{inner: rec, policy: s.RandPolicy, rec: rec}
+		rpc = &randPolicyChooser{inner: rec, policy: s.RandPolicy, rec: rec}
+		chooser = rpc
 	}
 	mo := s.MachineOpts
 	mo.Observer = rec
@@ -374,6 +483,13 @@ func runOne(s *Scenario, ch machine.Chooser, rep *Report) *Counterexample {
 		crashesLeft--
 		h.rec.Crash()
 		m.CrashReset()
+		if dd != nil && dd.boundaryPrune(m, w, h, rec, rpc, crashesLeft) {
+			// Another prefix owns this boundary's recovery subtree; its
+			// suffix behavior is already covered, so stop the execution
+			// here. The DFS backtracks from the boundary, skipping the
+			// whole subtree.
+			return nil
+		}
 		if s.Recover == nil {
 			res = machine.EraResult{Outcome: machine.Done}
 			break
@@ -414,15 +530,25 @@ func runOne(s *Scenario, ch machine.Chooser, rep *Report) *Counterexample {
 // execution replays a prefix of recorded choices and extends with option
 // 0; next() advances the last choice point with untried options,
 // backtracking exhausted suffixes.
+//
+// For the parallel search, the first `pinned` points are a donated job
+// prefix that next() never backtracks into, and a point's `limit` caps
+// which options this chooser still owns (higher siblings were donated
+// to other workers via splitShallowest).
 type dfsChooser struct {
 	points []choicePoint
 	pos    int
+	pinned int
 }
 
 type choicePoint struct {
 	n      int
 	chosen int
 	tag    string
+	// limit, when nonzero, is the exclusive upper bound of options this
+	// chooser still owns at the point (the rest were donated). It never
+	// affects replay, only next()/splitShallowest.
+	limit int
 }
 
 func (d *dfsChooser) reset() { d.pos = 0 }
@@ -431,6 +557,13 @@ func (d *dfsChooser) reset() { d.pos = 0 }
 func (d *dfsChooser) Choose(n int, tag string) int {
 	if d.pos < len(d.points) {
 		p := d.points[d.pos]
+		if p.n == 0 && d.pos < d.pinned {
+			// First replay of a donated prefix point: learn its branching
+			// factor (the donor recorded only the chosen option).
+			d.points[d.pos].n = n
+			d.points[d.pos].tag = tag
+			p = d.points[d.pos]
+		}
 		if p.n != n {
 			// The machine must be deterministic given prior choices; a
 			// mismatch indicates harness nondeterminism (e.g. map
@@ -448,13 +581,17 @@ func (d *dfsChooser) Choose(n int, tag string) int {
 }
 
 // next advances to the next unexplored choice sequence, returning false
-// when the space is exhausted.
+// when the (possibly prefix-pinned) space is exhausted.
 func (d *dfsChooser) next() bool {
 	// Discard choice points beyond those actually consumed this run.
 	d.points = d.points[:d.pos]
-	for len(d.points) > 0 {
+	for len(d.points) > d.pinned {
 		last := &d.points[len(d.points)-1]
-		if last.chosen+1 < last.n {
+		lim := last.n
+		if last.limit > 0 && last.limit < lim {
+			lim = last.limit
+		}
+		if last.chosen+1 < lim {
 			last.chosen++
 			return true
 		}
@@ -505,7 +642,7 @@ func (r *randPolicyChooser) Choose(n int, tag string) int {
 func ReplayCx(s *Scenario, choices []int) *Counterexample {
 	rep := &Report{}
 	sc := &machine.ScriptChooser{Script: append([]int{}, choices...)}
-	return runOne(s, sc, rep)
+	return runOne(s, sc, rep, nil)
 }
 
 // Replay runs the scenario once with an explicit choice script and
@@ -528,7 +665,7 @@ func Replay(s *Scenario, choices []int) (trace []string, h history.History, reas
 func Minimize(s *Scenario, choices []int) []int {
 	fails := func(c []int) bool {
 		rep := &Report{}
-		return runOne(s, &machine.ScriptChooser{Script: append([]int{}, c...)}, rep) != nil
+		return runOne(s, &machine.ScriptChooser{Script: append([]int{}, c...)}, rep, nil) != nil
 	}
 	if !fails(choices) {
 		return choices

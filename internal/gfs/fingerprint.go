@@ -1,0 +1,98 @@
+package gfs
+
+import (
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// This file provides the canonical durable-state encodings the model
+// checker's crash-boundary dedup table hashes (see DESIGN.md §5).
+// Model implements machine.Fingerprinter directly (it is a registered
+// device); Faulty, ChooserPolicy and Mirrored are middleware held by
+// the scenario's world, not devices, so they expose Append* helpers the
+// scenario's explore.Scenario.Fingerprint hook composes.
+
+// AppendDurable implements machine.Fingerprinter. The encoding is
+// canonical in the sense dedup needs: inode numbers are renamed to
+// their first appearance in sorted (dir, name) order, so two file
+// systems that differ only in inode allocation history — but have the
+// same hard-link structure and contents — encode identically, while
+// distinct link structures stay distinct. Open-descriptor state is
+// volatile (dead at the crash boundary where fingerprints are taken)
+// and `next` only picks unobservable fresh ids, so both are excluded.
+func (fs *Model) AppendDurable(b []byte) []byte {
+	b = machine.AppendBool(b, fs.buffered)
+	dirNames := make([]string, 0, len(fs.dirs))
+	for d := range fs.dirs {
+		dirNames = append(dirNames, d)
+	}
+	sort.Strings(dirNames)
+	canon := map[inodeID]uint64{}
+	b = machine.AppendUint64(b, uint64(len(dirNames)))
+	for _, dir := range dirNames {
+		d := fs.dirs[dir]
+		b = machine.AppendString(b, dir)
+		names := make([]string, 0, len(d))
+		for n := range d {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b = machine.AppendUint64(b, uint64(len(names)))
+		for _, n := range names {
+			ino := d[n]
+			id, seen := canon[ino]
+			if !seen {
+				id = uint64(len(canon))
+				canon[ino] = id
+			}
+			b = machine.AppendString(b, n)
+			b = machine.AppendUint64(b, id)
+			b = machine.AppendBytes(b, fs.inodes[ino])
+			if fs.buffered {
+				b = machine.AppendUint64(b, uint64(fs.synced[ino]))
+			}
+		}
+	}
+	return b
+}
+
+// AppendCheckerState appends the Faulty state that a *checker-driven*
+// (ChooserPolicy) fault stack's future behavior depends on: the
+// permanent fail-stop latch. The per-class invocation counters are
+// deliberately excluded — ChooserPolicy ignores call indices (it
+// decides through the Chooser under a budget), so two executions whose
+// counters differ but whose latches agree behave identically from here.
+// Seeded policies DO depend on indices; scenarios using SeededPolicy
+// under the checker must not enable dedup (leave Fingerprint nil).
+func (f *Faulty) AppendCheckerState(b []byte) []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return machine.AppendBool(b, f.failStopped)
+}
+
+// AppendState appends the policy's spent budgets — the only mutable
+// state a ChooserPolicy carries across a crash (it lives in the
+// scenario world, not on the machine). Configuration fields are
+// per-scenario constants and excluded.
+func (p *ChooserPolicy) AppendState(b []byte) []byte {
+	b = machine.AppendUint64(b, uint64(p.used))
+	for _, c := range p.perClass {
+		b = machine.AppendUint64(b, uint64(c))
+	}
+	return b
+}
+
+// AppendMirrorState appends the mirror's crash-surviving control state:
+// per-replica failed/stale latches and the resilvering flag (a crash
+// can land mid-resilver). Failovers and metrics are observability only
+// and excluded.
+func (m *Mirrored) AppendMirrorState(b []byte) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b = machine.AppendBool(b, m.failed[0])
+	b = machine.AppendBool(b, m.failed[1])
+	b = machine.AppendBool(b, m.stale[0])
+	b = machine.AppendBool(b, m.stale[1])
+	return machine.AppendBool(b, m.resilvering)
+}

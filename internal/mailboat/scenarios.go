@@ -28,6 +28,9 @@ type World struct {
 	FS1    *gfs.Model
 	F      [2]*gfs.Faulty
 	Mirror *gfs.Mirrored
+	// Pol is the chooser-driven fault policy behind Sys (fault and
+	// mirror scenarios); the dedup fingerprint covers its spent budget.
+	Pol *gfs.ChooserPolicy
 }
 
 // Variant selects the implementation under check.
@@ -205,6 +208,7 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 					Budget:   1,
 					Eligible: map[gfs.FaultOp]bool{gfs.FaultFailStop: true},
 				}
+				w.Pol = pol
 				w.F[0] = gfs.NewFaulty(w.FS, pol)
 				w.F[1] = gfs.NewFaulty(w.FS1, pol)
 				w.Mirror = gfs.NewMirrored(w.F[0], w.F[1], dirs)
@@ -225,7 +229,9 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 						pol.Eligible[fo] = true
 					}
 				}
-				w.Sys = gfs.NewFaulty(w.FS, pol)
+				w.Pol = pol
+				w.F[0] = gfs.NewFaulty(w.FS, pol)
+				w.Sys = w.F[0]
 			}
 			if ghost {
 				w.G = core.NewCtx(m)
@@ -283,6 +289,28 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 				unlock(t, w, h, u)
 			}
 		},
+	}
+
+	// Crash-boundary dedup (DESIGN.md §5): the file-system models and
+	// the ghost Ctx are fingerprintable devices, so the hook only has to
+	// cover the crash-surviving state the world holds outside them — the
+	// fault policy's spent budget, the per-replica fail-stop latches,
+	// and the mirror's control flags. The BufferedFS variant is covered
+	// too: the synced-prefix map is part of the model's own encoding.
+	s.Fingerprint = func(wAny any, b []byte) []byte {
+		w := wAny.(*World)
+		if w.Pol != nil {
+			b = w.Pol.AppendState(b)
+		}
+		for i := range w.F {
+			if w.F[i] != nil {
+				b = w.F[i].AppendCheckerState(b)
+			}
+		}
+		if w.Mirror != nil {
+			b = w.Mirror.AppendMirrorState(b)
+		}
+		return b
 	}
 
 	if ghost {

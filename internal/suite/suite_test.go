@@ -44,6 +44,48 @@ func TestBugSuiteAllFound(t *testing.T) {
 	}
 }
 
+// TestDedupSelfCheckMailboatMirror runs the dedup soundness self-check
+// (explore.SelfCheckDedup) on the mirrored-store scenario — the suite's
+// richest fingerprint, covering the filesystem model, fault latches,
+// chooser-policy budgets, and mirror control state. CI runs this at the
+// -short budget; the full budget matches cmd/perennial-check -selfcheck.
+func TestDedupSelfCheckMailboatMirror(t *testing.T) {
+	for _, e := range Verified() {
+		if e.Pattern != "mailboat-mirror" {
+			continue
+		}
+		opts := e.Opts
+		if testing.Short() {
+			opts.MaxExecutions = 1000
+		}
+		with, without, err := explore.SelfCheckDedup(e.Scenario, opts)
+		if err != nil {
+			t.Fatalf("self-check failed: %v", err)
+		}
+		t.Logf("without dedup: %s", without)
+		t.Logf("with dedup:    %s (%d boundaries, %d pruned)",
+			with, with.Stats.DistinctBoundaries, with.Stats.PrunedStates)
+		return
+	}
+	t.Fatal("mailboat-mirror entry missing from the verified suite")
+}
+
+// TestHeaviestAreVerifiedEntries pins Heaviest() to real suite entries.
+func TestHeaviestAreVerifiedEntries(t *testing.T) {
+	hs := Heaviest()
+	if len(hs) != 3 {
+		t.Fatalf("want 3 heaviest scenarios, got %d", len(hs))
+	}
+	for _, e := range hs {
+		if e.Scenario == nil {
+			t.Fatal("Heaviest() returned an entry missing from Verified()")
+		}
+		if e.Scenario.Fingerprint == nil {
+			t.Fatalf("%s: heaviest scenario has no Fingerprint hook (benchmarks need the dedup leg)", e.Scenario.Name)
+		}
+	}
+}
+
 func TestSuiteShape(t *testing.T) {
 	v, b := Verified(), Bugs()
 	if len(v) < 5 {
