@@ -7,12 +7,19 @@
 // Usage:
 //
 //	mailbench [-cores 1,2,4,8] [-requests N] [-users N] [-servers a,b,c]
-//	          [-dir path] [-json path]
+//	          [-dir path] [-json path] [-corrupt]
 //
 // -json additionally writes the sweep as machine-readable JSON (one
 // object with run parameters and a per-point array carrying
 // requests/sec plus deliver/pickup latency count, mean, p50/p90/p99 in
 // seconds, measured with the internal/obs histograms).
+//
+// -corrupt runs the integrity drill instead of the sweep: a
+// checksummed, mirrored store takes a concurrent deliver/pickup
+// workload, one replica's live bytes are silently flipped mid-run, a
+// heal-scrub repairs them under load, and the run fails unless every
+// acknowledged delivery is still readable afterwards and the rot was
+// detected rather than served.
 //
 // Servers: mailboat (verified library, direct calls — the paper's
 // measurement method), gomail, cmail (simulated), and mailboat-net (the
@@ -28,7 +35,12 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/mailboatd"
+	"repro/internal/obs"
 	"repro/internal/postal"
 )
 
@@ -40,7 +52,16 @@ func main() {
 	dir := flag.String("dir", "", "scratch directory (default: RAM-backed)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file")
+	corrupt := flag.Bool("corrupt", false, "run the silent-corruption heal drill instead of the throughput sweep")
 	flag.Parse()
+
+	if *corrupt {
+		if err := corruptDrill(*dir, *users, *requests, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "mailbench: corrupt drill: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var cores []int
 	for _, s := range strings.Split(*coresFlag, ",") {
@@ -87,6 +108,135 @@ func main() {
 		}
 		fmt.Printf("json results written to %s\n", *jsonPath)
 	}
+}
+
+// corruptDrill boots a checksummed mirror under scratch roots, runs a
+// concurrent deliver/pickup workload, flips a byte of replica 0 halfway
+// through, heal-scrubs under load, and audits: every acknowledged
+// delivery readable after a reboot, nothing served that was never sent,
+// detection counter moved, final scrub clean.
+func corruptDrill(base string, users uint64, requests int, seed int64) error {
+	root0, err := os.MkdirTemp(base, "mailbench-corrupt-r0-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root0)
+	root1, err := os.MkdirTemp(base, "mailbench-corrupt-r1-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root1)
+
+	a, err := mailboatd.NewWithOptions(root0, mailboatd.Options{
+		Users:      users,
+		Seed:       seed,
+		MirrorRoot: root1,
+		Checksum:   true,
+		Metrics:    obs.NewRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	perWorker := requests / workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	var mu sync.Mutex
+	acked := map[string]bool{}
+	var next atomic.Uint64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := next.Add(1)
+				user := n % users
+				body := fmt.Sprintf("drill-%d", n)
+				if err := a.Deliver(user, []byte(body)); err == nil {
+					mu.Lock()
+					acked[body] = true
+					mu.Unlock()
+				}
+				if n%8 == 0 {
+					a.Pickup(user)
+					a.Unlock(user)
+				}
+			}
+		}(w)
+	}
+
+	// Halfway into the load, rot a published file on replica 0 and heal
+	// it back while deliveries keep committing.
+	time.Sleep(time.Millisecond)
+	corrupted := a.CorruptReplica(0)
+	rep, _ := a.Scrub(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if corrupted == "" {
+		a.Close()
+		return fmt.Errorf("found nothing to corrupt; drill exercised nothing")
+	}
+	final, _ := a.Scrub(true)
+	detected := a.IntegrityDetected()
+	a.Close()
+
+	// Audit on a fresh boot: recovery resilvers and scrubs, and every
+	// acknowledged delivery must still be readable.
+	b, err := mailboatd.NewWithOptions(root0, mailboatd.Options{
+		Users:      users,
+		Seed:       seed + 1,
+		MirrorRoot: root1,
+		Checksum:   true,
+	})
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	present := map[string]bool{}
+	for u := uint64(0); u < users; u++ {
+		msgs, err := b.Pickup(u)
+		if err != nil {
+			return err
+		}
+		for _, m := range msgs {
+			present[m.Contents] = true
+			if !strings.HasPrefix(m.Contents, "drill-") {
+				return fmt.Errorf("mailbox serves bytes nobody sent: %q", m.Contents)
+			}
+		}
+		b.Unlock(u)
+	}
+	lost := 0
+	for body := range acked {
+		if !present[body] {
+			lost++
+		}
+	}
+
+	fmt.Printf("corrupt drill: %d workers, %d acked deliveries in %v (%.0f req/s)\n",
+		workers, len(acked), elapsed.Round(time.Millisecond),
+		float64(workers*perWorker)/elapsed.Seconds())
+	fmt.Printf("corrupt drill: flipped %s on replica 0; mid-load scrub %s; final scrub %s; detected=%d\n",
+		corrupted, rep, final, detected)
+	if detected == 0 {
+		return fmt.Errorf("corruption never detected")
+	}
+	if !final.Clean() {
+		return fmt.Errorf("final scrub left damage: %s", final)
+	}
+	if lost > 0 {
+		return fmt.Errorf("%d acknowledged deliveries lost", lost)
+	}
+	fmt.Println("corrupt drill: zero acked-mail loss, rot detected and healed")
+	return nil
 }
 
 func defaultCores() string {

@@ -8,7 +8,7 @@
 //
 //	mailboat [-dir path] [-mirror path] [-users N] [-smtp addr] [-pop3 addr]
 //	         [-admin addr] [-max-conns N] [-timeout d] [-grace d] [-sync]
-//	         [-retries N] [-backoff d]
+//	         [-retries N] [-backoff d] [-checksum] [-scrub-interval d]
 //	         [-fault-seed N] [-fault-rate N] [-fault-max N]
 //
 // Deliver mail to userN@any-domain over SMTP; read it back by
@@ -24,6 +24,14 @@
 // if a replica dies, and a reboot resilvers a replaced replica from the
 // survivor before serving. While degraded, /healthz answers 503 with
 // the per-replica status as JSON. Mutually exclusive with -fault-rate.
+//
+// -checksum stores every file inside a checksummed envelope: reads that
+// fail verification error out loudly instead of serving rot, and on a
+// mirrored store rotten copies heal from the good replica on read, on
+// boot, and on every scrub pass. -scrub-interval runs a background
+// heal-scrub at that period (0 = off); POST /scrub on the admin
+// listener runs one on demand, and /healthz answers 503 while the last
+// scrub reports unhealed damage.
 //
 // The -fault-* flags run the server in fault-drill mode: a
 // deterministic gfs.Faulty layer injects transient file-system faults
@@ -94,6 +102,8 @@ func main() {
 	syncDeliver := flag.Bool("sync", false, "fsync spool files before publishing (survives OS crashes)")
 	retries := flag.Int("retries", 0, "delivery retry attempts on transient store failure (0 = default)")
 	backoff := flag.Duration("backoff", 10*time.Millisecond, "base backoff between delivery retries")
+	checksum := flag.Bool("checksum", false, "store files in checksummed envelopes; detect (and on a mirror, heal) silent corruption")
+	scrubEvery := flag.Duration("scrub-interval", 0, "background integrity heal-scrub period (0 = off; requires -checksum)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault-drill schedule seed")
 	faultRate := flag.Uint64("fault-rate", 0, "inject a fault into 1 in N file-system calls (0 = drills off)")
 	faultMax := flag.Uint64("fault-max", 0, "cap on total injected faults (0 = unlimited)")
@@ -110,6 +120,8 @@ func main() {
 		DeliverBackoff: *backoff,
 		Metrics:        reg,
 		MirrorRoot:     *mirrorDir,
+		Checksum:       *checksum,
+		ScrubEvery:     *scrubEvery,
 	}
 	if *faultRate > 0 {
 		opts.Fault = &mailboatd.FaultOptions{
@@ -129,6 +141,9 @@ func main() {
 	}
 	if opts.Fault != nil {
 		log.Printf("mailboat: FAULT DRILL active (seed %d, 1 in %d calls)", *faultSeed, *faultRate)
+	}
+	if *checksum {
+		log.Printf("mailboat: CHECKSUMMED store (scrub interval %v)", *scrubEvery)
 	}
 
 	harden := func(read, write *time.Duration, conns *int) {
@@ -159,8 +174,10 @@ func main() {
 		}
 		// While the mirror is degraded or resilvering, /healthz answers
 		// 503 with the per-replica status as JSON (nil func on plain,
-		// non-mirrored stores keeps the 200 "ok" contract).
-		as := &http.Server{Addr: *adminAddr, Handler: admin.Handler(reg, healthz, adapter.MirrorStatus)}
+		// non-mirrored stores keeps the 200 "ok" contract). The adapter
+		// is the scrub runner; on a store without an integrity layer
+		// POST /scrub answers 409 and /healthz is unaffected.
+		as := &http.Server{Addr: *adminAddr, Handler: admin.Handler(reg, healthz, adapter.MirrorStatus, adapter)}
 		go func() { errs <- as.ListenAndServe() }()
 		defer as.Close()
 		log.Printf("mailboat: admin HTTP on %s (/metrics, /healthz, /debug/pprof)", *adminAddr)

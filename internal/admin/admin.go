@@ -12,10 +12,26 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"repro/internal/gfs"
 	"repro/internal/obs"
 )
+
+// ScrubRunner is the slice of the store the /scrub endpoint needs
+// (mailboatd.Adapter implements it). Scrub runs one integrity pass now;
+// LastScrub reports the most recent pass.
+type ScrubRunner interface {
+	Scrub(heal bool) (gfs.ScrubReport, bool)
+	LastScrub() (gfs.ScrubReport, time.Time, bool)
+}
+
+// scrubStatus is the JSON shape /scrub serves.
+type scrubStatus struct {
+	Ran        bool             `json:"ran"`
+	FinishedAt time.Time        `json:"finished_at,omitempty"`
+	Report     *gfs.ScrubReport `json:"report,omitempty"`
+}
 
 // Handler builds the admin mux over reg. healthz, when non-nil, is
 // consulted by /healthz: nil error answers 200 "ok", an error answers
@@ -27,7 +43,14 @@ import (
 // the mirror is degraded or resilvering, /healthz answers 503 with the
 // per-replica status as JSON, so orchestrators pull the instance from
 // rotation and operators see which replica died at a glance.
-func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorStatus) http.Handler {
+//
+// scrub, when non-nil, adds the integrity surface: GET /scrub reports
+// the most recent scrub pass, POST /scrub runs one now (add ?heal=1 to
+// rewrite rotten copies from a good replica) and answers with its
+// report. /healthz additionally degrades to 503 when the last scrub
+// left damage behind (report not Clean) — detected-but-unhealed rot is
+// an operator page, not a silent metric.
+func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorStatus, scrub ScrubRunner) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -48,9 +71,42 @@ func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorS
 				return
 			}
 		}
+		if scrub != nil {
+			if rep, _, ran := scrub.LastScrub(); ran && !rep.Clean() {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				json.NewEncoder(w).Encode(scrubStatus{Ran: true, Report: &rep})
+				return
+			}
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	if scrub != nil {
+		mux.HandleFunc("/scrub", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			switch r.Method {
+			case http.MethodGet:
+				rep, at, ran := scrub.LastScrub()
+				st := scrubStatus{Ran: ran}
+				if ran {
+					st.FinishedAt = at
+					st.Report = &rep
+				}
+				json.NewEncoder(w).Encode(st)
+			case http.MethodPost:
+				heal := r.URL.Query().Get("heal") == "1"
+				rep, ok := scrub.Scrub(heal)
+				if !ok {
+					http.Error(w, "store has no integrity layer to scrub", http.StatusConflict)
+					return
+				}
+				json.NewEncoder(w).Encode(scrubStatus{Ran: true, FinishedAt: time.Now(), Report: &rep})
+			default:
+				http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+			}
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

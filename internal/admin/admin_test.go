@@ -54,7 +54,7 @@ func TestAdminEndToEnd(t *testing.T) {
 	go ps.Serve(pl)
 	t.Cleanup(func() { ps.Close() })
 
-	srv := httptest.NewServer(admin.Handler(reg, func() error { return nil }, adapter.MirrorStatus))
+	srv := httptest.NewServer(admin.Handler(reg, func() error { return nil }, adapter.MirrorStatus, adapter))
 	t.Cleanup(srv.Close)
 
 	// Drive one delivery and one pickup over the wire.
@@ -127,7 +127,7 @@ func TestAdminMirrorDegradedHealthz(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus))
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter))
 	t.Cleanup(srv.Close)
 
 	if body := get(t, srv.URL+"/healthz", http.StatusOK); !strings.HasPrefix(body, "ok") {
@@ -180,7 +180,7 @@ func TestAdminMirrorDegradedHealthz(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(adapter2.Close)
-	srv2 := httptest.NewServer(admin.Handler(reg2, nil, adapter2.MirrorStatus))
+	srv2 := httptest.NewServer(admin.Handler(reg2, nil, adapter2.MirrorStatus, adapter2))
 	t.Cleanup(srv2.Close)
 	if body := get(t, srv2.URL+"/healthz", http.StatusOK); !strings.HasPrefix(body, "ok") {
 		t.Errorf("post-resilver /healthz body: %q", body)
@@ -191,10 +191,119 @@ func TestAdminMirrorDegradedHealthz(t *testing.T) {
 	}
 }
 
+// TestAdminScrubEndpoint drills the integrity surface end to end on a
+// checksummed mirror: boot records a baseline pass, so GET /scrub
+// reports ran=true and clean from the first request; an on-demand POST
+// pass over the fresh store is clean; after a byte of one replica is
+// flipped, a detect-only pass reports the damage and flips /healthz to
+// 503; a healing pass repairs it and health recovers; the integrity
+// counters show up on /metrics.
+func TestAdminScrubEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	adapter, err := mailboatd.NewWithOptions(t.TempDir(), mailboatd.Options{
+		Users:      2,
+		Seed:       1,
+		MirrorRoot: t.TempDir(),
+		Checksum:   true,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(adapter.Close)
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter))
+	t.Cleanup(srv.Close)
+
+	if err := adapter.Deliver(0, []byte("scrub me")); err != nil {
+		t.Fatal(err)
+	}
+
+	var st struct {
+		Ran    bool             `json:"ran"`
+		Report *gfs.ScrubReport `json:"report"`
+	}
+	decode := func(body string) {
+		t.Helper()
+		st.Ran, st.Report = false, nil
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("/scrub is not JSON: %v (body %q)", err, body)
+		}
+	}
+
+	decode(get(t, srv.URL+"/scrub", http.StatusOK))
+	if !st.Ran || st.Report == nil || !st.Report.Clean() {
+		t.Fatalf("boot baseline scrub not reported: %+v report %+v", st, st.Report)
+	}
+
+	decode(post(t, srv.URL+"/scrub?heal=1", http.StatusOK))
+	if !st.Ran || st.Report == nil || st.Report.Checked == 0 || !st.Report.Clean() {
+		t.Fatalf("clean-store scrub: %+v report %+v", st, st.Report)
+	}
+
+	path := adapter.CorruptReplica(0)
+	if path == "" {
+		t.Fatal("CorruptReplica found nothing to corrupt")
+	}
+	t.Logf("corrupted %s on replica 0", path)
+
+	// Detect-only pass: damage reported, nothing healed, health degraded.
+	decode(post(t, srv.URL+"/scrub", http.StatusOK))
+	if st.Report == nil || st.Report.Corrupt == 0 || len(st.Report.Bad) == 0 {
+		t.Fatalf("detect-only scrub missed the rot: %+v", st.Report)
+	}
+	get(t, srv.URL+"/healthz", http.StatusServiceUnavailable)
+	if adapter.IntegrityDetected() == 0 {
+		t.Error("detection counter still zero after scrub found rot")
+	}
+
+	// Healing pass: repaired from the good replica, health restored.
+	decode(post(t, srv.URL+"/scrub?heal=1", http.StatusOK))
+	if st.Report == nil || !st.Report.Clean() {
+		t.Fatalf("healing scrub left damage: %+v", st.Report)
+	}
+	if body := get(t, srv.URL+"/healthz", http.StatusOK); !strings.HasPrefix(body, "ok") {
+		t.Errorf("post-heal /healthz body: %q", body)
+	}
+	msgs, _ := adapter.Pickup(0)
+	adapter.Unlock(0)
+	if len(msgs) != 1 || msgs[0].Contents != "scrub me" {
+		t.Fatalf("pickup after heal: %+v", msgs)
+	}
+
+	metrics := get(t, srv.URL+"/metrics", http.StatusOK)
+	for _, want := range []string{
+		"gfs_integrity_detected_total",
+		"gfs_integrity_healed_total",
+		"gfs_integrity_scrub_seconds_count",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestScrubWithoutIntegrityLayer checks the no-op contract: a plain
+// (non-checksummed) store has nothing to scrub, so POST answers 409 and
+// /healthz keeps the plain 200.
+func TestScrubWithoutIntegrityLayer(t *testing.T) {
+	reg := obs.NewRegistry()
+	adapter, err := mailboatd.NewWithOptions(t.TempDir(), mailboatd.Options{Users: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(adapter.Close)
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter))
+	t.Cleanup(srv.Close)
+	post(t, srv.URL+"/scrub?heal=1", http.StatusConflict)
+	if body := get(t, srv.URL+"/healthz", http.StatusOK); !strings.HasPrefix(body, "ok") {
+		t.Errorf("/healthz body: %q", body)
+	}
+}
+
 func TestHealthzFailure(t *testing.T) {
 	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), func() error {
 		return errors.New("listener down")
-	}, nil))
+	}, nil, nil))
 	defer srv.Close()
 	if body := get(t, srv.URL+"/healthz", http.StatusServiceUnavailable); !strings.Contains(body, "listener down") {
 		t.Errorf("/healthz body: %q", body)
@@ -202,11 +311,29 @@ func TestHealthzFailure(t *testing.T) {
 }
 
 func TestPprofIndex(t *testing.T) {
-	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil, nil))
+	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil, nil, nil))
 	defer srv.Close()
 	if body := get(t, srv.URL+"/debug/pprof/", http.StatusOK); !strings.Contains(body, "goroutine") {
 		t.Errorf("pprof index: %q", body)
 	}
+}
+
+func post(t *testing.T, url string, wantStatus int) string {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: status %d, want %d (body %q)", url, resp.StatusCode, wantStatus, b)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }
 
 func get(t *testing.T, url string, wantStatus int) string {

@@ -31,6 +31,19 @@ const (
 	FaultDelete
 	// FaultLink fails a Link (the new entry is not created).
 	FaultLink
+	// FaultCorrupt is the silent-corruption class: an injection durably
+	// mangles one file's bytes in place (a bit flip or a truncation) via
+	// the backend's Corrupter interface, and the triggering operation
+	// then proceeds normally — nothing fails, which is exactly what makes
+	// the fault "silent". The mutation edits durable state, not the
+	// in-flight call, so it survives crashes until something rewrites the
+	// file. The decision point is Open: each open of a file is one chance
+	// for its bytes to have rotted. Like FaultFailStop it is opted into
+	// explicitly (UniformRates leaves it at 0, nil-Eligible chooser
+	// policies skip it): undetected corruption violates the strict
+	// storage model, so only scenarios with an integrity layer
+	// (Checksummed) should enable it.
+	FaultCorrupt
 	// FaultFailStop is the permanent fail-stop class: once injected, the
 	// wrapped backend is dead — every subsequent operation fails without
 	// touching it, reads and listings included, until Revive. It models
@@ -58,11 +71,64 @@ func (op FaultOp) String() string {
 		return "delete"
 	case FaultLink:
 		return "link"
+	case FaultCorrupt:
+		return "corrupt"
 	case FaultFailStop:
 		return "fail-stop"
 	default:
 		return fmt.Sprintf("FaultOp(%d)", int(op))
 	}
+}
+
+// CorruptMode selects how CorruptFile mangles the target file.
+type CorruptMode int
+
+const (
+	// CorruptFlip flips the low bit of the file's middle byte.
+	CorruptFlip CorruptMode = iota
+	// CorruptTruncate silently drops the file's last byte.
+	CorruptTruncate
+	// NumCorruptModes is the number of corruption modes.
+	NumCorruptModes
+)
+
+// String names the corruption mode.
+func (m CorruptMode) String() string {
+	switch m {
+	case CorruptFlip:
+		return "bit-flip"
+	case CorruptTruncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("CorruptMode(%d)", int(m))
+	}
+}
+
+// Corrupter is implemented by backends whose durable bytes FaultCorrupt
+// can mangle in place (Model and OS). CorruptFile mutates the named
+// file's stored bytes according to mode and reports whether anything
+// was actually mutated (absent and empty files have nothing to rot).
+// The mutation is durable — it edits the backing store, not any open
+// descriptor — and silent: no subsequent operation fails until an
+// integrity layer checks the bytes.
+type Corrupter interface {
+	CorruptFile(t T, dir, name string, mode CorruptMode) bool
+}
+
+// AsCorrupter unwraps middleware layers (via Inner) until it finds a
+// Corrupter, returning nil if the stack bottoms out without one.
+func AsCorrupter(sys System) Corrupter {
+	for sys != nil {
+		if c, ok := sys.(Corrupter); ok {
+			return c
+		}
+		in, ok := sys.(innerer)
+		if !ok {
+			return nil
+		}
+		sys = in.Inner()
+	}
+	return nil
 }
 
 // FaultEvent is one injected fault, recorded in the replayable log.
@@ -128,12 +194,13 @@ type SeededPolicy struct {
 }
 
 // UniformRates returns a Rates array failing every transient class 1 in
-// n calls. FaultFailStop stays at 0: a uniform drill should degrade the
-// store, not kill it — permanent death is opted into per class.
+// n calls. FaultFailStop and FaultCorrupt stay at 0: a uniform drill
+// should degrade the store, not kill it or silently rot its bytes —
+// the permanent and silent classes are opted into per class.
 func UniformRates(n uint64) [NumFaultOps]uint64 {
 	var r [NumFaultOps]uint64
 	for op := FaultOp(0); op < NumFaultOps; op++ {
-		if op != FaultFailStop {
+		if op != FaultFailStop && op != FaultCorrupt {
 			r[op] = n
 		}
 	}
@@ -167,14 +234,15 @@ func (p *SeededPolicy) Decide(_ T, op FaultOp, index uint64) bool {
 
 // ChooserPolicy resolves fault decisions through the modeled machine's
 // Chooser (tag "fault" for transient classes, "failstop" for permanent
-// replica death), so the model checker enumerates faults exactly like it
-// enumerates schedules and crash points. Budget bounds the injected
-// faults per execution: once spent, no further choices are consumed,
-// keeping the DFS space finite even though the implementation retries
-// faulted operations. Eligible, when non-nil, restricts which classes
-// branch; nil means all *transient* classes — FaultFailStop only
-// branches when listed explicitly, consistent with UniformRates:
-// permanent death is opted into, never implied. PerClass, when non-nil,
+// replica death, "corrupt" for silent corruption), so the model checker
+// enumerates faults exactly like it enumerates schedules and crash
+// points. Budget bounds the injected faults per execution: once spent,
+// no further choices are consumed, keeping the DFS space finite even
+// though the implementation retries faulted operations. Eligible, when
+// non-nil, restricts which classes branch; nil means all *transient*
+// classes — FaultFailStop and FaultCorrupt only branch when listed
+// explicitly, consistent with UniformRates: permanent death and silent
+// rot are opted into, never implied. PerClass, when non-nil,
 // caps individual classes within the overall Budget — e.g. at most one
 // FaultFailStop so the search covers "one replica dies" without ever
 // killing both.
@@ -198,7 +266,7 @@ func (p *ChooserPolicy) Decide(t T, op FaultOp, index uint64) bool {
 		return false
 	}
 	if p.Eligible == nil {
-		if op == FaultFailStop {
+		if op == FaultFailStop || op == FaultCorrupt {
 			return false
 		}
 	} else if !p.Eligible[op] {
@@ -210,8 +278,11 @@ func (p *ChooserPolicy) Decide(t T, op FaultOp, index uint64) bool {
 		}
 	}
 	tag := "fault"
-	if op == FaultFailStop {
+	switch op {
+	case FaultFailStop:
 		tag = "failstop"
+	case FaultCorrupt:
+		tag = "corrupt"
 	}
 	if mt.Choose(2, tag) == 1 {
 		p.used++
@@ -229,15 +300,15 @@ type NeverPolicy struct{}
 func (NeverPolicy) Decide(T, FaultOp, uint64) bool { return false }
 
 // AlwaysPolicy faults every eligible call of the classes in Ops (all
-// *transient* classes when Ops is nil — FaultFailStop, as everywhere,
-// must be opted into explicitly) — for tests exercising retry
-// exhaustion.
+// *transient* classes when Ops is nil — FaultFailStop and FaultCorrupt,
+// as everywhere, must be opted into explicitly) — for tests exercising
+// retry exhaustion.
 type AlwaysPolicy struct{ Ops map[FaultOp]bool }
 
 // Decide implements Policy.
 func (p AlwaysPolicy) Decide(_ T, op FaultOp, _ uint64) bool {
 	if p.Ops == nil {
-		return op != FaultFailStop
+		return op != FaultFailStop && op != FaultCorrupt
 	}
 	return p.Ops[op]
 }
@@ -430,13 +501,50 @@ func (f *Faulty) Create(t T, dir, name string) (FD, bool) {
 	return f.inner.Create(t, dir, name)
 }
 
-// Open implements System (no transient class; absent-file failure is
-// already part of the API). A fail-stopped backend fails every Open.
+// Open implements System (no transient failure class; absent-file
+// failure is already part of the API). A fail-stopped backend fails
+// every Open. Open is the FaultCorrupt decision point: each open of a
+// file is one chance for its stored bytes to have silently rotted
+// before the (still successful) open observes them.
 func (f *Faulty) Open(t T, dir, name string) (FD, bool) {
 	if f.failStop(t, "open "+dir+"/"+name) {
 		return nil, false
 	}
+	f.corrupt(t, dir, name)
 	return f.inner.Open(t, dir, name)
+}
+
+// corrupt counts the FaultCorrupt decision point and, when the policy
+// injects, durably mangles the named file via the inner backend's
+// Corrupter. The corruption mode is one more enumerable choice under
+// the model (tag "corrupt-mode") and a pure function of the call index
+// otherwise, so seeded schedules stay bit-for-bit replayable. The event
+// is logged only when bytes actually changed; the decision point is
+// counted regardless, keeping indices schedule-independent.
+func (f *Faulty) corrupt(t T, dir, name string) {
+	c := AsCorrupter(f.inner)
+	if c == nil {
+		return
+	}
+	f.mu.Lock()
+	idx := f.calls[FaultCorrupt]
+	f.calls[FaultCorrupt]++
+	f.mu.Unlock()
+	if !f.policy.Decide(t, FaultCorrupt, idx) {
+		return
+	}
+	mode := CorruptMode(splitmix64(idx) % uint64(NumCorruptModes))
+	if mt, ok := t.(*machine.T); ok {
+		mode = CorruptMode(mt.Choose(int(NumCorruptModes), "corrupt-mode"))
+	}
+	if !c.CorruptFile(t, dir, name, mode) {
+		return
+	}
+	f.mu.Lock()
+	f.faults[FaultCorrupt]++
+	f.log = append(f.log, FaultEvent{Op: FaultCorrupt, Index: idx, Detail: mode.String() + " " + dir + "/" + name})
+	f.mu.Unlock()
+	f.Metrics.FaultInjected(FaultCorrupt)
 }
 
 // Append implements System.

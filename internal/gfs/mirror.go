@@ -3,6 +3,7 @@ package gfs
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -217,6 +218,16 @@ type Mirrored struct {
 	// resilver volume (gfs_mirror_*).
 	Metrics *MirrorMetrics
 
+	// Integrity, when non-nil, records files healed from the peer
+	// replica after checksum failures (gfs_integrity_*).
+	Integrity *IntegrityMetrics
+
+	// ResilverNoVerify skips the resilver's source integrity check, so a
+	// rotten survivor is copied verbatim over a good replacement. It
+	// exists only as a seeded bug for the checker
+	// (mb/integrity-bug:no-verify-resilver); never set it in production.
+	ResilverNoVerify bool
+
 	// mu guards only the flag words below; it is never held across a
 	// replica operation, so the cooperative model scheduler can always
 	// make progress.
@@ -350,6 +361,29 @@ func (m *Mirrored) bumpGeneration(t T, j int) {
 	}
 }
 
+// rewriteMarker regenerates one generation marker in place on replica
+// j. A marker's stored bytes are fully determined by its own name (the
+// envelope has an empty payload and the marker's path is its birth
+// path), so unlike a data file a rotten marker can be rebuilt from
+// nothing — both replicas' copies of the same marker are always
+// byte-identical by construction.
+func (m *Mirrored) rewriteMarker(t T, j int, name string) bool {
+	m.rep[j].Delete(t, MirrorMetaDir, name)
+	fd, ok := m.rep[j].Create(t, MirrorMetaDir, name)
+	if !ok {
+		return false
+	}
+	ok = m.rep[j].Sync(t, fd)
+	m.rep[j].Close(t, fd)
+	if ok {
+		if mt, isModel := t.(*machine.T); isModel {
+			mt.Tracef("mirror: regenerated rotten marker %s/%s on replica %d", MirrorMetaDir, name, j)
+		}
+		m.Integrity.healed()
+	}
+	return ok
+}
+
 func (m *Mirrored) countFailover(t T) {
 	m.mu.Lock()
 	m.failovers++
@@ -415,12 +449,20 @@ func (m *Mirrored) Create(t T, dir, name string) (FD, bool) {
 }
 
 // Open implements System: serves from the published replica, failing
-// over to the survivor when the read replica turns out dead.
+// over to the survivor when the read replica turns out dead — or when
+// the read replica's copy fails its checksum. In the latter case the
+// mirror first tries to heal the rotten copy from the peer's verified
+// copy (see healFile) and re-serve locally; if healing is impossible
+// the read still fails over to the peer's good copy, so a single
+// rotten replica never surfaces as data loss.
 func (m *Mirrored) Open(t T, dir, name string) (FD, bool) {
 	i := m.readReplica()
 	fd, ok := m.rep[i].Open(t, dir, name)
-	if !ok {
-		if !m.noteDead(t, i) || !m.alive(1-i) {
+	if ok {
+		return &mirrorFD{reading: true, rep: i, rfd: fd, dir: dir, name: name}, true
+	}
+	if m.noteDead(t, i) {
+		if !m.alive(1 - i) {
 			return nil, false
 		}
 		m.countFailover(t)
@@ -428,8 +470,93 @@ func (m *Mirrored) Open(t T, dir, name string) (FD, bool) {
 		if fd, ok = m.rep[i].Open(t, dir, name); !ok {
 			return nil, false
 		}
+		return &mirrorFD{reading: true, rep: i, rfd: fd, dir: dir, name: name}, true
 	}
-	return &mirrorFD{reading: true, rep: i, rfd: fd, dir: dir, name: name}, true
+	// The replica is alive but refused the open. Absent is the common,
+	// honest case (a raced delete); a corrupt envelope is the one this
+	// layer exists for: self-heal from the peer, else serve the peer.
+	if m.alive(1-i) && m.verdict(t, i, dir, name) == VerdictCorrupt {
+		if m.healFile(t, dir, name, i) {
+			if fd, ok = m.rep[i].Open(t, dir, name); ok {
+				return &mirrorFD{reading: true, rep: i, rfd: fd, dir: dir, name: name}, true
+			}
+		}
+		// Heal unavailable (or the healed copy still refuses): the
+		// peer's copy may still be good — serve it directly.
+		if fd, ok = m.rep[1-i].Open(t, dir, name); ok {
+			m.countFailover(t)
+			return &mirrorFD{reading: true, rep: 1 - i, rfd: fd, dir: dir, name: name}, true
+		}
+	}
+	return nil, false
+}
+
+// verdict asks replica i's checksum layer how dir/name looks; without
+// an envelope layer there is nothing to verify and nothing to heal.
+func (m *Mirrored) verdict(t T, i int, dir, name string) Verdict {
+	c := AsChecksummed(m.rep[i])
+	if c == nil {
+		return VerdictAbsent
+	}
+	return c.VerifyFile(t, dir, name)
+}
+
+// raw returns replica i's stack below the checksum envelope — the view
+// in which file bytes are the stored envelope frames — or the replica
+// itself when it has no envelope layer. Heal and resilver copies run
+// at this level so both replicas stay byte-identical on disk and a
+// corrupt source's bytes can actually be read (the envelope layer
+// refuses to decode them).
+func (m *Mirrored) raw(i int) System {
+	if c := AsChecksummed(m.rep[i]); c != nil {
+		return c.Inner()
+	}
+	return m.rep[i]
+}
+
+// healFile rewrites replica bad's rotten copy of dir/name from the
+// peer's copy, after verifying that the EXACT peer bytes it will copy
+// are sealed and sound (verifying in a separate read would race the
+// fault layer: a corruption injected at the copy's own read would slip
+// past the earlier verdict). The copy itself is not atomic (delete +
+// create + appends), so the protocol persists authority FIRST: the good
+// replica's generation is bumped before the rotten copy is touched,
+// making the good replica the resilver source should a crash land
+// mid-heal — otherwise the half-healed (deleted) copy on the published
+// replica would read as "unpublished orphan on the peer" and the next
+// resilver would delete the only good copy. After a successful copy the
+// healed replica's generation is bumped too, restoring equal marker
+// counts (equal generations assert "replicas identical").
+func (m *Mirrored) healFile(t T, dir, name string, bad int) bool {
+	good := 1 - bad
+	if !m.alive(good) || !m.alive(bad) {
+		return false
+	}
+	if AsChecksummed(m.rep[good]) == nil {
+		return false
+	}
+	data, ok := readAll(t, m.raw(good), dir, name)
+	if !ok || m.noteDead(t, good) {
+		return false
+	}
+	// Unsealed is heal-worthy: it is the honest crash artifact of an
+	// abandoned write (a torn spool file, say), and the peer's unsealed
+	// bytes are the best surviving version. Only a peer whose own copy
+	// fails verification outright is useless as a heal source.
+	if v := VerifyEnvelope(data); v != VerdictOK && v != VerdictUnsealed {
+		return false
+	}
+	m.bumpGeneration(t, good)
+	if _, ok := copyFile(t, m.raw(bad), dir, name, data); !ok {
+		m.noteDead(t, bad)
+		return false
+	}
+	m.bumpGeneration(t, bad)
+	if mt, isModel := t.(*machine.T); isModel {
+		mt.Tracef("mirror: healed %s/%s on replica %d from replica %d", dir, name, bad, good)
+	}
+	m.Integrity.healed()
+	return true
 }
 
 // Append implements System: insert-ordered like Create, so replica 0's
@@ -782,42 +909,213 @@ func (m *Mirrored) Resilver(t T) (resilverBytes uint64, ok bool) {
 
 	// Data directories first, the generation directory LAST: equal
 	// generations assert "replicas identical", so they must become
-	// equal only after the data truly is.
-	dirs := append(append([]string{}, m.dirs...), MirrorMetaDir)
-	for _, dir := range dirs {
-		srcNames := m.rep[src].List(t, dir)
-		// A fail-stopped source lies plausibly: its List reads as an
-		// empty directory and its Size as 0 bytes, either of which would
-		// make the copy destroy the destination's good data. Re-check
-		// the source's health after every read of it, before any write
-		// to the destination (the recovery era is single-threaded, so no
-		// new death can slip in between the read and the check).
-		if m.noteDead(t, src) {
+	// equal only after the data truly is — and only after the copy has
+	// been re-read and verified (a destination that silently dropped
+	// bytes mid-copy must not be declared redundant). A failed
+	// verification earns ONE retry of the whole data pass: the common
+	// honest cause is rot injected by the verify pass's own reads
+	// (silent corruption strikes whenever a file is opened), which the
+	// retry detects at the integrity gate and heals — while a
+	// destination that keeps lying about its writes still fails the
+	// second pass and leaves the mirror degraded.
+	for pass := 0; ; pass++ {
+		for _, dir := range m.dirs {
+			n, dok := m.resilverDir(t, src, dir)
+			resilverBytes += n
+			if !dok {
+				return resilverBytes, false
+			}
+		}
+		if m.verifyCopied(t, src) {
+			break
+		}
+		if pass == 1 {
 			return resilverBytes, false
 		}
-		have := make(map[string]bool, len(srcNames))
-		for _, name := range srcNames {
-			have[name] = true
+	}
+	n, dok := m.resilverDir(t, src, MirrorMetaDir)
+	resilverBytes += n
+	if !dok {
+		return resilverBytes, false
+	}
+	return resilverBytes, true
+}
+
+// resilverDir copies one directory from replica src onto its peer:
+// extraneous destination names are deleted, then every source file is
+// integrity-checked and copied (at the raw, below-envelope level) when
+// the destination's bytes differ.
+func (m *Mirrored) resilverDir(t T, src int, dir string) (written uint64, ok bool) {
+	dst := 1 - src
+	srcNames := m.rep[src].List(t, dir)
+	// A fail-stopped source lies plausibly: its List reads as an
+	// empty directory and its Size as 0 bytes, either of which would
+	// make the copy destroy the destination's good data. Re-check
+	// the source's health after every read of it, before any write
+	// to the destination (the recovery era is single-threaded, so no
+	// new death can slip in between the read and the check).
+	if m.noteDead(t, src) {
+		return 0, false
+	}
+	have := make(map[string]bool, len(srcNames))
+	for _, name := range srcNames {
+		have[name] = true
+	}
+	for _, name := range m.rep[dst].List(t, dir) {
+		if !have[name] && !m.rep[dst].Delete(t, dir, name) {
+			return written, false
 		}
-		for _, name := range m.rep[dst].List(t, dir) {
-			if !have[name] && !m.rep[dst].Delete(t, dir, name) {
-				return resilverBytes, false
+	}
+	cSrc := AsChecksummed(m.rep[src])
+	for _, name := range srcNames {
+		want, rok := readAll(t, m.raw(src), dir, name)
+		if !rok || m.noteDead(t, src) {
+			return written, false
+		}
+		// Integrity gate: the resilver source is authoritative for
+		// EXISTENCE (generations say so), but each file's BYTES must
+		// still prove themselves — a survivor can rot on the shelf, and
+		// copying it unverified would clobber the peer's good copy with
+		// garbage. The verdict is computed on the exact bytes just read
+		// (a corruption injected at the read itself cannot slip past a
+		// verdict computed on an earlier read). A rotten source file
+		// whose peer copy verifies is healed in reverse (peer -> source)
+		// before the copy proceeds. Rot with no good copy anywhere is an
+		// unrecoverable file, not a reason to stay degraded: like a
+		// RAID scrub logging an unreadable sector, the resilver copies
+		// the rotten bytes verbatim — replicas converge, the evidence
+		// survives, reads of the file keep failing loudly, and Scrub
+		// reports it — while every other file regains redundancy.
+		// Unsealed files are crash-abandoned writes, not rot, and copy
+		// as they are.
+		if cSrc != nil && !m.ResilverNoVerify && VerifyEnvelope(want) == VerdictCorrupt {
+			cSrc.noteDetected(t, dir, name, VerdictCorrupt)
+			healed := m.healFile(t, dir, name, src)
+			if !healed && dir == MirrorMetaDir {
+				// Generation markers carry no payload, so a rotten
+				// marker needs no peer copy: regenerating it through
+				// the envelope layer restores the exact bytes the
+				// peer's copy has. This matters during a blank-replica
+				// resilver, where the source's fresh marker rots at
+				// this very read before the destination holds any copy
+				// to heal from.
+				healed = m.rewriteMarker(t, src, name)
+			}
+			if healed {
+				if want, rok = readAll(t, m.raw(src), dir, name); !rok || m.noteDead(t, src) {
+					return written, false
+				}
+			} else if mt, isModel := t.(*machine.T); isModel {
+				mt.Tracef("mirror: resilver: %s/%s corrupt on source replica %d, no good copy", dir, name, src)
 			}
 		}
-		for _, name := range srcNames {
-			want, rok := readAll(t, m.rep[src], dir, name)
+		if got, gok := readAll(t, m.raw(dst), dir, name); gok && bytes.Equal(got, want) {
+			continue
+		}
+		n, wok := copyFile(t, m.raw(dst), dir, name, want)
+		written += n
+		if !wok {
+			return written, false
+		}
+	}
+	return written, true
+}
+
+// verifyCopied re-reads every data file on both replicas after the
+// copy loop and confirms the destination is byte-identical to the
+// source. It runs BEFORE the generation markers are equalized, so a
+// destination leg that silently dropped or shortened a file (a lying
+// device, a fault swallowed mid-copy) leaves the generations unequal
+// and the next recovery re-runs the copy instead of trusting it.
+func (m *Mirrored) verifyCopied(t T, src int) bool {
+	dst := 1 - src
+	for _, dir := range m.dirs {
+		srcNames := m.rep[src].List(t, dir)
+		if m.noteDead(t, src) {
+			return false
+		}
+		dstNames := m.rep[dst].List(t, dir)
+		if len(srcNames) != len(dstNames) {
+			return false
+		}
+		for k, name := range srcNames {
+			if dstNames[k] != name {
+				return false
+			}
+			want, rok := readAll(t, m.raw(src), dir, name)
 			if !rok || m.noteDead(t, src) {
-				return resilverBytes, false
+				return false
 			}
-			if got, gok := readAll(t, m.rep[dst], dir, name); gok && bytes.Equal(got, want) {
-				continue
-			}
-			n, wok := copyFile(t, m.rep[dst], dir, name, want)
-			resilverBytes += n
-			if !wok {
-				return resilverBytes, false
+			got, gok := readAll(t, m.raw(dst), dir, name)
+			if !gok || !bytes.Equal(got, want) {
+				if mt, isModel := t.(*machine.T); isModel {
+					mt.Tracef("mirror: resilver verify: %s/%s differs on replica %d", dir, name, dst)
+				}
+				return false
 			}
 		}
 	}
-	return resilverBytes, true
+	return true
+}
+
+// Scrub implements Scrubber over the whole mirror: every file on every
+// live replica is verified against its envelope; with heal set, a copy
+// that fails verification while its peer's copy verifies is rewritten
+// from the peer via healFile. Files rotten on both replicas (or
+// unhealable) are reported in Bad. Like Resilver it should run
+// quiescent — recovery, or the server's background scrub loop, which
+// tolerates the transient delete-then-rewrite window inside healFile.
+func (m *Mirrored) Scrub(t T, heal bool) ScrubReport {
+	var rep ScrubReport
+	dirs := append(append([]string{}, m.dirs...), MirrorMetaDir)
+	for _, dir := range dirs {
+		union := map[string]bool{}
+		for i := 0; i < 2; i++ {
+			if !m.alive(i) {
+				continue
+			}
+			for _, name := range m.rep[i].List(t, dir) {
+				union[name] = true
+			}
+		}
+		names := make([]string, 0, len(union))
+		for name := range union {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			v := [2]Verdict{VerdictAbsent, VerdictAbsent}
+			for i := 0; i < 2; i++ {
+				if !m.alive(i) {
+					continue
+				}
+				c := AsChecksummed(m.rep[i])
+				if c == nil {
+					continue
+				}
+				v[i] = c.VerifyFile(t, dir, name)
+				if v[i] == VerdictAbsent {
+					continue
+				}
+				rep.Checked++
+				switch v[i] {
+				case VerdictCorrupt:
+					rep.Corrupt++
+				case VerdictUnsealed:
+					rep.Unsealed++
+				}
+			}
+			for i := 0; i < 2; i++ {
+				if v[i] != VerdictCorrupt {
+					continue
+				}
+				if heal && (v[1-i] == VerdictOK || v[1-i] == VerdictUnsealed) && m.healFile(t, dir, name, i) {
+					rep.Healed++
+					continue
+				}
+				rep.Bad = append(rep.Bad, dir+"/"+name)
+			}
+		}
+	}
+	return rep
 }

@@ -27,6 +27,11 @@ type Model struct {
 	// durable (journaled-metadata style).
 	buffered bool
 	synced   map[inodeID]int
+	// pending records, per inode, the length after each append beyond
+	// the synced prefix. At a crash any prefix of the unsynced tail up
+	// to an append boundary may survive (torn appends); individual
+	// appends stay atomic. Cleared by Sync and at every crash.
+	pending map[inodeID][]int
 }
 
 type inodeID int
@@ -44,11 +49,12 @@ type modelFD struct {
 // is durable immediately (the paper's process-crash model).
 func NewModel(m *machine.Machine, dirs []string) *Model {
 	fs := &Model{
-		m:      m,
-		dirs:   map[string]map[string]inodeID{},
-		inodes: map[inodeID][]byte{},
-		synced: map[inodeID]int{},
-		next:   1,
+		m:       m,
+		dirs:    map[string]map[string]inodeID{},
+		inodes:  map[inodeID][]byte{},
+		synced:  map[inodeID]int{},
+		pending: map[inodeID][]int{},
+		next:    1,
 	}
 	for _, d := range dirs {
 		fs.dirs[d] = map[string]inodeID{}
@@ -70,16 +76,44 @@ func NewBufferedModel(m *machine.Machine, dirs []string) *Model {
 
 // Crash implements machine.Device: file data is durable, descriptors
 // are volatile (they are version-stamped, so the version bump kills
-// them).
+// them). Under buffered durability the crash keeps, for every inode
+// with an unsynced tail, some prefix of that tail ending at an append
+// boundary — which prefix is a crash-time nondeterministic choice
+// (tag "torn"), enumerated by the model checker via
+// machine.CrashChoose. Option 0 is the pre-torn behavior (only the
+// synced prefix survives), so chooserless unit runs are unchanged.
 func (fs *Model) Crash() {
 	fs.open = 0
-	if fs.buffered {
-		for ino, data := range fs.inodes {
-			if n := fs.synced[ino]; n < len(data) {
-				fs.inodes[ino] = data[:n]
-			}
+	if !fs.buffered {
+		return
+	}
+	var dirty []int
+	for ino, data := range fs.inodes {
+		if fs.synced[ino] < len(data) {
+			dirty = append(dirty, int(ino))
 		}
 	}
+	sort.Ints(dirty)
+	for _, i := range dirty {
+		ino := inodeID(i)
+		data := fs.inodes[ino]
+		n := fs.synced[ino]
+		var cuts []int
+		for _, b := range fs.pending[ino] {
+			if b > n && b <= len(data) {
+				cuts = append(cuts, b)
+			}
+		}
+		keep := n
+		if k := fs.m.CrashChoose(len(cuts)+1, "torn"); k > 0 {
+			keep = cuts[k-1]
+		}
+		fs.inodes[ino] = data[:keep]
+		// Whatever survived the crash is on disk for good: it is the
+		// durable prefix from here on.
+		fs.synced[ino] = keep
+	}
+	fs.pending = map[inodeID][]int{}
 }
 
 // OpenFDs returns the number of descriptors opened and not yet closed
@@ -183,6 +217,9 @@ func (fs *Model) Append(t T, fd FD, data []byte) bool {
 		mt.Failf("fs.append of %d bytes exceeds the %d-byte atomic limit", len(data), MaxAppend)
 	}
 	fs.inodes[f.ino] = append(fs.inodes[f.ino], data...)
+	if fs.buffered {
+		fs.pending[f.ino] = append(fs.pending[f.ino], len(fs.inodes[f.ino]))
+	}
 	mt.Tracef("fs.append %s += %d bytes", f.name, len(data))
 	return true
 }
@@ -245,6 +282,7 @@ func (fs *Model) Sync(t T, fd FD) bool {
 	mt.Step("fs.sync")
 	f := fs.fd(mt, "sync", fd, true)
 	fs.synced[f.ino] = len(fs.inodes[f.ino])
+	delete(fs.pending, f.ino)
 	mt.Tracef("fs.sync %s @ %d bytes", f.name, fs.synced[f.ino])
 	return true
 }
@@ -296,6 +334,35 @@ func (fs *Model) List(t T, dir string) []string {
 	sort.Strings(out)
 	mt.Tracef("fs.list %s -> %d entries", dir, len(out))
 	return out
+}
+
+// CorruptFile implements Corrupter: it durably mangles the named
+// file's bytes in place, modeling silent media corruption. The mutation
+// edits the inode (shared by all hard links), not any descriptor, so it
+// survives crashes and stays invisible to the System API until an
+// integrity layer checks the bytes. Absent and empty files report false.
+func (fs *Model) CorruptFile(t T, dir, name string, mode CorruptMode) bool {
+	mt := fs.thread(t)
+	mt.Step("fs.corrupt")
+	d := fs.dir(mt, "corrupt", dir)
+	ino, ok := d[name]
+	if !ok || len(fs.inodes[ino]) == 0 {
+		mt.Tracef("fs.corrupt %s/%s -> nothing to corrupt", dir, name)
+		return false
+	}
+	data := append([]byte{}, fs.inodes[ino]...)
+	switch mode {
+	case CorruptTruncate:
+		data = data[:len(data)-1]
+	default: // CorruptFlip
+		data[len(data)/2] ^= 0x01
+	}
+	fs.inodes[ino] = data
+	if fs.synced[ino] > len(data) {
+		fs.synced[ino] = len(data)
+	}
+	mt.Tracef("fs.corrupt %s %s/%s (ino %d)", mode, dir, name, ino)
+	return true
 }
 
 // PeekDir returns dir's entries without a machine step, for harness

@@ -173,6 +173,33 @@ func (o *OS) Link(_ T, oldDir, oldName, newDir, newName string) bool {
 	return os.Link(oldPath, newPath) == nil
 }
 
+// CorruptFile implements Corrupter on the real file system: it mangles
+// the named file's stored bytes in place (read-write open under the
+// cached directory root), for corruption drills against a live server.
+// Absent and empty files report false.
+func (o *OS) CorruptFile(_ T, dir, name string, mode CorruptMode) bool {
+	f, err := o.root(dir).OpenFile(name, os.O_RDWR, 0)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return false
+	}
+	size := st.Size()
+	if mode == CorruptTruncate {
+		return f.Truncate(size-1) == nil
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], size/2); err != nil {
+		return false
+	}
+	b[0] ^= 0x01
+	_, err = f.WriteAt(b[:], size/2)
+	return err == nil
+}
+
 // List implements System, sorted like the model.
 func (o *OS) List(_ T, dir string) []string {
 	entries, err := fs.ReadDir(o.root(dir).FS(), ".")

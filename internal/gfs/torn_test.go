@@ -1,0 +1,139 @@
+package gfs
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// tornSetup writes one file with a 4-byte synced prefix and two
+// unsynced 2-byte appends, so the crash has three enumerable outcomes:
+// keep the synced prefix only, keep the first pending append, or keep
+// both.
+func tornSetup(t *testing.T, chooser machine.Chooser) (*machine.Machine, *Model) {
+	t.Helper()
+	mm := machine.New(machine.Options{})
+	fs := NewBufferedModel(mm, []string{"d"})
+	res := mm.RunEra(chooser, false, func(mt *machine.T) {
+		fd, ok := fs.Create(mt, "d", "f")
+		if !ok {
+			mt.Failf("create failed")
+		}
+		fs.Append(mt, fd, []byte("aaaa"))
+		fs.Sync(mt, fd)
+		fs.Append(mt, fd, []byte("bb"))
+		fs.Append(mt, fd, []byte("cc"))
+	})
+	if res.Outcome != machine.Done {
+		t.Fatalf("setup: %+v", res)
+	}
+	return mm, fs
+}
+
+// TestBufferedCrashEnumeratesTornTails: the crash-time "torn" choice
+// selects which prefix of the unsynced tail survives, at append
+// boundaries only — option 0 is the old lose-everything behavior, the
+// last option keeps the whole tail.
+func TestBufferedCrashEnumeratesTornTails(t *testing.T) {
+	for k, want := range map[int]string{0: "aaaa", 1: "aaaabb", 2: "aaaabbcc"} {
+		pick := k
+		chooser := machine.ChooserFunc(func(n int, tag string) int {
+			if tag == "torn" {
+				if n != 3 {
+					t.Errorf("torn choice offered %d options, want 3", n)
+				}
+				return pick
+			}
+			return 0
+		})
+		mm, fs := tornSetup(t, chooser)
+		mm.CrashReset()
+		if got := string(fs.PeekDir("d")["f"]); got != want {
+			t.Errorf("torn choice %d: survived %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestBufferedCrashDefaultChooserKeepsSyncedPrefix: SeqChooser (and any
+// chooser-less context) picks option 0, so pre-torn behavior — only the
+// synced prefix survives — is unchanged.
+func TestBufferedCrashDefaultChooserKeepsSyncedPrefix(t *testing.T) {
+	mm, fs := tornSetup(t, machine.SeqChooser{})
+	mm.CrashReset()
+	if got := string(fs.PeekDir("d")["f"]); got != "aaaa" {
+		t.Fatalf("survived %q, want synced prefix only", got)
+	}
+}
+
+// TestBufferedCrashClampsWildChoice: an out-of-range torn choice (a
+// stale or truncated replay script) clamps to option 0 instead of
+// panicking or failing the machine — consistent with ScriptChooser's
+// clamping, which keeps minimized schedules replayable.
+func TestBufferedCrashClampsWildChoice(t *testing.T) {
+	wild := machine.ChooserFunc(func(n int, tag string) int {
+		if tag == "torn" {
+			return 99
+		}
+		return 0
+	})
+	mm, fs := tornSetup(t, wild)
+	mm.CrashReset()
+	if got := string(fs.PeekDir("d")["f"]); got != "aaaa" {
+		t.Fatalf("survived %q, want synced prefix (clamped choice)", got)
+	}
+}
+
+// TestBufferedCrashSurvivedTailIsDurable: whatever prefix the crash
+// kept is on disk for good — a second crash must not shorten it
+// further (the survived bytes become the synced prefix).
+func TestBufferedCrashSurvivedTailIsDurable(t *testing.T) {
+	keepAll := machine.ChooserFunc(func(n int, tag string) int {
+		if tag == "torn" {
+			return n - 1
+		}
+		return 0
+	})
+	mm, fs := tornSetup(t, keepAll)
+	mm.CrashReset()
+	if got := string(fs.PeekDir("d")["f"]); got != "aaaabbcc" {
+		t.Fatalf("first crash survived %q", got)
+	}
+	// Second crash, with a chooser that would drop everything it can:
+	// nothing is pending anymore, so nothing is lost.
+	res := mm.RunEra(machine.SeqChooser{}, false, func(mt *machine.T) {})
+	if res.Outcome != machine.Done {
+		t.Fatalf("recovery era: %+v", res)
+	}
+	mm.CrashReset()
+	if got := string(fs.PeekDir("d")["f"]); got != "aaaabbcc" {
+		t.Fatalf("second crash shortened the file to %q", got)
+	}
+}
+
+// TestStrictModelCrashIgnoresTornChoice: the strict (unbuffered) model
+// never consults the torn choice — every append is durable immediately.
+func TestStrictModelCrashIgnoresTornChoice(t *testing.T) {
+	consulted := false
+	chooser := machine.ChooserFunc(func(n int, tag string) int {
+		if tag == "torn" {
+			consulted = true
+		}
+		return 0
+	})
+	mm := machine.New(machine.Options{})
+	fs := NewModel(mm, []string{"d"})
+	res := mm.RunEra(chooser, false, func(mt *machine.T) {
+		fd, _ := fs.Create(mt, "d", "f")
+		fs.Append(mt, fd, []byte("abcd"))
+	})
+	if res.Outcome != machine.Done {
+		t.Fatalf("setup: %+v", res)
+	}
+	mm.CrashReset()
+	if consulted {
+		t.Fatal("strict model consulted the torn choice")
+	}
+	if got := string(fs.PeekDir("d")["f"]); got != "abcd" {
+		t.Fatalf("strict model lost data: %q", got)
+	}
+}

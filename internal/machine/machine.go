@@ -231,6 +231,26 @@ func (m *Machine) CrashReset() {
 	m.Tracef("-- crash: memory version now %d --", m.version)
 }
 
+// CrashChoose resolves crash-time nondeterminism from inside a
+// Device.Crash handler — e.g. which prefix of an unsynced file tail
+// survives a torn crash. No thread is running during CrashReset, so the
+// choice cannot go through T.Choose; it is resolved by the chooser of
+// the era that just crashed (RunEra leaves it installed). Outside any
+// era (unit tests driving CrashReset directly) there is no chooser and
+// the first option is taken, preserving the deterministic default.
+// Out-of-range answers are clamped to 0, matching ScriptChooser's
+// treatment of exhausted scripts so replay and minimization stay valid.
+func (m *Machine) CrashChoose(n int, tag string) int {
+	if n <= 1 || m.chooser == nil {
+		return 0
+	}
+	c := m.chooser.Choose(n, tag)
+	if c < 0 || c >= n {
+		return 0
+	}
+	return c
+}
+
 // RunEra runs one era: main is started as thread 0 and the era continues
 // until every thread (including ones spawned with T.Go) has exited, a
 // crash is injected, or a violation is detected. If allowCrash is true

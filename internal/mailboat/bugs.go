@@ -148,3 +148,114 @@ func (mb *Mailboat) DeliverForgetSpoolDelete(t gfs.T, user uint64, msg []byte) {
 	}
 	// BUG (benign for refinement): spool entry not deleted.
 }
+
+// readWhole reads an entire file in 512-byte chunks, the same loop the
+// real Pickup uses. Used by the buggy replay recovery below.
+func readWhole(t gfs.T, sys gfs.System, dir, name string) ([]byte, bool) {
+	fd, ok := sys.Open(t, dir, name)
+	if !ok {
+		return nil, false
+	}
+	var contents []byte
+	for off := uint64(0); ; off += gfs.ReadChunk {
+		chunk := sys.ReadAt(t, fd, off, gfs.ReadChunk)
+		contents = append(contents, chunk...)
+		if uint64(len(chunk)) < gfs.ReadChunk {
+			break
+		}
+	}
+	sys.Close(t, fd)
+	return contents, true
+}
+
+// DeliverTinyAppends is the delivery half of the torn-append bug pair.
+// It follows the real spool-sync-link protocol — the spool file is
+// fsynced before the link, so every *published* message is durable and
+// complete — but writes the spool one byte per append instead of in
+// 4 KiB chunks. That is not a bug by itself; it only becomes one when
+// paired with RecoverReplaySpool, which trusts whatever prefix of those
+// appends a crash happened to preserve.
+func (mb *Mailboat) DeliverTinyAppends(t gfs.T, user uint64, msg []byte) bool {
+	var spool gfs.FD
+	var sname string
+	created := false
+	for i := 0; i < nameAttempts; i++ {
+		id := t.RandUint64(mb.cfg.RandBound)
+		sname = tmpName(id)
+		if fd, ok := mb.sys.Create(t, SpoolDir, sname); ok {
+			spool, created = fd, true
+			break
+		}
+	}
+	if !created {
+		return false
+	}
+	for off := 0; off < len(msg); off++ { // one byte per append
+		if !mb.sys.Append(t, spool, msg[off:off+1]) {
+			mb.sys.Close(t, spool)
+			mb.sys.Delete(t, SpoolDir, sname)
+			return false
+		}
+	}
+	if !mb.sys.Sync(t, spool) {
+		mb.sys.Close(t, spool)
+		mb.sys.Delete(t, SpoolDir, sname)
+		return false
+	}
+	mb.sys.Close(t, spool)
+	for i := 0; i < nameAttempts; i++ {
+		id := t.RandUint64(mb.cfg.RandBound)
+		if mb.sys.Link(t, SpoolDir, sname, UserDir(user), MsgName(id)) {
+			mb.sys.Delete(t, SpoolDir, sname)
+			return true
+		}
+	}
+	mb.sys.Delete(t, SpoolDir, sname)
+	return false
+}
+
+// RecoverReplaySpool is a recovery that tries to be helpful: instead of
+// sweeping leftover spool files it *replays* them into user 0's
+// mailbox, reasoning that a spool file left behind by a crash is a
+// delivery the sender never got acknowledged for, so salvaging it can
+// only help. It even dedups against already-published mailbox contents
+// so a crash between link and spool-delete does not double-deliver.
+//
+// The flaw is torn appends: a crash mid-delivery may preserve any
+// prefix of the spool file's unsynced tail. A *partial* prefix is not a
+// message anyone sent, yet this recovery publishes it — a refinement
+// violation the checker only finds because the buffered model
+// enumerates torn crash states (§ DESIGN.md 4e). Losing the whole tail
+// leaves an empty spool file (swept harmlessly), and preserving all of
+// it replays exactly what a completed delivery would have published, so
+// the bug is invisible without torn-append enumeration.
+func RecoverReplaySpool(t gfs.T, sys gfs.System, cfg Config) *Mailboat {
+	published := map[string]bool{}
+	for u := uint64(0); u < cfg.Users; u++ {
+		for _, name := range sys.List(t, UserDir(u)) {
+			if data, ok := readWhole(t, sys, UserDir(u), name); ok {
+				published[string(data)] = true
+			}
+		}
+	}
+	for _, name := range sys.List(t, SpoolDir) {
+		data, ok := readWhole(t, sys, SpoolDir, name)
+		if !ok {
+			continue
+		}
+		if len(data) == 0 || published[string(data)] {
+			sys.Delete(t, SpoolDir, name)
+			continue
+		}
+		// BUG: data may be a torn prefix of a message, not a message.
+		for i := 0; i < nameAttempts; i++ {
+			id := t.RandUint64(cfg.RandBound)
+			if sys.Link(t, SpoolDir, name, UserDir(0), MsgName(id)) {
+				published[string(data)] = true
+				sys.Delete(t, SpoolDir, name)
+				break
+			}
+		}
+	}
+	return Init(t, nil, sys, cfg)
+}

@@ -392,6 +392,17 @@ func Recover(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config, old *Mailboat) *M
 	if r := gfs.AsResilverer(sys); r != nil {
 		r.Resilver(t)
 	}
+	// With a checksum envelope somewhere in the stack, recovery also
+	// scrubs: every file's envelope is verified — and, on a mirror, a
+	// rotten copy is healed from its verified peer — before the server
+	// takes traffic again. This is fsck's role for silent corruption:
+	// rot that accrued while the machine was down is found (and mended)
+	// at boot, not at some unlucky future read. Stacks without an
+	// envelope layer make this a cheap directory walk (nothing to
+	// verify), and single-backend envelopes detect without healing.
+	if sc := gfs.AsScrubber(sys); sc != nil {
+		sc.Scrub(t, true)
+	}
 	swept, sweepFailed := 0, 0
 	for _, name := range sys.List(t, SpoolDir) {
 		if sys.Delete(t, SpoolDir, name) {

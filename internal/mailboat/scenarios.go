@@ -31,6 +31,13 @@ type World struct {
 	// Pol is the chooser-driven fault policy behind Sys (fault and
 	// mirror scenarios); the dedup fingerprint covers its spent budget.
 	Pol *gfs.ChooserPolicy
+	// Corruption-mode state: Chk is the single-backend envelope layer,
+	// Chks the per-replica layers under a mirror, and Acked the set of
+	// message payloads whose delivery the workload saw acknowledged —
+	// the detection property's ground truth.
+	Chk   *gfs.Checksummed
+	Chks  [2]*gfs.Checksummed
+	Acked map[string]bool
 }
 
 // Variant selects the implementation under check.
@@ -52,6 +59,23 @@ const (
 	// VariantRecoverNoResilver skips the mirror-repair step during
 	// recovery (only meaningful with ScenarioOptions.Mirror).
 	VariantRecoverNoResilver
+	// VariantTrustReads serves reads without verifying the checksum
+	// envelope (gfs.Checksummed.TrustReads) — the silent-corruption bug
+	// the detection scenarios catch as garbage served to a pickup. Only
+	// meaningful with ScenarioOptions.Corrupt.
+	VariantTrustReads
+	// VariantResilverNoVerify skips the resilver's source integrity
+	// check (gfs.Mirrored.ResilverNoVerify), so a survivor that rotted
+	// on the shelf is copied verbatim over the good replica. Only
+	// meaningful with Mirror + Corrupt.
+	VariantResilverNoVerify
+	// VariantReplaySpool delivers with one-byte appends and recovers by
+	// replaying non-empty spool files into the mailbox — a design that
+	// wrongly assumes a crashed spool file is either empty or complete.
+	// Only a TORN crash tail (a partial prefix of the unsynced appends)
+	// exposes it; whole-tail loss leaves nothing to replay. Only
+	// meaningful with BufferedFS.
+	VariantReplaySpool
 )
 
 // ScenarioOptions shapes the workload.
@@ -95,11 +119,30 @@ type ScenarioOptions struct {
 	// recovery, replicas byte-identical, no leaked descriptors).
 	// Exclusive with BufferedFS and FaultBudget.
 	Mirror bool
+	// Corrupt arms the silent-corruption fault class: the store runs
+	// behind gfs.Checksummed over a gfs.Faulty whose chooser-driven
+	// policy may durably corrupt one file's bytes (bit flip or
+	// truncation, enumerated as separate branches) at any file open,
+	// budget one per execution. Without Mirror the scenario is ghost-
+	// and history-free and checks the DETECTION property instead of
+	// refinement — with no redundant copy, corruption may lose data,
+	// but never silently: a pickup must never return bytes that were
+	// never delivered, and an acknowledged delivery may only go missing
+	// if the integrity layer detected rot. With Mirror, each replica
+	// gets its own envelope and the full refinement + byte-identical
+	// invariant stands: the mirror must heal rot from the peer, so
+	// corruption is never visible at all. Exclusive with BufferedFS and
+	// FaultBudget.
+	Corrupt bool
 }
 
 // Scenario builds the checkable scenario for the chosen variant.
 func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
-	ghost := v == VariantVerified && !o.Mirror
+	ghost := v == VariantVerified && !o.Mirror && !o.Corrupt
+	// The single-backend corruption scenario checks detection, not
+	// refinement: it records no history (deliveries and pickups run
+	// outside the harness) and asserts its property directly in Post.
+	detectOnly := o.Corrupt && !o.Mirror
 	sp := Spec(o.Config)
 	steps := 3000
 	if o.Mirror {
@@ -107,8 +150,22 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 		// recovery resilvers the whole store.
 		steps = 9000
 	}
+	if o.Corrupt {
+		// Envelope verification re-reads whole files on every open, and
+		// recovery adds a scrub pass over the store.
+		steps *= 2
+	}
 
 	deliver := func(t *machine.T, w *World, h *explore.Harness, op OpDeliver) {
+		if detectOnly {
+			// No history: track the acknowledgement instead. An acked
+			// payload is the detection property's obligation — it may
+			// only go missing if the integrity layer said so.
+			if w.MB.Deliver(t, nil, op.User, []byte(op.Msg)) {
+				w.Acked[op.Msg] = true
+			}
+			return
+		}
 		h.Op(op, func() spec.Ret {
 			switch v {
 			case VariantDeliverDirect:
@@ -117,6 +174,8 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 			case VariantForgetSpoolDelete:
 				w.MB.DeliverForgetSpoolDelete(t, op.User, []byte(op.Msg))
 				return true
+			case VariantReplaySpool:
+				return w.MB.DeliverTinyAppends(t, op.User, []byte(op.Msg))
 			default:
 				var j *core.JTok
 				if ghost {
@@ -202,16 +261,32 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 				w.FS = gfs.NewModel(m, metaDirs)
 				w.FS1 = gfs.NewModel(m, metaDirs)
 				// One shared policy instance: its budget of 1 bounds the
-				// execution to at most one replica death, whichever
-				// replica and operation the chooser picks.
+				// execution to at most one fault (a replica death, or — in
+				// corrupt mode — one silent corruption), whichever replica
+				// and operation the chooser picks.
 				pol := &gfs.ChooserPolicy{
 					Budget:   1,
 					Eligible: map[gfs.FaultOp]bool{gfs.FaultFailStop: true},
 				}
+				if o.Corrupt {
+					pol.Eligible = map[gfs.FaultOp]bool{gfs.FaultCorrupt: true}
+				}
 				w.Pol = pol
 				w.F[0] = gfs.NewFaulty(w.FS, pol)
 				w.F[1] = gfs.NewFaulty(w.FS1, pol)
-				w.Mirror = gfs.NewMirrored(w.F[0], w.F[1], dirs)
+				r0, r1 := gfs.System(w.F[0]), gfs.System(w.F[1])
+				if o.Corrupt {
+					// One envelope per replica, UNDER the mirror: the
+					// mirror can then tell "corrupt" from "absent" and heal
+					// the rotten copy from its verified peer.
+					w.Chks[0] = gfs.NewChecksummed(w.F[0], dirs)
+					w.Chks[1] = gfs.NewChecksummed(w.F[1], dirs)
+					r0, r1 = w.Chks[0], w.Chks[1]
+				}
+				w.Mirror = gfs.NewMirrored(r0, r1, dirs)
+				if v == VariantResilverNoVerify {
+					w.Mirror.ResilverNoVerify = true
+				}
 				w.Sys = w.Mirror
 				return w
 			}
@@ -221,6 +296,19 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 				w.FS = gfs.NewModel(m, Dirs(o.Config))
 			}
 			w.Sys = w.FS
+			if o.Corrupt {
+				pol := &gfs.ChooserPolicy{
+					Budget:   1,
+					Eligible: map[gfs.FaultOp]bool{gfs.FaultCorrupt: true},
+				}
+				w.Pol = pol
+				w.F[0] = gfs.NewFaulty(w.FS, pol)
+				w.Chk = gfs.NewChecksummed(w.F[0], Dirs(o.Config))
+				w.Chk.TrustReads = v == VariantTrustReads
+				w.Sys = w.Chk
+				w.Acked = map[string]bool{}
+				return w
+			}
 			if o.FaultBudget > 0 {
 				pol := &gfs.ChooserPolicy{Budget: o.FaultBudget}
 				if o.FaultOps != nil {
@@ -275,12 +363,18 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 				w.MB = RecoverWipesMailboxes(t, w.FS, o.Config)
 			case v == VariantRecoverNoResilver:
 				w.MB = RecoverSkipResilver(t, w.Sys, o.Config)
+			case v == VariantReplaySpool:
+				w.MB = RecoverReplaySpool(t, w.Sys, o.Config)
 			default:
 				w.MB = Recover(t, w.G, w.Sys, o.Config, w.MB)
 			}
 		},
 		Post: func(t *machine.T, wAny any, h *explore.Harness) {
 			w := wAny.(*World)
+			if detectOnly {
+				postDetect(t, w, o)
+				return
+			}
 			if !o.PostPickups {
 				return
 			}
@@ -295,8 +389,11 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 	// the ghost Ctx are fingerprintable devices, so the hook only has to
 	// cover the crash-surviving state the world holds outside them — the
 	// fault policy's spent budget, the per-replica fail-stop latches,
-	// and the mirror's control flags. The BufferedFS variant is covered
-	// too: the synced-prefix map is part of the model's own encoding.
+	// the mirror's control flags, and (in corruption mode) the envelope
+	// layers' detection counters plus the set of acked payloads, both of
+	// which the detection property reads after the crash. The BufferedFS
+	// variant is covered too: the synced-prefix map is part of the
+	// model's own encoding.
 	s.Fingerprint = func(wAny any, b []byte) []byte {
 		w := wAny.(*World)
 		if w.Pol != nil {
@@ -310,7 +407,36 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 		if w.Mirror != nil {
 			b = w.Mirror.AppendMirrorState(b)
 		}
+		if w.Chk != nil {
+			b = w.Chk.AppendIntegrityState(b)
+		}
+		for i := range w.Chks {
+			if w.Chks[i] != nil {
+				b = w.Chks[i].AppendIntegrityState(b)
+			}
+		}
+		if w.Acked != nil {
+			acked := make([]string, 0, len(w.Acked))
+			for msg := range w.Acked {
+				acked = append(acked, msg)
+			}
+			sort.Strings(acked)
+			for _, msg := range acked {
+				b = append(b, msg...)
+				b = append(b, 0)
+			}
+		}
 		return b
+	}
+
+	if detectOnly {
+		s.Invariant = func(m *machine.Machine, wAny any) error {
+			w := wAny.(*World)
+			if n := w.FS.OpenFDs(); n != 0 {
+				return fmt.Errorf("resource leak: %d file descriptors still open", n)
+			}
+			return nil
+		}
 	}
 
 	if ghost {
@@ -391,4 +517,41 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 		}
 	}
 	return s
+}
+
+// postDetect is the Post hook for detection-mode scenarios (Corrupt
+// without Mirror). With a single backend there is no redundant copy to
+// heal from, so the property is weaker than refinement: corruption may
+// destroy an acknowledged message, but it must never do so *silently*.
+// Concretely, after the final recovery every byte sequence a pickup
+// serves must be one the workload actually delivered (the envelope
+// layer may fail a rotten read loudly, but must never pass mangled
+// payload through), and any acknowledged message that has gone missing
+// must be accounted for by the integrity layer's detection counter.
+func postDetect(t *machine.T, w *World, o ScenarioOptions) {
+	allowed := map[string]bool{}
+	for _, d := range o.Delivers {
+		allowed[d.Msg] = true
+	}
+	present := map[string]bool{}
+	for u := uint64(0); u < o.Config.Users; u++ {
+		msgs := w.MB.Pickup(t, nil, u)
+		w.MB.Unlock(t, nil, u)
+		for _, msg := range msgs {
+			if !allowed[msg.Contents] {
+				t.Failf("integrity: pickup served bytes never delivered: %q", msg.Contents)
+			}
+			present[msg.Contents] = true
+		}
+	}
+	acked := make([]string, 0, len(w.Acked))
+	for msg := range w.Acked {
+		acked = append(acked, msg)
+	}
+	sort.Strings(acked)
+	for _, msg := range acked {
+		if !present[msg] && w.Chk.Detected() == 0 {
+			t.Failf("silent loss: acked delivery %q missing with no integrity detection", msg)
+		}
+	}
 }

@@ -12,6 +12,7 @@ package mailboatd
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -72,8 +73,20 @@ type Options struct {
 	// surface there: gfs_* file-system counters and latency histograms
 	// (measured outermost, so drills count the latency the library
 	// experiences including injected faults and retries), mailboat_*
-	// library metrics, and mailboatd_ops_total adapter outcomes.
+	// library metrics, gfs_integrity_* envelope counters (with
+	// Checksum), and mailboatd_ops_total adapter outcomes.
 	Metrics *obs.Registry
+	// Checksum stores every file inside a self-describing checksum
+	// envelope (gfs.Checksummed): reads verify and fail loudly on rot,
+	// boot-time recovery scrubs the store, and on a mirrored store each
+	// replica gets its own envelope so rotten reads heal from the peer.
+	// With Checksum set, recovery runs through the FULL stack (the boot
+	// scrub needs the envelope layer), so a Fault drill covers the
+	// recovery path too.
+	Checksum bool
+	// ScrubEvery, when positive, runs a background scrub pass (healing
+	// on a mirrored store) at this interval until Close.
+	ScrubEvery time.Duration
 }
 
 // opMetrics counts adapter-level operation outcomes — the boundary
@@ -123,6 +136,21 @@ type Adapter struct {
 	rep    [2]*gfs.Faulty
 	mirror *gfs.Mirrored
 
+	// Integrity state (nil / zero unless Options.Checksum was set):
+	// chk is the single-backend envelope layer, chks the per-replica
+	// ones under a mirror, integ the shared gfs_integrity_* metrics.
+	chk   *gfs.Checksummed
+	chks  [2]*gfs.Checksummed
+	integ *gfs.IntegrityMetrics
+
+	scrubMu   sync.Mutex // serializes scrub passes
+	lastMu    sync.Mutex
+	lastScrub gfs.ScrubReport
+	lastAt    time.Time
+	scrubbed  bool
+	scrubStop chan struct{}
+	scrubWG   sync.WaitGroup
+
 	rng atomic.Uint64
 }
 
@@ -161,10 +189,51 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 	// the latency and call counts the library experiences, injected
 	// faults included.
 	var fsm *gfs.FSMetrics
-	sys := gfs.System(fs)
 	if o.Metrics != nil {
 		fsm = gfs.NewFSMetrics(o.Metrics)
 		cfg.Metrics = mailboat.NewMetrics(o.Metrics)
+	}
+	if o.Checksum {
+		// Envelope boot: the files on disk are envelopes, so every
+		// layer of the stack — recovery and its boot-time scrub
+		// included — must run above the checksum layer. The envelope
+		// sits above any fault drill, so injected corruption (and real
+		// rot) is detected on read instead of served.
+		a := &Adapter{fs: fs, cfg: cfg}
+		base := gfs.System(fs)
+		if o.Fault != nil {
+			a.faulty = gfs.NewFaulty(fs, &gfs.SeededPolicy{
+				Seed:      o.Fault.Seed,
+				Rates:     o.Fault.Rates,
+				MaxFaults: o.Fault.MaxFaults,
+			})
+			a.faulty.Latency = o.Fault.Latency
+			a.faulty.LatencyEveryN = o.Fault.LatencyEveryN
+			a.faulty.Metrics = fsm
+			base = a.faulty
+		}
+		a.chk = gfs.NewChecksummed(base, mailboat.Dirs(cfg))
+		sys := gfs.System(a.chk)
+		if o.Metrics != nil {
+			a.integ = gfs.NewIntegrityMetrics(o.Metrics)
+			a.chk.Metrics = a.integ
+			sys = gfs.NewObserved(a.chk, fsm)
+			a.ops = newOpMetrics(o.Metrics)
+		}
+		a.sys = sys
+		a.rng.Store(uint64(o.Seed))
+		a.mb = mailboat.Recover(a, nil, sys, cfg, nil)
+		// Recovery already swept rot it could reach; record a baseline
+		// pass so LastScrub (and the admin /healthz degradation) reflect
+		// the store's integrity from the first request on.
+		a.Scrub(true)
+		if o.ScrubEvery > 0 {
+			a.startScrubber(o.ScrubEvery)
+		}
+		return a, nil
+	}
+	sys := gfs.System(fs)
+	if o.Metrics != nil {
 		sys = gfs.NewObserved(fs, fsm)
 	}
 	a := &Adapter{fs: fs, sys: sys, cfg: cfg}
@@ -187,6 +256,9 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 			a.sys = gfs.NewObserved(a.faulty, fsm)
 		}
 		a.mb = a.mb.WithSystem(a.sys)
+	}
+	if o.ScrubEvery > 0 {
+		a.startScrubber(o.ScrubEvery)
 	}
 	return a, nil
 }
@@ -213,29 +285,153 @@ func newMirrored(root string, o Options, cfg mailboat.Config) (*Adapter, error) 
 		gfs.NewFaulty(fs0, gfs.NeverPolicy{}),
 		gfs.NewFaulty(fs1, gfs.NeverPolicy{}),
 	}
-	m := gfs.NewMirrored(rep[0], rep[1], mailboat.Dirs(cfg))
+	a := &Adapter{fs: fs0, fs1: fs1, rep: rep, cfg: cfg}
+	r0, r1 := gfs.System(rep[0]), gfs.System(rep[1])
+	if o.Checksum {
+		// Per-replica envelopes UNDER the mirror: each replica can
+		// vouch for its own bytes, so a rotten read fails over to the
+		// peer and is healed in place, and the resilver refuses to
+		// propagate rot.
+		a.chks[0] = gfs.NewChecksummed(rep[0], mailboat.Dirs(cfg))
+		a.chks[1] = gfs.NewChecksummed(rep[1], mailboat.Dirs(cfg))
+		r0, r1 = a.chks[0], a.chks[1]
+	}
+	m := gfs.NewMirrored(r0, r1, mailboat.Dirs(cfg))
+	a.mirror = m
 	sys := gfs.System(m)
 	if o.Metrics != nil {
 		fsm := gfs.NewFSMetrics(o.Metrics)
 		cfg.Metrics = mailboat.NewMetrics(o.Metrics)
+		a.cfg.Metrics = cfg.Metrics
 		m.Metrics = gfs.NewMirrorMetrics(o.Metrics)
+		if o.Checksum {
+			a.integ = gfs.NewIntegrityMetrics(o.Metrics)
+			a.chks[0].Metrics = a.integ
+			a.chks[1].Metrics = a.integ
+			m.Integrity = a.integ
+		}
 		sys = gfs.NewObserved(m, fsm)
 	}
-	a := &Adapter{fs: fs0, fs1: fs1, rep: rep, mirror: m, sys: sys, cfg: cfg}
+	a.sys = sys
 	if o.Metrics != nil {
 		a.ops = newOpMetrics(o.Metrics)
 	}
 	a.rng.Store(uint64(o.Seed))
 	a.mb = mailboat.Recover(a, nil, sys, cfg, nil)
+	if o.Checksum {
+		// Record the boot-time integrity baseline (recovery's own scrub
+		// runs below the adapter and is not captured by LastScrub).
+		a.Scrub(true)
+	}
+	if o.ScrubEvery > 0 {
+		a.startScrubber(o.ScrubEvery)
+	}
 	return a, nil
 }
 
-// Close releases the cached directory handles.
+// Close stops the background scrubber (waiting out any in-flight pass)
+// and releases the cached directory handles.
 func (a *Adapter) Close() {
+	if a.scrubStop != nil {
+		close(a.scrubStop)
+		a.scrubWG.Wait()
+		a.scrubStop = nil
+	}
 	a.fs.CloseAll()
 	if a.fs1 != nil {
 		a.fs1.CloseAll()
 	}
+}
+
+// Scrub runs one integrity pass over the store through whatever
+// integrity layers the stack has: a mirrored store verifies both
+// replicas and (when heal is set) rewrites rotten copies from the good
+// peer; a single-backend envelope detects only. ok is false when the
+// stack has no integrity layer to scrub with (no Checksum, no mirror).
+// Passes are serialized; concurrent mail traffic keeps flowing (a file
+// mid-append reads as unsealed, which a scrub never touches).
+func (a *Adapter) Scrub(heal bool) (gfs.ScrubReport, bool) {
+	sc := gfs.AsScrubber(a.sys)
+	if sc == nil {
+		return gfs.ScrubReport{}, false
+	}
+	a.scrubMu.Lock()
+	defer a.scrubMu.Unlock()
+	start := time.Now()
+	rep := sc.Scrub(a, heal)
+	a.integ.ScrubDone(time.Since(start))
+	a.lastMu.Lock()
+	a.lastScrub, a.lastAt, a.scrubbed = rep, time.Now(), true
+	a.lastMu.Unlock()
+	return rep, true
+}
+
+// LastScrub returns the most recent scrub pass's report and finish
+// time; ok is false when no pass has run yet.
+func (a *Adapter) LastScrub() (rep gfs.ScrubReport, at time.Time, ok bool) {
+	a.lastMu.Lock()
+	defer a.lastMu.Unlock()
+	return a.lastScrub, a.lastAt, a.scrubbed
+}
+
+// IntegrityDetected sums the envelope layers' detection counters —
+// how many rotten reads the store has refused to serve since boot.
+func (a *Adapter) IntegrityDetected() uint64 {
+	var n uint64
+	if a.chk != nil {
+		n += a.chk.Detected()
+	}
+	for i := range a.chks {
+		if a.chks[i] != nil {
+			n += a.chks[i].Detected()
+		}
+	}
+	return n
+}
+
+// startScrubber runs Scrub(heal) at the given interval until Close.
+func (a *Adapter) startScrubber(every time.Duration) {
+	a.scrubStop = make(chan struct{})
+	a.scrubWG.Add(1)
+	go func() {
+		defer a.scrubWG.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-a.scrubStop:
+				return
+			case <-tick.C:
+				a.Scrub(true)
+			}
+		}
+	}()
+}
+
+// CorruptReplica flips one byte of a stored mailbox file on replica i
+// (use 0 on a single-backend store) — the silent-corruption drill, the
+// live analog of the checker's gfs.FaultCorrupt class. It mangles the
+// raw bytes on disk UNDERNEATH every integrity layer, exactly as shelf
+// rot would. Returns the "dir/name" it mangled, or "" when the replica
+// holds no mailbox files (or the store cannot corrupt in place).
+func (a *Adapter) CorruptReplica(i int) string {
+	backend := gfs.System(a.fs)
+	if a.mirror != nil && i == 1 {
+		backend = a.fs1
+	}
+	c := gfs.AsCorrupter(backend)
+	if c == nil {
+		return ""
+	}
+	for u := uint64(0); u < a.cfg.Users; u++ {
+		dir := mailboat.UserDir(u)
+		for _, name := range backend.List(a, dir) {
+			if c.CorruptFile(a, dir, name, gfs.CorruptFlip) {
+				return dir + "/" + name
+			}
+		}
+	}
+	return ""
 }
 
 // Users returns the mailbox count.

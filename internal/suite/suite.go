@@ -128,6 +128,39 @@ func Verified() []Entry {
 			}),
 			Opts: explore.Options{MaxExecutions: 20000},
 		},
+		{
+			// Silent corruption on a single backend: the chooser may
+			// durably flip or truncate one file's bytes at any open. With
+			// no redundant copy the property is detection, not refinement:
+			// a pickup must never serve bytes nobody delivered, and an
+			// acked message may only go missing if the envelope layer
+			// detected rot.
+			Pattern: "mailboat-corrupt",
+			Scenario: mailboat.Scenario("mb/corrupt+scrub", mailboat.VariantVerified, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 2},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "the quick brown fox."}},
+				MaxCrashes:  1,
+				PostPickups: true,
+				Corrupt:     true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			// Silent corruption on the mirrored store: per-replica
+			// envelopes, heal-on-read, the resilver's integrity gate, and
+			// the recovery scrub together make rot invisible — full
+			// refinement plus the byte-identical invariant hold.
+			Pattern: "mailboat-mirror-corrupt",
+			Scenario: mailboat.Scenario("mb/mirror+corrupt-heal", mailboat.VariantVerified, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 2},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "m"}},
+				MaxCrashes:  1,
+				PostPickups: true,
+				Mirror:      true,
+				Corrupt:     true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
 	}
 }
 
@@ -231,6 +264,58 @@ func Bugs() []Entry {
 				MaxCrashes:  1,
 				PostPickups: true,
 				Mirror:      true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			// The envelope layer decodes without verifying checksums: a
+			// bit flip in a data payload is served to a pickup as bytes
+			// nobody sent, and a flip that breaks framing loses the
+			// message with the detection counter still at zero — both
+			// convicted by the detection property.
+			Pattern:       "mailboat-corrupt",
+			WantViolation: true,
+			Scenario: mailboat.Scenario("mb/integrity-bug:trust-read", mailboat.VariantTrustReads, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 2},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "the quick brown fox."}},
+				MaxCrashes:  1,
+				PostPickups: true,
+				Corrupt:     true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			// The resilver copies source bytes without checking their
+			// envelope: rot injected at the resilver's own read of the
+			// source replicates onto the peer, leaving an ACKED message
+			// unreadable everywhere — a refinement violation at the post
+			// pickup. Two concurrent delivers let the first be acked
+			// before the crash.
+			Pattern:       "mailboat-mirror-corrupt",
+			WantViolation: true,
+			Scenario: mailboat.Scenario("mb/integrity-bug:no-verify-resilver", mailboat.VariantResilverNoVerify, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 3},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "a"}, {User: 0, Msg: "b"}},
+				MaxCrashes:  1,
+				PostPickups: true,
+				Mirror:      true,
+				Corrupt:     true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			// A recovery that replays leftover spool files into the
+			// mailbox, wrongly assuming a crashed spool file is either
+			// empty or complete: only a TORN crash tail — a partial
+			// prefix of the delivery's one-byte appends — exposes it.
+			Pattern:       "mailboat-buffered",
+			WantViolation: true,
+			Scenario: mailboat.Scenario("mb/torn-bug:replay-spool", mailboat.VariantReplaySpool, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 2, SyncOnDeliver: true},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "ab"}},
+				MaxCrashes:  1,
+				PostPickups: true,
+				BufferedFS:  true,
 			}),
 			Opts: explore.Options{MaxExecutions: 20000},
 		},
