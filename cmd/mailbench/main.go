@@ -7,7 +7,15 @@
 // Usage:
 //
 //	mailbench [-cores 1,2,4,8] [-requests N] [-users N] [-servers a,b,c]
-//	          [-dir path] [-json path] [-corrupt]
+//	          [-dir path] [-json path] [-corrupt] [-no-fsync]
+//
+// By default the mailboat backends run with the full checked sync
+// discipline (fsync spool data, fsync the mailbox directory before
+// acking). -no-fsync disables both barriers — the drill knob for the
+// daemon's fast mode, whose checked contract weakens to prefix
+// durability (acked mail may be rolled back by an OS crash, but the
+// surviving mailbox is always a no-holes prefix of the delivery
+// order). Compare the two to price durability.
 //
 // -json additionally writes the sweep as machine-readable JSON (one
 // object with run parameters and a per-point array carrying
@@ -53,6 +61,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file")
 	corrupt := flag.Bool("corrupt", false, "run the silent-corruption heal drill instead of the throughput sweep")
+	noFsync := flag.Bool("no-fsync", false, "run the mailboat backends without durability barriers (acked mail may be lost on an OS crash; contract weakens to prefix durability)")
 	flag.Parse()
 
 	if *corrupt {
@@ -80,14 +89,18 @@ func main() {
 		RequestsPerPoint: *requests,
 		BaseDir:          *dir,
 		Seed:             *seed,
+		NoFsync:          *noFsync,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mailbench: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Print(postal.FormatSweep(points))
-	fmt.Printf("\nstore: %s; workload: %d requests/point, %d users, 50/50 deliver:pickup\n",
-		storeDesc(*dir), *requests, *users)
+	fmt.Printf("\nstore: %s; workload: %d requests/point, %d users, 50/50 deliver:pickup; mailboat durability: %s\n",
+		storeDesc(*dir), *requests, *users, durabilityDesc(*noFsync))
+	if *noFsync {
+		fmt.Println("WARNING: -no-fsync — acked mail may be lost on an OS crash (prefix-durability contract only)")
+	}
 
 	if *jsonPath != "" {
 		out := struct {
@@ -95,8 +108,9 @@ func main() {
 			Users            uint64              `json:"users"`
 			Seed             int64               `json:"seed"`
 			Store            string              `json:"store"`
+			Durability       string              `json:"durability"`
 			Points           []postal.SweepPoint `json:"points"`
-		}{*requests, *users, *seed, storeDesc(*dir), points}
+		}{*requests, *users, *seed, storeDesc(*dir), durabilityDesc(*noFsync), points}
 		b, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mailbench: encoding json: %v\n", err)
@@ -246,6 +260,13 @@ func defaultCores() string {
 		cs = append(cs, strconv.Itoa(c))
 	}
 	return strings.Join(cs, ",")
+}
+
+func durabilityDesc(noFsync bool) string {
+	if noFsync {
+		return "no-fsync (prefix durability only)"
+	}
+	return "fsync+dirsync (full sync discipline)"
 }
 
 func storeDesc(dir string) string {

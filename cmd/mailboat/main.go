@@ -7,12 +7,24 @@
 // Usage:
 //
 //	mailboat [-dir path] [-mirror path] [-users N] [-smtp addr] [-pop3 addr]
-//	         [-admin addr] [-max-conns N] [-timeout d] [-grace d] [-sync]
+//	         [-admin addr] [-max-conns N] [-timeout d] [-grace d] [-no-fsync]
 //	         [-retries N] [-backoff d] [-checksum] [-scrub-interval d]
 //	         [-fault-seed N] [-fault-rate N] [-fault-max N]
 //
 // Deliver mail to userN@any-domain over SMTP; read it back by
 // authenticating as userN over POP3 (any password).
+//
+// By default the store runs the full checked sync discipline: spool
+// files are fsynced before publishing AND the mailbox directory is
+// fsynced before a delivery or delete is acknowledged, so an acked
+// operation survives an OS crash on writeback file systems (ext4,
+// xfs). -no-fsync skips every barrier for speed; its weaker contract —
+// verified by the mb/writeback+prefix-contract checker scenario — is
+// prefix durability: a crash may take back the NEWEST acked
+// deliveries, but the surviving mailbox is always a hole-free prefix
+// of the delivery order, never reordered or fabricated. The legacy
+// -sync flag remains for compatibility (-sync=false behaves like
+// -no-fsync).
 //
 // -admin starts an operational HTTP listener serving Prometheus-text
 // /metrics (every layer: gfs_*, mailboat_*, mailboatd_*, smtp_*,
@@ -99,7 +111,8 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-connection read/write deadline (0 = none)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period before force-closing sessions")
 	mirrorDir := flag.String("mirror", "", "second replica directory: run the store mirrored (writes to both, reads fail over, boot resilvers a replaced replica)")
-	syncDeliver := flag.Bool("sync", false, "fsync spool files before publishing (survives OS crashes)")
+	syncDeliver := flag.Bool("sync", true, "deprecated: the full sync discipline (spool fsync + directory fsync) is on by default; use -no-fsync to disable it")
+	noFsync := flag.Bool("no-fsync", false, "fast mode: skip ALL durability barriers; an OS crash may lose the newest acked mail (prefix-durability contract, see README)")
 	retries := flag.Int("retries", 0, "delivery retry attempts on transient store failure (0 = default)")
 	backoff := flag.Duration("backoff", 10*time.Millisecond, "base backoff between delivery retries")
 	checksum := flag.Bool("checksum", false, "store files in checksummed envelopes; detect (and on a mirror, heal) silent corruption")
@@ -109,13 +122,19 @@ func main() {
 	faultMax := flag.Uint64("fault-max", 0, "cap on total injected faults (0 = unlimited)")
 	flag.Parse()
 
+	// Durability: the full sync discipline is the default; -no-fsync
+	// (or the legacy -sync=false) opts into the barrier-free fast mode,
+	// whose checked contract is prefix durability only.
+	durable := *syncDeliver && !*noFsync
+
 	// Metrics are always collected (the disabled path costs one nil
 	// check per event); -admin only controls whether they are served.
 	reg := obs.NewRegistry()
 	opts := mailboatd.Options{
 		Users:          *users,
 		Seed:           time.Now().UnixNano(),
-		SyncOnDeliver:  *syncDeliver,
+		SyncOnDeliver:  durable,
+		SyncDirs:       durable,
 		DeliverRetries: *retries,
 		DeliverBackoff: *backoff,
 		Metrics:        reg,
@@ -136,6 +155,9 @@ func main() {
 	}
 	defer adapter.Close()
 	log.Printf("mailboat: store %s recovered, %d users", *dir, *users)
+	if !durable {
+		log.Printf("mailboat: NO-FSYNC fast mode — an OS crash may lose the newest acked mail (prefix-durability contract only)")
+	}
 	if *mirrorDir != "" {
 		log.Printf("mailboat: MIRRORED with replica %s (status %+v)", *mirrorDir, *adapter.MirrorStatus())
 	}

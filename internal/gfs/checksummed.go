@@ -283,6 +283,12 @@ func (c *Checksummed) Sync(t T, fd FD) bool {
 	return c.inner.Sync(t, f.w)
 }
 
+// SyncDir implements System: the envelope adds nothing to directory
+// metadata, so the barrier passes straight through.
+func (c *Checksummed) SyncDir(t T, dir string) bool {
+	return c.inner.SyncDir(t, dir)
+}
+
 // Close implements System. An append-mode file is sealed on close if it
 // was not sealed by Sync; if sealing fails the file is left unsealed on
 // disk, where reads will refuse it — the same outcome as an abandoned

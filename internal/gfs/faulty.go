@@ -603,6 +603,20 @@ func (f *Faulty) Sync(t T, fd FD) bool {
 	return f.inner.Sync(t, fd)
 }
 
+// SyncDir implements System. Directory syncs share FaultSync with file
+// syncs: both are durability barriers, and an injected failure means
+// the barrier did not happen — the caller must not ack anything that
+// depended on it (though, unlike a file Sync, it may retry).
+func (f *Faulty) SyncDir(t T, dir string) bool {
+	if f.failStop(t, "syncdir "+dir) {
+		return false
+	}
+	if f.begin(t, FaultSync, dir) {
+		return false
+	}
+	return f.inner.SyncDir(t, dir)
+}
+
 // Delete implements System.
 func (f *Faulty) Delete(t T, dir, name string) bool {
 	if f.failStop(t, "delete "+dir+"/"+name) {

@@ -40,18 +40,61 @@ func (fs *Model) AppendDurable(b []byte) []byte {
 		sort.Strings(names)
 		b = machine.AppendUint64(b, uint64(len(names)))
 		for _, n := range names {
-			ino := d[n]
-			id, seen := canon[ino]
-			if !seen {
-				id = uint64(len(canon))
-				canon[ino] = id
-			}
 			b = machine.AppendString(b, n)
-			b = machine.AppendUint64(b, id)
-			b = machine.AppendBytes(b, fs.inodes[ino])
-			if fs.buffered {
-				b = machine.AppendUint64(b, uint64(fs.synced[ino]))
+			b = fs.appendInode(b, canon, d[n])
+		}
+	}
+	// Under writeback the crash-reachable states also depend on each
+	// directory's durable view and its pending operation log (any prefix
+	// of which may survive), so both are part of the canonical state.
+	// Inodes referenced only there (e.g. created then deleted before a
+	// SyncDir) get their contents encoded at first reference.
+	b = machine.AppendBool(b, fs.writeback)
+	if fs.writeback {
+		for _, dir := range dirNames {
+			b = machine.AppendString(b, dir)
+			durable := fs.durableDirs[dir]
+			names := make([]string, 0, len(durable))
+			for n := range durable {
+				names = append(names, n)
 			}
+			sort.Strings(names)
+			b = machine.AppendUint64(b, uint64(len(names)))
+			for _, n := range names {
+				b = machine.AppendString(b, n)
+				b = fs.appendInode(b, canon, durable[n])
+			}
+			ops := fs.dirPending[dir]
+			b = machine.AppendUint64(b, uint64(len(ops)))
+			for _, op := range ops {
+				b = machine.AppendBool(b, op.add)
+				b = machine.AppendString(b, op.name)
+				if op.add {
+					b = fs.appendInode(b, canon, op.ino)
+				}
+			}
+		}
+	}
+	return b
+}
+
+// appendInode encodes one inode reference: its canonical id plus, on
+// every reference, its contents and (when buffered) its synced prefix
+// and pending append boundaries — the un-synced write state that
+// determines which post-crash contents are reachable.
+func (fs *Model) appendInode(b []byte, canon map[inodeID]uint64, ino inodeID) []byte {
+	id, seen := canon[ino]
+	if !seen {
+		id = uint64(len(canon))
+		canon[ino] = id
+	}
+	b = machine.AppendUint64(b, id)
+	b = machine.AppendBytes(b, fs.inodes[ino])
+	if fs.buffered {
+		b = machine.AppendUint64(b, uint64(fs.synced[ino]))
+		b = machine.AppendUint64(b, uint64(len(fs.pending[ino])))
+		for _, p := range fs.pending[ino] {
+			b = machine.AppendUint64(b, uint64(p))
 		}
 	}
 	return b

@@ -96,6 +96,23 @@ type System interface {
 	// descriptor: abandon the file and start over.
 	Sync(t T, fd FD) bool
 
+	// SyncDir makes dir's entries durable, reporting whether it
+	// succeeded. On the strict and buffered models directory operations
+	// are durable the moment they happen, so SyncDir is a no-op; on the
+	// writeback model (NewWritebackModel) creates, links, and deletes
+	// live in a volatile cache until the directory is synced, and an
+	// un-synced suffix of them is lost at a crash. On the OS backend it
+	// fsyncs the directory, which is what ext4-style file systems
+	// require before a rename/link/unlink may be assumed durable. A
+	// false return (a failed fsync, or an injected FaultSync under
+	// Faulty) means the directory's pending operations must NOT be
+	// treated as durable: a failed SyncDir is never a barrier. Unlike a
+	// failed file Sync (whose dirty data pages may be silently dropped —
+	// fsyncgate), a failed directory sync may be retried: metadata goes
+	// through the journal, and a later successful SyncDir of the same
+	// directory is a real barrier.
+	SyncDir(t T, dir string) bool
+
 	// Delete unlinks name from dir; false if absent.
 	Delete(t T, dir, name string) bool
 

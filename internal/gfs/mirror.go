@@ -685,6 +685,24 @@ func (m *Mirrored) Sync(t T, fd FD) bool {
 	return synced
 }
 
+// SyncDir implements System: like Sync, true only when every live leg
+// made the directory's entries durable (a dead replica's durability is
+// the resilver's problem).
+func (m *Mirrored) SyncDir(t T, dir string) bool {
+	synced := false
+	for _, i := range []int{1, 0} {
+		if !m.alive(i) {
+			continue
+		}
+		if m.rep[i].SyncDir(t, dir) {
+			synced = true
+		} else if !m.noteDead(t, i) {
+			return false
+		}
+	}
+	return synced
+}
+
 // Delete implements System: remove-ordered, replica 0 first. Once the
 // published replica has removed the entry the operation is committed,
 // so a replica 1 that cannot follow (and is not dead) is retried and

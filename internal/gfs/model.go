@@ -32,6 +32,29 @@ type Model struct {
 	// to an append boundary may survive (torn appends); individual
 	// appends stay atomic. Cleared by Sync and at every crash.
 	pending map[inodeID][]int
+
+	// writeback (implies buffered) extends deferred durability to
+	// directory operations: creates, links, and deletes are applied to
+	// the volatile dirs view immediately but only reach the durable
+	// view when SyncDir flushes them (or when a crash happens to keep
+	// them). Per directory the pending operations form an ordered log,
+	// and a crash keeps some prefix of it — ext4-ordered-journaling
+	// style, so un-synced metadata is lost newest-first with no holes.
+	writeback   bool
+	durableDirs map[string]map[string]inodeID
+	dirPending  map[string][]dirOp
+
+	// metrics, when set, receives crash-time drop accounting
+	// (un-synced bytes and directory operations lost). Nil-safe.
+	metrics *FSMetrics
+}
+
+// dirOp is one pending directory mutation under writeback: an entry
+// added (create or link) or removed (delete).
+type dirOp struct {
+	add  bool
+	name string
+	ino  inodeID // meaningful only for add
 }
 
 type inodeID int
@@ -74,6 +97,31 @@ func NewBufferedModel(m *machine.Machine, dirs []string) *Model {
 	return fs
 }
 
+// NewWritebackModel creates a modeled file system with full writeback
+// semantics: file data behaves as under NewBufferedModel, and directory
+// operations (create, link, delete) additionally live in a volatile
+// cache until SyncDir makes them durable. At a crash each directory
+// keeps some prefix of its un-synced operation log — which prefix is a
+// crash-time nondeterministic choice (tag "writeback") enumerated by
+// the model checker. Code that is crash-safe here must Sync file
+// contents *and* SyncDir the publishing directory before acking.
+func NewWritebackModel(m *machine.Machine, dirs []string) *Model {
+	fs := NewBufferedModel(m, dirs)
+	fs.writeback = true
+	fs.durableDirs = map[string]map[string]inodeID{}
+	fs.dirPending = map[string][]dirOp{}
+	for d := range fs.dirs {
+		fs.durableDirs[d] = map[string]inodeID{}
+	}
+	return fs
+}
+
+// SetMetrics wires crash-time drop accounting (un-synced bytes and
+// directory entries lost at a crash) into m's gfs_sync_* counters.
+// Sync calls themselves are counted by the Observed middleware, not
+// here, so sharing one FSMetrics across the stack never double-counts.
+func (fs *Model) SetMetrics(m *FSMetrics) { fs.metrics = m }
+
 // Crash implements machine.Device: file data is durable, descriptors
 // are volatile (they are version-stamped, so the version bump kills
 // them). Under buffered durability the crash keeps, for every inode
@@ -86,6 +134,9 @@ func (fs *Model) Crash() {
 	fs.open = 0
 	if !fs.buffered {
 		return
+	}
+	if fs.writeback {
+		fs.crashDirs()
 	}
 	var dirty []int
 	for ino, data := range fs.inodes {
@@ -108,12 +159,69 @@ func (fs *Model) Crash() {
 		if k := fs.m.CrashChoose(len(cuts)+1, "torn"); k > 0 {
 			keep = cuts[k-1]
 		}
+		fs.metrics.SyncDropped(uint64(len(data)-keep), 0)
 		fs.inodes[ino] = data[:keep]
 		// Whatever survived the crash is on disk for good: it is the
 		// durable prefix from here on.
 		fs.synced[ino] = keep
 	}
 	fs.pending = map[inodeID][]int{}
+}
+
+// crashDirs resolves directory-metadata nondeterminism at a crash
+// under writeback: for every directory with un-synced operations, some
+// prefix of its pending log survives (tag "writeback"; option 0 rolls
+// the directory back to its last SyncDir, the last option keeps every
+// pending operation — mirroring the "torn" convention so chooserless
+// unit runs take maximal loss deterministically). The surviving view
+// becomes the durable view, and inodes no longer reachable from any
+// directory are reclaimed so they cannot inflate later crash
+// enumeration or fingerprints.
+func (fs *Model) crashDirs() {
+	var dirty []string
+	for d, ops := range fs.dirPending {
+		if len(ops) > 0 {
+			dirty = append(dirty, d)
+		}
+	}
+	sort.Strings(dirty)
+	for _, d := range dirty {
+		ops := fs.dirPending[d]
+		k := fs.m.CrashChoose(len(ops)+1, "writeback")
+		durable := fs.durableDirs[d]
+		for _, op := range ops[:k] {
+			if op.add {
+				durable[op.name] = op.ino
+			} else {
+				delete(durable, op.name)
+			}
+		}
+		fs.metrics.SyncDropped(0, uint64(len(ops)-k))
+	}
+	fs.dirPending = map[string][]dirOp{}
+	reachable := map[inodeID]bool{}
+	for d := range fs.dirs {
+		cur := map[string]inodeID{}
+		for name, ino := range fs.durableDirs[d] {
+			cur[name] = ino
+			reachable[ino] = true
+		}
+		fs.dirs[d] = cur
+	}
+	var orphans []int
+	for ino := range fs.inodes {
+		if !reachable[ino] {
+			orphans = append(orphans, int(ino))
+		}
+	}
+	sort.Ints(orphans)
+	for _, i := range orphans {
+		ino := inodeID(i)
+		fs.metrics.SyncDropped(uint64(len(fs.inodes[ino])-fs.synced[ino]), 0)
+		delete(fs.inodes, ino)
+		delete(fs.synced, ino)
+		delete(fs.pending, ino)
+	}
 }
 
 // OpenFDs returns the number of descriptors opened and not yet closed
@@ -188,6 +296,9 @@ func (fs *Model) Create(t T, dir, name string) (FD, bool) {
 	fs.next++
 	fs.inodes[ino] = nil
 	d[name] = ino
+	if fs.writeback {
+		fs.dirPending[dir] = append(fs.dirPending[dir], dirOp{add: true, name: name, ino: ino})
+	}
 	fs.open++
 	mt.Tracef("fs.create %s/%s -> ino %d", dir, name, ino)
 	return &modelFD{version: fs.m.Version(), ino: ino, append_: true, name: dir + "/" + name}, true
@@ -287,6 +398,27 @@ func (fs *Model) Sync(t T, fd FD) bool {
 	return true
 }
 
+// SyncDir implements System: under writeback the directory's pending
+// operations become durable (its volatile view is the durable view from
+// here on); under strict or merely buffered durability directory
+// operations were never deferred, so this is a no-op. The model's
+// directory sync never fails (inject failures with Faulty).
+func (fs *Model) SyncDir(t T, dir string) bool {
+	mt := fs.thread(t)
+	mt.Step("fs.syncdir")
+	fs.dir(mt, "syncdir", dir)
+	if fs.writeback {
+		durable := map[string]inodeID{}
+		for name, ino := range fs.dirs[dir] {
+			durable[name] = ino
+		}
+		fs.durableDirs[dir] = durable
+		delete(fs.dirPending, dir)
+	}
+	mt.Tracef("fs.syncdir %s", dir)
+	return true
+}
+
 // Delete implements System.
 func (fs *Model) Delete(t T, dir, name string) bool {
 	mt := fs.thread(t)
@@ -297,6 +429,9 @@ func (fs *Model) Delete(t T, dir, name string) bool {
 		return false
 	}
 	delete(d, name)
+	if fs.writeback {
+		fs.dirPending[dir] = append(fs.dirPending[dir], dirOp{name: name})
+	}
 	mt.Tracef("fs.delete %s/%s", dir, name)
 	return true
 }
@@ -317,6 +452,9 @@ func (fs *Model) Link(t T, oldDir, oldName, newDir, newName string) bool {
 		return false
 	}
 	nd[newName] = ino
+	if fs.writeback {
+		fs.dirPending[newDir] = append(fs.dirPending[newDir], dirOp{add: true, name: newName, ino: ino})
+	}
 	mt.Tracef("fs.link %s/%s -> %s/%s (ino %d)", oldDir, oldName, newDir, newName, ino)
 	return true
 }

@@ -9,7 +9,7 @@ import (
 // fsOps enumerates the System operations for metric labels.
 var fsOps = []string{
 	"create", "open", "append", "close", "readat",
-	"size", "sync", "delete", "link", "list",
+	"size", "sync", "syncdir", "delete", "link", "list",
 }
 
 // FSMetrics is the file-system layer's slice of the observability
@@ -21,6 +21,17 @@ type FSMetrics struct {
 	calls   map[string]*obs.Counter
 	latency map[string]*obs.Histogram
 	faults  [NumFaultOps]*obs.Counter
+
+	// gfs_sync_* family: durability-barrier accounting. Issued/failed
+	// counters are fed by Observed (so drills count what the library
+	// actually asked for, including barriers that an injected FaultSync
+	// refused); the dropped counters are fed by Model.Crash via
+	// SetMetrics, measuring what a crash actually cost in un-synced
+	// state during modeled drills.
+	syncIssued     map[string]*obs.Counter
+	syncFailed     map[string]*obs.Counter
+	droppedBytes   *obs.Counter
+	droppedEntries *obs.Counter
 }
 
 // NewFSMetrics registers the file-system metric families
@@ -40,7 +51,41 @@ func NewFSMetrics(r *obs.Registry) *FSMetrics {
 		m.faults[op] = r.Counter("gfs_faults_injected_total",
 			"Transient faults injected by gfs.Faulty, by class.", "class", op.String())
 	}
+	m.syncIssued = map[string]*obs.Counter{}
+	m.syncFailed = map[string]*obs.Counter{}
+	for _, target := range []string{"file", "dir"} {
+		m.syncIssued[target] = r.Counter("gfs_sync_total",
+			"Durability barriers issued (file Sync and directory SyncDir calls).", "target", target)
+		m.syncFailed[target] = r.Counter("gfs_sync_failures_total",
+			"Durability barriers that failed (and therefore are not barriers).", "target", target)
+	}
+	m.droppedBytes = r.Counter("gfs_sync_dropped_bytes_total",
+		"Un-synced bytes dropped at crashes in modeled drills.")
+	m.droppedEntries = r.Counter("gfs_sync_dropped_entries_total",
+		"Un-synced directory operations dropped at crashes in modeled drills.")
 	return m
+}
+
+// SyncIssued counts one durability barrier (target "file" or "dir")
+// and its outcome.
+func (m *FSMetrics) SyncIssued(target string, ok bool) {
+	if m == nil {
+		return
+	}
+	m.syncIssued[target].Inc()
+	if !ok {
+		m.syncFailed[target].Inc()
+	}
+}
+
+// SyncDropped counts un-synced state lost at a crash (called by
+// Model.Crash when wired with SetMetrics).
+func (m *FSMetrics) SyncDropped(bytes, entries uint64) {
+	if m == nil {
+		return
+	}
+	m.droppedBytes.Add(bytes)
+	m.droppedEntries.Add(entries)
 }
 
 // FaultInjected counts one injected fault (called by Faulty).
@@ -139,6 +184,16 @@ func (o *Observed) Sync(t T, fd FD) bool {
 	start := time.Now()
 	ok := o.inner.Sync(t, fd)
 	o.m.observe("sync", start)
+	o.m.SyncIssued("file", ok)
+	return ok
+}
+
+// SyncDir implements System.
+func (o *Observed) SyncDir(t T, dir string) bool {
+	start := time.Now()
+	ok := o.inner.SyncDir(t, dir)
+	o.m.observe("syncdir", start)
+	o.m.SyncIssued("dir", ok)
 	return ok
 }
 

@@ -160,6 +160,23 @@ func (o *OS) Sync(_ T, fd FD) bool {
 	return fd.(*osFD).f.Sync() == nil
 }
 
+// SyncDir implements System by fsyncing the directory itself, which is
+// what ext4-style file systems require before a create, link, or unlink
+// in it may be assumed durable. os.Root does not expose the directory
+// descriptor, so the directory is opened by path for the fsync; a
+// failed open or fsync reports false (not a barrier), and retrying a
+// directory fsync is sound — metadata goes through the journal, unlike
+// the fsyncgate'd data pages behind a failed file Sync.
+func (o *OS) SyncDir(_ T, dir string) bool {
+	o.root(dir) // panic on layout violations like every other op
+	f, err := os.Open(filepath.Join(o.path, dir))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	return f.Sync() == nil
+}
+
 // Delete implements System.
 func (o *OS) Delete(_ T, dir, name string) bool {
 	return o.root(dir).Remove(name) == nil

@@ -1,8 +1,11 @@
 package gfs
 
 import (
-	"repro/internal/machine"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"repro/internal/machine"
 )
 
 func newOSFS(t *testing.T, dirs []string) *OS {
@@ -105,6 +108,67 @@ func TestOSOpenMissingReturnsFalse(t *testing.T) {
 	if o.Delete(n, "d", "ghost") {
 		t.Fatal("delete of missing file succeeded")
 	}
+}
+
+// TestOSSyncAndSyncDirHappyPath: barriers on live descriptors and
+// known directories report success.
+func TestOSSyncAndSyncDirHappyPath(t *testing.T) {
+	o := newOSFS(t, []string{"d"})
+	n := NewNative(1)
+	fd, ok := o.Create(n, "d", "f")
+	if !ok {
+		t.Fatal("create failed")
+	}
+	o.Append(n, fd, []byte("data"))
+	if !o.Sync(n, fd) {
+		t.Fatal("fsync of a live descriptor failed")
+	}
+	o.Close(n, fd)
+	if !o.SyncDir(n, "d") {
+		t.Fatal("directory fsync failed")
+	}
+}
+
+// TestOSSyncOnClosedFDReportsFailure: fsync on a closed descriptor must
+// report false, never panic — it is the caller's signal that the bytes
+// may not be durable.
+func TestOSSyncOnClosedFDReportsFailure(t *testing.T) {
+	o := newOSFS(t, []string{"d"})
+	n := NewNative(1)
+	fd, _ := o.Create(n, "d", "f")
+	o.Close(n, fd)
+	if o.Sync(n, fd) {
+		t.Fatal("fsync of a closed descriptor reported success")
+	}
+}
+
+// TestOSSyncDirOnVanishedDirReportsFailure: if the directory cannot be
+// opened for the fsync (here: removed out from under the cached layout,
+// as a disk-level fault would present), SyncDir reports false — a
+// failed directory barrier, not a panic and not a silent success.
+func TestOSSyncDirOnVanishedDirReportsFailure(t *testing.T) {
+	o := newOSFS(t, []string{"d"})
+	n := NewNative(1)
+	if err := os.RemoveAll(filepath.Join(o.Path(), "d")); err != nil {
+		t.Fatal(err)
+	}
+	if o.SyncDir(n, "d") {
+		t.Fatal("SyncDir on a vanished directory reported success")
+	}
+}
+
+// TestOSSyncDirUnknownDirPanics: an unknown directory is a fixed-layout
+// violation — a programming error, not a runtime fault — and panics
+// like every other operation on the OS backend.
+func TestOSSyncDirUnknownDirPanics(t *testing.T) {
+	o := newOSFS(t, []string{"d"})
+	n := NewNative(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SyncDir on an unknown directory did not panic")
+		}
+	}()
+	o.SyncDir(n, "nope")
 }
 
 func TestNativeRandBounded(t *testing.T) {

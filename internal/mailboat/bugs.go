@@ -214,6 +214,74 @@ func (mb *Mailboat) DeliverTinyAppends(t gfs.T, user uint64, msg []byte) bool {
 	return false
 }
 
+// DeliverAckBeforeSync is the missing-directory-barrier delivery bug:
+// it follows the full spool-sync-link protocol — the message bytes are
+// fsynced before the link, so no surviving message is ever torn — but
+// acknowledges as soon as the link lands, without SyncDir on the
+// mailbox directory. On strict or merely buffered stores that barrier
+// is a no-op and the bug is invisible; on a writeback store the link
+// is still sitting in the directory cache when the true return reaches
+// the client, so a crash can take back an acknowledged delivery — a
+// durability violation only the "writeback" crash enumeration exposes.
+func (mb *Mailboat) DeliverAckBeforeSync(t gfs.T, user uint64, msg []byte) bool {
+	var spool gfs.FD
+	var sname string
+	created := false
+	for i := 0; i < nameAttempts; i++ {
+		id := t.RandUint64(mb.cfg.RandBound)
+		sname = tmpName(id)
+		if fd, ok := mb.sys.Create(t, SpoolDir, sname); ok {
+			spool, created = fd, true
+			break
+		}
+	}
+	if !created {
+		return false
+	}
+	for off := 0; off < len(msg); off += gfs.MaxAppend {
+		end := off + gfs.MaxAppend
+		if end > len(msg) {
+			end = len(msg)
+		}
+		if !mb.sys.Append(t, spool, msg[off:end]) {
+			mb.sys.Close(t, spool)
+			mb.sys.Delete(t, SpoolDir, sname)
+			return false
+		}
+	}
+	if !mb.sys.Sync(t, spool) {
+		mb.sys.Close(t, spool)
+		mb.sys.Delete(t, SpoolDir, sname)
+		return false
+	}
+	mb.sys.Close(t, spool)
+	for i := 0; i < nameAttempts; i++ {
+		id := t.RandUint64(mb.cfg.RandBound)
+		if mb.sys.Link(t, SpoolDir, sname, UserDir(user), MsgName(id)) {
+			// BUG: no SyncDir(UserDir(user)) before acking — the link
+			// may be lost at a crash after the client was told yes.
+			mb.sys.Delete(t, SpoolDir, sname)
+			return true
+		}
+	}
+	mb.sys.Delete(t, SpoolDir, sname)
+	return false
+}
+
+// DeleteNoBarrier is the recovery-trusts-cache bug's operational half:
+// it acknowledges a delete straight from the directory cache, with no
+// barrier after the unlink. A crash may then resurrect the entry —
+// un-synced deletes are lost like any other un-synced directory
+// operation — and recovery, which (correctly) trusts whatever
+// directory entries survived the crash, re-serves the message the
+// user was told was gone. The spec's Delete removed it, so the
+// post-crash pickup has no linearization.
+func (mb *Mailboat) DeleteNoBarrier(t gfs.T, user uint64, id string) bool {
+	mb.checkUser(t, user)
+	// BUG: no syncDirBarrier(UserDir(user)) before acking the unlink.
+	return mb.sys.Delete(t, UserDir(user), id)
+}
+
 // RecoverReplaySpool is a recovery that tries to be helpful: instead of
 // sweeping leftover spool files it *replays* them into user 0's
 // mailbox, reasoning that a spool file left behind by a crash is a

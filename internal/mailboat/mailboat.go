@@ -57,6 +57,19 @@ type Config struct {
 	// required for crash safety: without it, a crash after the link can
 	// leave a truncated message in the mailbox.
 	SyncOnDeliver bool
+	// SyncDirs makes Deliver and Delete issue a directory durability
+	// barrier (gfs.SyncDir on the user's mailbox directory) before
+	// acking. On the strict and buffered models directory operations
+	// are durable immediately and the barrier is a no-op; on a
+	// writeback file system (gfs.NewWritebackModel, or a real disk
+	// whose directory updates sit in the page cache) it is required for
+	// crash safety: without it an acked delivery's link may be lost at
+	// a crash, and an acked delete's unlink may be undone — the entry
+	// resurrects and recovery, trusting the surviving directory,
+	// serves a message the user already deleted. Pair with
+	// SyncOnDeliver, which covers the message bytes; SyncDirs covers
+	// the directory entry.
+	SyncDirs bool
 	// DeliverRetries bounds how many times Deliver restarts the whole
 	// spool-write-link protocol after a transient store failure (a
 	// failed append or sync, or name allocation running dry). 0 means
@@ -271,6 +284,12 @@ func (mb *Mailboat) deliverAttempt(t gfs.T, j *core.JTok, user uint64, msg []byt
 					})
 				}
 			}
+			if mb.cfg.SyncDirs {
+				// The link is visible but not yet durable: barrier the
+				// mailbox directory before acking, so a crash after the
+				// true return cannot take the message back.
+				mb.syncDirBarrier(t, UserDir(user))
+			}
 			// The spool entry is no longer needed.
 			mb.sys.Delete(t, SpoolDir, sname)
 			return true
@@ -278,6 +297,26 @@ func (mb *Mailboat) deliverAttempt(t gfs.T, j *core.JTok, user uint64, msg []byt
 	}
 	mb.sys.Delete(t, SpoolDir, sname)
 	return false
+}
+
+// syncDirBarrier makes dir's entries durable, retrying transient
+// failures with backoff until the barrier commits. A failed SyncDir is
+// never a barrier, but unlike a failed file Sync it may be retried
+// (directory metadata goes through the journal; there are no fsyncgate
+// dirty pages to lose), and after a publish that cannot be
+// un-published, retrying until success is the only answer that keeps
+// the ack ⟺ durable contract exact. Under the checker the fault
+// budget bounds consecutive failures, so the loop terminates; on a
+// real disk a persistently failing directory fsync means the device is
+// dying, and stalling the ack is what a mail server owes its clients.
+func (mb *Mailboat) syncDirBarrier(t gfs.T, dir string) {
+	for attempt := 1; !mb.sys.SyncDir(t, dir); attempt++ {
+		capped := attempt
+		if capped > 8 {
+			capped = 8
+		}
+		mb.backoff(t, capped)
+	}
 }
 
 // Pickup lists and reads user's mailbox (Figure 10's Pickup),
@@ -349,6 +388,12 @@ func (mb *Mailboat) Pickup(t gfs.T, j *core.JTok, user uint64) []Message {
 func (mb *Mailboat) Delete(t gfs.T, j *core.JTok, user uint64, id string) bool {
 	mb.checkUser(t, user)
 	ok := mb.sys.Delete(t, UserDir(user), id)
+	if ok && mb.cfg.SyncDirs {
+		// The unlink may still be sitting in the directory cache; an
+		// un-barriered ack would let a crash resurrect the entry after
+		// the user was told it is gone.
+		mb.syncDirBarrier(t, UserDir(user))
+	}
 	if mb.g != nil {
 		if ok {
 			// The removal requires the lower-bound lease to contain id:

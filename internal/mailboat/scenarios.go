@@ -76,6 +76,18 @@ const (
 	// exposes it; whole-tail loss leaves nothing to replay. Only
 	// meaningful with BufferedFS.
 	VariantReplaySpool
+	// VariantAckBeforeSync delivers with the full spool-sync-link
+	// protocol but acknowledges as soon as the link lands, skipping the
+	// directory barrier — so on a writeback store an acked message's
+	// directory entry may still be sitting in the cache and be lost at
+	// a crash. Only meaningful with Writeback.
+	VariantAckBeforeSync
+	// VariantRecoverTrustsCache acknowledges deletes straight from the
+	// directory cache (no barrier after the unlink): a crash may
+	// resurrect the entry, and recovery — trusting whatever directory
+	// entries survived — serves the message the user already deleted.
+	// Only meaningful with Writeback.
+	VariantRecoverTrustsCache
 )
 
 // ScenarioOptions shapes the workload.
@@ -96,6 +108,30 @@ type ScenarioOptions struct {
 	// §6.2 future-work extension. Crash safety then additionally
 	// requires Config.SyncOnDeliver.
 	BufferedFS bool
+	// Writeback runs the scenario on the full writeback file system
+	// (gfs.NewWritebackModel): file data behaves as under BufferedFS,
+	// and directory operations additionally live in a volatile cache
+	// until SyncDir — at a crash each directory keeps an enumerated
+	// prefix of its un-synced operations (chooser tag "writeback").
+	// Crash safety then requires Config.SyncOnDeliver AND
+	// Config.SyncDirs. Writeback scenarios run ghost-free: the ghost
+	// machinery commits the spec step atomically with the link, which a
+	// writeback crash can roll back, so refinement rests on the
+	// black-box history check. Implies BufferedFS semantics; exclusive
+	// with Mirror and Corrupt.
+	Writeback bool
+	// PrefixContract (requires Writeback) checks the honest contract
+	// of the barrier-free fast mode (mailboatd -no-fsync) instead of
+	// refinement: deliveries run sequentially with no history, and
+	// after the final recovery the surviving mailbox must be a no-holes
+	// prefix of the delivery order — a crash may take back the
+	// newest un-synced deliveries (even acked ones: that is the mode's
+	// documented weakness) and may leave a torn (empty) message whose
+	// link survived its data, but it must never reorder, fabricate, or
+	// punch holes. This is the durable-linearizability-vs-buffered
+	// distinction of "The Path to Durable Linearizability", checked as
+	// a property.
+	PrefixContract bool
 	// FaultBudget, when positive, wraps the model in gfs.Faulty with a
 	// chooser-driven policy: at every eligible file-system operation
 	// the explorer branches on injecting a transient fault, up to this
@@ -138,11 +174,16 @@ type ScenarioOptions struct {
 
 // Scenario builds the checkable scenario for the chosen variant.
 func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
-	ghost := v == VariantVerified && !o.Mirror && !o.Corrupt
+	ghost := v == VariantVerified && !o.Mirror && !o.Corrupt && !o.Writeback
 	// The single-backend corruption scenario checks detection, not
 	// refinement: it records no history (deliveries and pickups run
 	// outside the harness) and asserts its property directly in Post.
 	detectOnly := o.Corrupt && !o.Mirror
+	// The prefix-contract scenario likewise checks a property, not
+	// refinement: barrier-free delivery cannot refine the spec (acked
+	// mail may be taken back), so the claim under check is the weaker
+	// prefix-durability contract asserted in Post.
+	prefixOnly := o.PrefixContract
 	sp := Spec(o.Config)
 	steps := 3000
 	if o.Mirror {
@@ -176,6 +217,8 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 				return true
 			case VariantReplaySpool:
 				return w.MB.DeliverTinyAppends(t, op.User, []byte(op.Msg))
+			case VariantAckBeforeSync:
+				return w.MB.DeliverAckBeforeSync(t, op.User, []byte(op.Msg))
 			default:
 				var j *core.JTok
 				if ghost {
@@ -233,6 +276,9 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 		if len(msgs) > 0 {
 			op := OpDelete{User: user, ID: msgs[0].ID}
 			h.Op(op, func() spec.Ret {
+				if v == VariantRecoverTrustsCache {
+					return w.MB.DeleteNoBarrier(t, user, msgs[0].ID)
+				}
 				var j *core.JTok
 				if ghost {
 					j = w.G.NewJTok(op)
@@ -290,9 +336,12 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 				w.Sys = w.Mirror
 				return w
 			}
-			if o.BufferedFS {
+			switch {
+			case o.Writeback:
+				w.FS = gfs.NewWritebackModel(m, Dirs(o.Config))
+			case o.BufferedFS:
 				w.FS = gfs.NewBufferedModel(m, Dirs(o.Config))
-			} else {
+			default:
 				w.FS = gfs.NewModel(m, Dirs(o.Config))
 			}
 			w.Sys = w.FS
@@ -333,6 +382,15 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 		},
 		Main: func(t *machine.T, wAny any, h *explore.Harness) {
 			w := wAny.(*World)
+			if prefixOnly {
+				// Sequential, history-free delivery: the prefix contract
+				// is stated over the issue order, which only a single
+				// delivering thread defines.
+				for _, d := range o.Delivers {
+					w.MB.Deliver(t, nil, d.User, []byte(d.Msg))
+				}
+				return
+			}
 			for _, d := range o.Delivers {
 				op := d
 				t.Go(func(c *machine.T) { deliver(c, w, h, op) })
@@ -373,6 +431,10 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 			w := wAny.(*World)
 			if detectOnly {
 				postDetect(t, w, o)
+				return
+			}
+			if prefixOnly {
+				postPrefix(t, w, o)
 				return
 			}
 			if !o.PostPickups {
@@ -429,7 +491,7 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 		return b
 	}
 
-	if detectOnly {
+	if detectOnly || prefixOnly {
 		s.Invariant = func(m *machine.Machine, wAny any) error {
 			w := wAny.(*World)
 			if n := w.FS.OpenFDs(); n != 0 {
@@ -553,5 +615,56 @@ func postDetect(t *machine.T, w *World, o ScenarioOptions) {
 		if !present[msg] && w.Chk.Detected() == 0 {
 			t.Failf("silent loss: acked delivery %q missing with no integrity detection", msg)
 		}
+	}
+}
+
+// postPrefix is the Post hook for prefix-contract scenarios (Writeback
+// with PrefixContract): the honest contract of barrier-free delivery.
+// A crash may take back the newest deliveries — even acknowledged ones
+// — because nothing was synced, and a surviving directory entry may
+// hold a torn (empty) body when the link outlived its un-synced data.
+// What the store must never do is reorder or fabricate: the surviving
+// messages must be a no-holes prefix of the issue order, where a hole
+// below the newest survivor is only acceptable if a torn-empty
+// survivor can account for it (its body, not its entry, was lost).
+// Messages are sized at one append, so a torn body is exactly empty.
+func postPrefix(t *machine.T, w *World, o ScenarioOptions) {
+	index := map[string]int{}
+	for i, d := range o.Delivers {
+		index[d.Msg] = i
+	}
+	empties := 0
+	seen := map[int]bool{}
+	maxIdx := -1
+	for u := uint64(0); u < o.Config.Users; u++ {
+		msgs := w.MB.Pickup(t, nil, u)
+		w.MB.Unlock(t, nil, u)
+		for _, m := range msgs {
+			if m.Contents == "" {
+				empties++
+				continue
+			}
+			i, ok := index[m.Contents]
+			if !ok {
+				t.Failf("prefix contract: pickup served bytes never delivered: %q", m.Contents)
+			}
+			if seen[i] {
+				t.Failf("prefix contract: message %q delivered once but present twice", m.Contents)
+			}
+			seen[i] = true
+			if i > maxIdx {
+				maxIdx = i
+			}
+		}
+	}
+	holes := 0
+	for i := 0; i < maxIdx; i++ {
+		if !seen[i] {
+			holes++
+		}
+	}
+	if holes > empties {
+		t.Failf("prefix contract: %d holes below surviving index %d with only %d torn survivors to account for them",
+			holes, maxIdx, empties)
 	}
 }

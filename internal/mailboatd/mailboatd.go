@@ -57,6 +57,17 @@ type Options struct {
 	DeliverBackoff time.Duration
 	// SyncOnDeliver fsyncs spool files before publishing them.
 	SyncOnDeliver bool
+	// SyncDirs fsyncs the affected mailbox directory before
+	// acknowledging a delivery or a delete — the directory half of the
+	// checked sync discipline. On a writeback file system (any modern
+	// ext4/xfs deployment) an acked operation is only crash-durable
+	// with BOTH barriers: SyncOnDeliver makes the message bytes
+	// durable, SyncDirs makes the directory entry durable. Running with
+	// both off is the honest -no-fsync fast mode, whose weaker checked
+	// contract is prefix durability: a crash may take back the newest
+	// acked deliveries, but never reorders, fabricates, or punches
+	// holes (see the mb/writeback+prefix-contract scenario).
+	SyncDirs bool
 	// Fault, when non-nil, wraps the file system in gfs.Faulty with a
 	// seeded policy.
 	Fault *FaultOptions
@@ -172,6 +183,7 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 		Users:          o.Users,
 		RandBound:      1 << 62,
 		SyncOnDeliver:  o.SyncOnDeliver,
+		SyncDirs:       o.SyncDirs,
 		DeliverRetries: o.DeliverRetries,
 		DeliverBackoff: o.DeliverBackoff,
 	}

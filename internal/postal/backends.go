@@ -32,9 +32,17 @@ type MailboatBackend struct {
 }
 
 // NewMailboatBackend builds a fresh store under root for the given
-// worker count.
-func NewMailboatBackend(root string, users uint64, workers int, seed int64) (*MailboatBackend, error) {
-	cfg := mailboat.Config{Users: users, RandBound: 1 << 62}
+// worker count. Unless noFsync is set, the library runs with the full
+// checked sync discipline (fsync spool data, fsync the mailbox
+// directory before acking); noFsync is the honest fast mode whose
+// weaker contract is prefix durability.
+func NewMailboatBackend(root string, users uint64, workers int, seed int64, noFsync bool) (*MailboatBackend, error) {
+	cfg := mailboat.Config{
+		Users:         users,
+		RandBound:     1 << 62,
+		SyncOnDeliver: !noFsync,
+		SyncDirs:      !noFsync,
+	}
 	fs, err := gfs.NewOS(root, mailboat.Dirs(cfg))
 	if err != nil {
 		return nil, err
@@ -150,8 +158,24 @@ func (b *CMailBackend) Delete(_ int, user uint64, id string) error {
 func (b *CMailBackend) Unlock(_ int, user uint64) { b.s.Unlock(user) }
 
 // NewBackend builds the named backend ("mailboat", "gomail", "cmail")
-// under a fresh subdirectory of base.
+// under a fresh subdirectory of base. The mailboat backends run with
+// durability barriers on (the checked sync discipline); use
+// NewFastBackend for the -no-fsync mode.
 func NewBackend(name, base string, users uint64, workers int, seed int64) (Backend, func(), error) {
+	return newBackend(name, base, users, workers, seed, false)
+}
+
+// NewFastBackend is NewBackend with durability barriers disabled on
+// the mailboat backends (mailbench -no-fsync): no spool fsync, no
+// directory fsync, so an acked delivery may be rolled back by an OS
+// crash — the checked contract weakens to prefix durability. The
+// gomail and cmail baselines have their own durability story and
+// ignore the knob.
+func NewFastBackend(name, base string, users uint64, workers int, seed int64) (Backend, func(), error) {
+	return newBackend(name, base, users, workers, seed, true)
+}
+
+func newBackend(name, base string, users uint64, workers int, seed int64, noFsync bool) (Backend, func(), error) {
 	root, err := os.MkdirTemp(base, "mailbench-"+name+"-")
 	if err != nil {
 		return nil, nil, err
@@ -159,14 +183,14 @@ func NewBackend(name, base string, users uint64, workers int, seed int64) (Backe
 	cleanup := func() { os.RemoveAll(root) }
 	switch name {
 	case "mailboat-net":
-		b, err := NewNetBackend(filepath.Join(root, "store"), users, workers, seed)
+		b, err := NewNetBackend(filepath.Join(root, "store"), users, workers, seed, noFsync)
 		if err != nil {
 			cleanup()
 			return nil, nil, err
 		}
 		return b, func() { b.Close(); cleanup() }, nil
 	case "mailboat":
-		b, err := NewMailboatBackend(filepath.Join(root, "store"), users, workers, seed)
+		b, err := NewMailboatBackend(filepath.Join(root, "store"), users, workers, seed, noFsync)
 		if err != nil {
 			cleanup()
 			return nil, nil, err

@@ -27,6 +27,11 @@ type SweepOptions struct {
 	BaseDir string
 	// Seed makes the sweep reproducible.
 	Seed int64
+	// NoFsync runs the mailboat backends with durability barriers off
+	// (mailbench -no-fsync): faster, but an OS crash may take back
+	// acked deliveries — the checked contract weakens to prefix
+	// durability. The gomail and cmail baselines ignore the knob.
+	NoFsync bool
 }
 
 func (o *SweepOptions) fill() {
@@ -59,7 +64,7 @@ func Sweep(opts SweepOptions) ([]SweepPoint, error) {
 	for _, cores := range opts.Cores {
 		runtime.GOMAXPROCS(cores)
 		for _, server := range opts.Servers {
-			b, cleanup, err := NewBackend(server, opts.BaseDir, opts.Users, cores, opts.Seed)
+			b, cleanup, err := newBackend(server, opts.BaseDir, opts.Users, cores, opts.Seed, opts.NoFsync)
 			if err != nil {
 				return nil, fmt.Errorf("building %s: %w", server, err)
 			}

@@ -63,9 +63,15 @@ func (c *textConn) cmd(line, wantPrefix string) (string, error) {
 }
 
 // NewNetBackend boots the store plus both protocol servers on loopback
-// and pre-dials one SMTP connection per worker.
-func NewNetBackend(root string, users uint64, workers int, seed int64) (*NetBackend, error) {
-	adapter, err := mailboatd.New(root, users, seed)
+// and pre-dials one SMTP connection per worker. noFsync selects the
+// daemon's barrier-free fast mode (prefix durability only).
+func NewNetBackend(root string, users uint64, workers int, seed int64, noFsync bool) (*NetBackend, error) {
+	adapter, err := mailboatd.NewWithOptions(root, mailboatd.Options{
+		Users:         users,
+		Seed:          seed,
+		SyncOnDeliver: !noFsync,
+		SyncDirs:      !noFsync,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/examples/shadowcopy"
 	"repro/internal/examples/wal"
 	"repro/internal/explore"
+	"repro/internal/gfs"
 	"repro/internal/journal"
 	"repro/internal/mailboat"
 )
@@ -112,6 +113,57 @@ func Verified() []Entry {
 				BufferedFS:  true,
 			}),
 			Opts: explore.Options{MaxExecutions: 10000},
+		},
+		{
+			// Full writeback semantics: un-synced directory operations are
+			// lost (prefix-per-directory) at a crash alongside un-synced
+			// file data. The disciplined implementation — fsync before
+			// link, SyncDir before every ack — must still refine the spec
+			// while the explorer enumerates every surviving prefix.
+			Pattern: "mailboat-writeback",
+			Scenario: mailboat.Scenario("mb/writeback+sync-discipline", mailboat.VariantVerified, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 2, SyncOnDeliver: true, SyncDirs: true},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "durable"}},
+				PickupUsers: []uint64{0},
+				MaxCrashes:  1,
+				PostPickups: true,
+				Writeback:   true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			// FaultSync × writeback: the chooser may fail any Sync or
+			// SyncDir while the crash enumeration drops un-synced state. A
+			// failed barrier is not a barrier — the implementation must
+			// abandon the spool file (fsyncgate) or retry the directory
+			// sync, never ack on the failed attempt.
+			Pattern: "mailboat-writeback",
+			Scenario: mailboat.Scenario("mb/writeback+failed-sync", mailboat.VariantVerified, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 2, SyncOnDeliver: true, SyncDirs: true},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "barrier"}},
+				MaxCrashes:  1,
+				PostPickups: true,
+				Writeback:   true,
+				FaultBudget: 1,
+				FaultOps:    []gfs.FaultOp{gfs.FaultSync},
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			// The honest contract of the barrier-free fast mode (mailboatd
+			// -no-fsync): no refinement — acked mail may be taken back —
+			// but the surviving mailbox must be a no-holes prefix of the
+			// delivery order, with torn bodies only where a link outlived
+			// its data. This is the checked spec behind the README caveat.
+			Pattern: "mailboat-writeback",
+			Scenario: mailboat.Scenario("mb/writeback+prefix-contract", mailboat.VariantVerified, mailboat.ScenarioOptions{
+				Config:         mailboat.Config{Users: 1, RandBound: 4},
+				Delivers:       []mailboat.OpDeliver{{User: 0, Msg: "first"}, {User: 0, Msg: "second"}, {User: 0, Msg: "third"}},
+				MaxCrashes:     1,
+				Writeback:      true,
+				PrefixContract: true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
 		},
 		{
 			// Table 3 parity with rd/failover, on the full server: the
@@ -316,6 +368,44 @@ func Bugs() []Entry {
 				MaxCrashes:  1,
 				PostPickups: true,
 				BufferedFS:  true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			// The classic missing-fsync-of-the-directory bug: the deliver
+			// fsyncs the spool data but acks as soon as the link lands,
+			// without a SyncDir barrier. Under writeback the crash drops
+			// the un-synced directory entry and the ACKED message is
+			// gone — a refinement violation at the post pickup. Two
+			// concurrent delivers so the crash can land after the first
+			// one acks (a lone deliver has no machine step left to crash
+			// at once it returns).
+			Pattern:       "mailboat-writeback",
+			WantViolation: true,
+			Scenario: mailboat.Scenario("mb/sync-bug:ack-before-sync", mailboat.VariantAckBeforeSync, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 2, SyncOnDeliver: true, SyncDirs: true},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "acked"}, {User: 0, Msg: "racer"}},
+				MaxCrashes:  1,
+				PostPickups: true,
+				Writeback:   true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			// The dual bug on the delete path: the unlink is acked with no
+			// directory barrier, the crash resurrects the entry from the
+			// durable view, and recovery trusts whatever entries survived.
+			// The post pickup then returns a message the spec already
+			// deleted — no linearization exists.
+			Pattern:       "mailboat-writeback",
+			WantViolation: true,
+			Scenario: mailboat.Scenario("mb/sync-bug:recover-trusts-cache", mailboat.VariantRecoverTrustsCache, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 2, SyncOnDeliver: true, SyncDirs: true},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "doomed"}},
+				PickupUsers: []uint64{0},
+				MaxCrashes:  1,
+				PostPickups: true,
+				Writeback:   true,
 			}),
 			Opts: explore.Options{MaxExecutions: 20000},
 		},
