@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/postal"
+	"repro/internal/trace"
+)
+
+// benchSchema versions BENCH_mailboat.json so tooling can detect shape
+// changes instead of guessing.
+const benchSchema = "mailboat-bench/v1"
+
+// benchRun is one dated entry in BENCH_mailboat.json. A sweep run
+// carries Sweep; a trace-profile run carries OpenLoop + SLO; a -json
+// run carries both.
+type benchRun struct {
+	Date       string                 `json:"date"`
+	Revision   string                 `json:"revision"`
+	Go         string                 `json:"go"`
+	Store      string                 `json:"store"`
+	Durability string                 `json:"durability"`
+	Users      uint64                 `json:"users"`
+	Sweep      []postal.SweepPoint    `json:"sweep,omitempty"`
+	OpenLoop   *postal.OpenLoopResult `json:"openloop,omitempty"`
+	SLO        []postal.GateResult    `json:"slo,omitempty"`
+	SLOPass    *bool                  `json:"slo_pass,omitempty"`
+}
+
+// benchFile is the whole append-style file: one JSON object whose runs
+// array grows by one per invocation, so a working directory accretes a
+// dated performance history.
+type benchFile struct {
+	Schema string     `json:"schema"`
+	Runs   []benchRun `json:"runs"`
+}
+
+// gitRevision reads the binary's VCS stamp; binaries built outside a
+// checkout (notably `go test` binaries) report "unknown".
+func gitRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
+// appendBenchRun loads path (tolerating a missing file), appends run,
+// and writes the file back. A corrupt existing file is an error, not
+// silently clobbered history.
+func appendBenchRun(path string, run benchRun) error {
+	var f benchFile
+	b, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(b, &f); err != nil {
+			return fmt.Errorf("existing %s is not valid JSON (move it aside): %w", path, err)
+		}
+	case os.IsNotExist(err):
+		// fresh file
+	default:
+		return err
+	}
+	f.Schema = benchSchema
+	f.Runs = append(f.Runs, run)
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// runTraceProfile runs the traced open-loop profile against the
+// verified library: a fixed offered rate, per-request root spans, and
+// the per-stage latency breakdown from the span durations. It returns
+// the run, the evaluated SLO gates, and their overall verdict.
+func runTraceProfile(base string, users uint64, rate float64, dur time.Duration, seed int64, noFsync bool) (postal.OpenLoopResult, []postal.GateResult, bool, error) {
+	if base == "" {
+		base = postal.RAMDir()
+	}
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	mk := postal.NewBackend
+	if noFsync {
+		mk = postal.NewFastBackend
+	}
+	b, cleanup, err := mk("mailboat", base, users, workers, seed)
+	if err != nil {
+		return postal.OpenLoopResult{}, nil, false, err
+	}
+	defer cleanup()
+
+	reg := obs.NewRegistry()
+	tracer := trace.New(0, 0)
+	tracer.Stages = trace.NewStageMetrics(reg)
+	res := postal.OpenLoop(b, postal.OpenLoopOptions{
+		Workers:  workers,
+		Users:    users,
+		Rate:     rate,
+		Duration: dur,
+		Seed:     seed,
+		Tracer:   tracer,
+	})
+	gates, pass := postal.EvaluateGates(postal.DefaultGates(), res)
+	return res, gates, pass, nil
+}
+
+// printProfile renders the open-loop profile for humans: offered vs
+// achieved load, per-op quantiles, the per-stage breakdown, and the
+// SLO verdicts.
+func printProfile(w io.Writer, res postal.OpenLoopResult, gates []postal.GateResult, pass bool) {
+	fmt.Fprintf(w, "open-loop trace profile: offered %.0f req/s, achieved %.0f req/s (%d reqs, %d errors, %v)\n",
+		res.OfferedRate, res.Throughput, res.Requests, res.Errors, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  deliver: count %d  p50 %s  p90 %s  p99 %s\n",
+		res.Deliver.Count, fmtSeconds(res.Deliver.P50), fmtSeconds(res.Deliver.P90), fmtSeconds(res.Deliver.P99))
+	fmt.Fprintf(w, "  pickup:  count %d  p50 %s  p90 %s  p99 %s\n",
+		res.Pickup.Count, fmtSeconds(res.Pickup.P50), fmtSeconds(res.Pickup.P90), fmtSeconds(res.Pickup.P99))
+	if len(res.Stages) > 0 {
+		fmt.Fprintf(w, "  per-stage latency (from span durations):\n")
+		fmt.Fprintf(w, "    %-10s %-16s %8s %10s %10s %10s\n", "op", "stage", "count", "p50", "p90", "p99")
+		for _, s := range res.Stages {
+			fmt.Fprintf(w, "    %-10s %-16s %8d %10s %10s %10s\n",
+				s.Op, s.Stage, s.Count, fmtSeconds(s.P50), fmtSeconds(s.P90), fmtSeconds(s.P99))
+		}
+	}
+	for _, g := range gates {
+		fmt.Fprintf(w, "  SLO %s\n", g)
+	}
+	if pass {
+		fmt.Fprintln(w, "  SLO verdict: PASS")
+	} else {
+		fmt.Fprintln(w, "  SLO verdict: FAIL")
+	}
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -8,6 +8,7 @@
 //
 //	mailbench [-cores 1,2,4,8] [-requests N] [-users N] [-servers a,b,c]
 //	          [-dir path] [-json path] [-corrupt] [-no-fsync]
+//	          [-trace] [-rate N] [-profile-duration d] [-bench path] [-slo]
 //
 // By default the mailboat backends run with the full checked sync
 // discipline (fsync spool data, fsync the mailbox directory before
@@ -21,6 +22,17 @@
 // object with run parameters and a per-point array carrying
 // requests/sec plus deliver/pickup latency count, mean, p50/p90/p99 in
 // seconds, measured with the internal/obs histograms).
+//
+// -trace runs the open-loop trace profile instead of the sweep:
+// requests are issued on a fixed schedule at -rate req/s (latencies
+// measured from the scheduled start, so queueing counts — no
+// coordinated omission), every request carries a trace root span, and
+// the per-stage breakdown (spool write vs. publish link vs. directory
+// sync) is reported from the span durations, then checked against the
+// declared latency SLO gates. Both -trace and -json runs append a
+// dated entry (with the build's git revision) to the -bench file,
+// BENCH_mailboat.json by default, so a working tree accretes a
+// performance history; -slo makes a failing gate exit nonzero.
 //
 // -corrupt runs the integrity drill instead of the sweep: a
 // checksummed, mirrored store takes a concurrent deliver/pickup
@@ -62,11 +74,54 @@ func main() {
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file")
 	corrupt := flag.Bool("corrupt", false, "run the silent-corruption heal drill instead of the throughput sweep")
 	noFsync := flag.Bool("no-fsync", false, "run the mailboat backends without durability barriers (acked mail may be lost on an OS crash; contract weakens to prefix durability)")
+	traceMode := flag.Bool("trace", false, "run only the traced open-loop profile (per-stage latency breakdown + SLO gates) and append it to -bench")
+	rate := flag.Float64("rate", 1000, "offered load for the open-loop trace profile, requests/second")
+	profileDur := flag.Duration("profile-duration", 2*time.Second, "duration of the open-loop trace profile")
+	benchPath := flag.String("bench", "BENCH_mailboat.json", "append-style dated results file, written by -trace and -json runs")
+	sloStrict := flag.Bool("slo", false, "exit nonzero when an SLO gate fails")
 	flag.Parse()
 
 	if *corrupt {
 		if err := corruptDrill(*dir, *users, *requests, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "mailbench: corrupt drill: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// profile runs the traced open-loop stage profile and records it in
+	// the dated bench file; -trace runs only this, -json runs it after
+	// the sweep (so every machine-readable run carries per-stage
+	// quantiles and an SLO verdict).
+	profile := func(sweep []postal.SweepPoint) bool {
+		res, gates, pass, err := runTraceProfile(*dir, *users, *rate, *profileDur, *seed, *noFsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mailbench: trace profile: %v\n", err)
+			os.Exit(1)
+		}
+		printProfile(os.Stdout, res, gates, pass)
+		run := benchRun{
+			Date:       time.Now().UTC().Format(time.RFC3339),
+			Revision:   gitRevision(),
+			Go:         runtime.Version(),
+			Store:      storeDesc(*dir),
+			Durability: durabilityDesc(*noFsync),
+			Users:      *users,
+			Sweep:      sweep,
+			OpenLoop:   &res,
+			SLO:        gates,
+			SLOPass:    &pass,
+		}
+		if err := appendBenchRun(*benchPath, run); err != nil {
+			fmt.Fprintf(os.Stderr, "mailbench: writing %s: %v\n", *benchPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench history appended to %s\n", *benchPath)
+		return pass
+	}
+
+	if *traceMode {
+		if pass := profile(nil); !pass && *sloStrict {
 			os.Exit(1)
 		}
 		return
@@ -121,6 +176,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("json results written to %s\n", *jsonPath)
+		if pass := profile(points); !pass && *sloStrict {
+			os.Exit(1)
+		}
 	}
 }
 

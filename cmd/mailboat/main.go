@@ -28,8 +28,11 @@
 //
 // -admin starts an operational HTTP listener serving Prometheus-text
 // /metrics (every layer: gfs_*, mailboat_*, mailboatd_*, smtp_*,
-// pop3_*), /healthz, and net/http/pprof under /debug/pprof/. Metrics
-// are collected whether or not the listener is enabled.
+// pop3_*, trace_stage_seconds), /healthz and /version (JSON), request
+// timelines on /traces and /traces/slow, and net/http/pprof under
+// /debug/pprof/. Metrics are collected whether or not the listener is
+// enabled; request tracing is only enabled with it (a nil tracer makes
+// every span site a no-op).
 //
 // -mirror runs the store mirrored across two directories (put them on
 // different disks): every write goes to both replicas, reads fail over
@@ -71,6 +74,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pop3"
 	"repro/internal/smtp"
+	"repro/internal/trace"
 )
 
 // faultLogDumpCap bounds the shutdown fault-log dump: a long drill can
@@ -130,6 +134,14 @@ func main() {
 	// Metrics are always collected (the disabled path costs one nil
 	// check per event); -admin only controls whether they are served.
 	reg := obs.NewRegistry()
+	// Tracing follows the admin listener: without it there is nowhere
+	// to read traces from, and a nil tracer makes the whole span path
+	// free (nil-receiver no-ops all the way down).
+	var tracer *trace.Tracer
+	if *adminAddr != "" {
+		tracer = trace.New(0, 0)
+		tracer.Stages = trace.NewStageMetrics(reg)
+	}
 	opts := mailboatd.Options{
 		Users:          *users,
 		Seed:           time.Now().UnixNano(),
@@ -141,6 +153,7 @@ func main() {
 		MirrorRoot:     *mirrorDir,
 		Checksum:       *checksum,
 		ScrubEvery:     *scrubEvery,
+		Tracer:         tracer,
 	}
 	if *faultRate > 0 {
 		opts.Fault = &mailboatd.FaultOptions{
@@ -176,12 +189,14 @@ func main() {
 	errs := make(chan error, 3)
 	ss := smtp.NewServer(adapter, *users)
 	ss.Metrics = smtp.NewMetrics(reg)
+	ss.Tracer = tracer
 	harden(&ss.ReadTimeout, &ss.WriteTimeout, &ss.MaxConns)
 	go func() { errs <- ss.ListenAndServe(*smtpAddr) }()
 	log.Printf("mailboat: SMTP on %s", *smtpAddr)
 
 	ps := pop3.NewServer(adapter, *users)
 	ps.Metrics = pop3.NewMetrics(reg)
+	ps.Tracer = tracer
 	harden(&ps.ReadTimeout, &ps.WriteTimeout, &ps.MaxConns)
 	go func() { errs <- ps.ListenAndServe(*popAddr) }()
 	log.Printf("mailboat: POP3 on %s", *popAddr)
@@ -199,10 +214,10 @@ func main() {
 		// non-mirrored stores keeps the 200 "ok" contract). The adapter
 		// is the scrub runner; on a store without an integrity layer
 		// POST /scrub answers 409 and /healthz is unaffected.
-		as := &http.Server{Addr: *adminAddr, Handler: admin.Handler(reg, healthz, adapter.MirrorStatus, adapter)}
+		as := &http.Server{Addr: *adminAddr, Handler: admin.Handler(reg, healthz, adapter.MirrorStatus, adapter, tracer)}
 		go func() { errs <- as.ListenAndServe() }()
 		defer as.Close()
-		log.Printf("mailboat: admin HTTP on %s (/metrics, /healthz, /debug/pprof)", *adminAddr)
+		log.Printf("mailboat: admin HTTP on %s (/metrics, /healthz, /version, /traces, /debug/pprof)", *adminAddr)
 	}
 
 	sigs := make(chan os.Signal, 1)

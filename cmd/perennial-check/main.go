@@ -9,16 +9,19 @@
 //
 //	perennial-check [-pattern substr] [-heaviest] [-max N] [-workers N]
 //	                [-dedup] [-nodedup] [-selfcheck] [-v] [-min]
-//	                [-benchjson FILE]
+//	                [-progress d] [-benchjson FILE]
 //
 // The systematic search runs on -workers workers (default GOMAXPROCS)
 // with crash-boundary state dedup on (disable with -nodedup, or
 // -dedup=false). -selfcheck runs every selected scenario twice — dedup
 // off and on — and fails if pruning changes any verdict (the mechanical
-// witness of DESIGN.md §5). -benchjson runs each selected scenario at
-// 1 and -workers workers, dedup off and on, and writes the measurements
-// as JSON (the source of BENCH_explore.json). See docs/CHECKING.md for
-// the checker handbook.
+// witness of DESIGN.md §5). -progress streams live search telemetry to
+// stderr at the given period (execs/s, frontier depth, dedup hit rate,
+// per-worker donations, budget ETA); it reads only lock-free counters,
+// so verdicts and counterexamples are identical with and without it.
+// -benchjson runs each selected scenario at 1 and -workers workers,
+// dedup off and on, and writes the measurements as JSON (the source of
+// BENCH_explore.json). See docs/CHECKING.md for the checker handbook.
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print counterexamples for expected bugs too, and per-worker stats")
 	minimize := flag.Bool("min", false, "minimize counterexample choice sequences before printing")
 	benchJSON := flag.String("benchjson", "", "write 1-vs-N-worker throughput measurements for the selected scenarios to this JSON file")
+	progress := flag.Duration("progress", 0, "stream live search progress to stderr at this period (0 = off)")
 	flag.Parse()
 
 	entries := selectEntries(*pattern, *heaviest)
@@ -69,6 +73,14 @@ func main() {
 		}
 		opts.Workers = *workers
 		opts.NoDedup = *noDedup || !*dedup
+		if *progress > 0 {
+			// Telemetry goes to stderr so stdout stays the stable
+			// machine-readable report surface.
+			opts.Progress = &explore.ProgressOptions{
+				Every: *progress,
+				Sink:  func(s explore.Snapshot) { fmt.Fprintln(os.Stderr, s) },
+			}
+		}
 
 		if *selfCheck {
 			if e.Scenario.Fingerprint == nil {

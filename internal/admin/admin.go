@@ -1,6 +1,7 @@
 // Package admin serves the operational side-channel of a mailboat
 // deployment: Prometheus-text /metrics from an obs.Registry, a
-// liveness /healthz, and the standard net/http/pprof profiling
+// liveness /healthz, build identification on /version, request
+// timelines on /traces, and the standard net/http/pprof profiling
 // surface. It is deliberately a separate listener from the mail
 // protocols — scraping and profiling must keep working when the SMTP
 // and POP3 listeners are saturated, and the admin port can be bound to
@@ -9,13 +10,13 @@ package admin
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"time"
 
 	"repro/internal/gfs"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // ScrubRunner is the slice of the store the /scrub endpoint needs
@@ -24,6 +25,14 @@ import (
 type ScrubRunner interface {
 	Scrub(heal bool) (gfs.ScrubReport, bool)
 	LastScrub() (gfs.ScrubReport, time.Time, bool)
+}
+
+// healthStatus is the JSON shape a healthy /healthz serves; including
+// the build version lets one probe answer "is it up" and "what is
+// deployed" at once.
+type healthStatus struct {
+	Status  string  `json:"status"`
+	Version Version `json:"version"`
 }
 
 // scrubStatus is the JSON shape /scrub serves.
@@ -50,11 +59,21 @@ type scrubStatus struct {
 // report. /healthz additionally degrades to 503 when the last scrub
 // left damage behind (report not Clean) — detected-but-unhealed rot is
 // an operator page, not a silent metric.
-func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorStatus, scrub ScrubRunner) http.Handler {
+//
+// tracer, when non-nil, adds the tracing surface: GET /traces serves
+// recent request timelines (?op= filters, ?n= sizes the batch,
+// ?format=json for tooling) and GET /traces/slow the slowest retained
+// trace per operation kind. Without a tracer both answer 404.
+func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorStatus, scrub ScrubRunner, tracer *trace.Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
+	})
+	version := buildVersion()
+	mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(version)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if healthz != nil {
@@ -79,9 +98,13 @@ func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorS
 				return
 			}
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(healthStatus{Status: "ok", Version: version})
 	})
+	if tracer != nil {
+		mux.HandleFunc("/traces", tracesRecent(tracer))
+		mux.HandleFunc("/traces/slow", tracesSlow(tracer))
+	}
 	if scrub != nil {
 		mux.HandleFunc("/scrub", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")

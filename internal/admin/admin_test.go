@@ -54,7 +54,7 @@ func TestAdminEndToEnd(t *testing.T) {
 	go ps.Serve(pl)
 	t.Cleanup(func() { ps.Close() })
 
-	srv := httptest.NewServer(admin.Handler(reg, func() error { return nil }, adapter.MirrorStatus, adapter))
+	srv := httptest.NewServer(admin.Handler(reg, func() error { return nil }, adapter.MirrorStatus, adapter, nil))
 	t.Cleanup(srv.Close)
 
 	// Drive one delivery and one pickup over the wire.
@@ -74,9 +74,7 @@ func TestAdminEndToEnd(t *testing.T) {
 	p.cmd(t, "DELE 1", "+OK")
 	p.cmd(t, "QUIT", "+OK")
 
-	if body := get(t, srv.URL+"/healthz", http.StatusOK); !strings.HasPrefix(body, "ok") {
-		t.Errorf("/healthz body: %q", body)
-	}
+	checkHealthy(t, get(t, srv.URL+"/healthz", http.StatusOK))
 
 	metrics := get(t, srv.URL+"/metrics", http.StatusOK)
 	for _, want := range []string{
@@ -127,12 +125,10 @@ func TestAdminMirrorDegradedHealthz(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter))
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil))
 	t.Cleanup(srv.Close)
 
-	if body := get(t, srv.URL+"/healthz", http.StatusOK); !strings.HasPrefix(body, "ok") {
-		t.Errorf("healthy mirrored /healthz body: %q", body)
-	}
+	checkHealthy(t, get(t, srv.URL+"/healthz", http.StatusOK))
 
 	// Kill the published replica; the next store operation notices,
 	// fails the read over, and flips the mirror to degraded.
@@ -180,11 +176,9 @@ func TestAdminMirrorDegradedHealthz(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(adapter2.Close)
-	srv2 := httptest.NewServer(admin.Handler(reg2, nil, adapter2.MirrorStatus, adapter2))
+	srv2 := httptest.NewServer(admin.Handler(reg2, nil, adapter2.MirrorStatus, adapter2, nil))
 	t.Cleanup(srv2.Close)
-	if body := get(t, srv2.URL+"/healthz", http.StatusOK); !strings.HasPrefix(body, "ok") {
-		t.Errorf("post-resilver /healthz body: %q", body)
-	}
+	checkHealthy(t, get(t, srv2.URL+"/healthz", http.StatusOK))
 	metrics2 := get(t, srv2.URL+"/metrics", http.StatusOK)
 	if !strings.Contains(metrics2, "gfs_mirror_resilver_runs_total 1") {
 		t.Errorf("/metrics missing resilver run after reboot:\n%s", metrics2)
@@ -211,7 +205,7 @@ func TestAdminScrubEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(adapter.Close)
-	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter))
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil))
 	t.Cleanup(srv.Close)
 
 	if err := adapter.Deliver(0, []byte("scrub me")); err != nil {
@@ -261,9 +255,7 @@ func TestAdminScrubEndpoint(t *testing.T) {
 	if st.Report == nil || !st.Report.Clean() {
 		t.Fatalf("healing scrub left damage: %+v", st.Report)
 	}
-	if body := get(t, srv.URL+"/healthz", http.StatusOK); !strings.HasPrefix(body, "ok") {
-		t.Errorf("post-heal /healthz body: %q", body)
-	}
+	checkHealthy(t, get(t, srv.URL+"/healthz", http.StatusOK))
 	msgs, _ := adapter.Pickup(0)
 	adapter.Unlock(0)
 	if len(msgs) != 1 || msgs[0].Contents != "scrub me" {
@@ -292,18 +284,16 @@ func TestScrubWithoutIntegrityLayer(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(adapter.Close)
-	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter))
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil))
 	t.Cleanup(srv.Close)
 	post(t, srv.URL+"/scrub?heal=1", http.StatusConflict)
-	if body := get(t, srv.URL+"/healthz", http.StatusOK); !strings.HasPrefix(body, "ok") {
-		t.Errorf("/healthz body: %q", body)
-	}
+	checkHealthy(t, get(t, srv.URL+"/healthz", http.StatusOK))
 }
 
 func TestHealthzFailure(t *testing.T) {
 	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), func() error {
 		return errors.New("listener down")
-	}, nil, nil))
+	}, nil, nil, nil))
 	defer srv.Close()
 	if body := get(t, srv.URL+"/healthz", http.StatusServiceUnavailable); !strings.Contains(body, "listener down") {
 		t.Errorf("/healthz body: %q", body)
@@ -311,7 +301,7 @@ func TestHealthzFailure(t *testing.T) {
 }
 
 func TestPprofIndex(t *testing.T) {
-	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil, nil, nil))
+	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil, nil, nil, nil))
 	defer srv.Close()
 	if body := get(t, srv.URL+"/debug/pprof/", http.StatusOK); !strings.Contains(body, "goroutine") {
 		t.Errorf("pprof index: %q", body)

@@ -1,0 +1,65 @@
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// defaultRecentTraces bounds an un-parameterized GET /traces; the full
+// ring is available with an explicit ?n=.
+const defaultRecentTraces = 20
+
+// writeTraces renders a batch of traces as either indented text
+// timelines (the default, for curl-and-squint debugging) or JSON
+// (?format=json, for tooling).
+func writeTraces(w http.ResponseWriter, r *http.Request, traces []*trace.Trace) {
+	if r.URL.Query().Get("format") == "json" {
+		out := make([]trace.TraceJSON, 0, len(traces))
+		for _, t := range traces {
+			out = append(out, trace.ToJSON(t))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(traces) == 0 {
+		fmt.Fprintln(w, "no traces recorded yet")
+		return
+	}
+	for _, t := range traces {
+		trace.WriteText(w, t)
+		fmt.Fprintln(w)
+	}
+}
+
+// tracesRecent serves GET /traces: the most recent completed traces,
+// newest first. ?op= filters to one operation kind, ?n= widens or
+// narrows the batch.
+func tracesRecent(tr *trace.Tracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := defaultRecentTraces
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		writeTraces(w, r, tr.Recent(r.URL.Query().Get("op"), n))
+	}
+}
+
+// tracesSlow serves GET /traces/slow: the slowest retained traces,
+// slowest first. ?op= narrows to one operation kind; without it every
+// op's slow list is concatenated (grouped by op).
+func tracesSlow(tr *trace.Tracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeTraces(w, r, tr.Slowest(r.URL.Query().Get("op")))
+	}
+}

@@ -1,0 +1,33 @@
+package admin
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Version identifies the running build: the Go toolchain that compiled
+// it and the VCS revision it was built from. Binaries built outside a
+// VCS checkout (notably `go test` binaries) report revision "unknown".
+type Version struct {
+	Go       string `json:"go"`
+	Revision string `json:"revision"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+// buildVersion reads the build's VCS stamp once; debug.ReadBuildInfo is
+// cheap but the answer never changes within a process.
+func buildVersion() Version {
+	v := Version{Go: runtime.Version(), Revision: "unknown"}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				v.Revision = s.Value
+			case "vcs.modified":
+				v.Modified = s.Value == "true"
+			}
+		}
+	}
+	return v
+}

@@ -297,6 +297,12 @@ type Options struct {
 	// is the one with the smallest seed offset, keeping results
 	// deterministic regardless of scheduling.
 	StressParallelism int
+	// Progress, when non-nil with a Sink, streams live telemetry of the
+	// systematic phase (execs/s, frontier depth, dedup hit rate,
+	// per-worker donations, budget ETA). The sampler is read-only over
+	// lock-free counters, so verdicts and counterexamples are identical
+	// with and without it (perennial-check -progress).
+	Progress *ProgressOptions
 }
 
 // Run performs a systematic DFS over the scenario's choice space —

@@ -37,6 +37,15 @@ type searchPool struct {
 	// claim one slot per execution before running it.
 	execsLeft int64
 
+	// Progress telemetry, maintained whether or not a sampler is
+	// attached (three relaxed atomic bumps per execution): executions
+	// started, dedup-pruned executions, and per-worker donated jobs.
+	// The sampler in progressLoop only ever reads these, so enabling
+	// it cannot perturb the search.
+	execs   atomic.Int64
+	pruned  atomic.Int64
+	donated []atomic.Int64
+
 	mu          sync.Mutex
 	cond        *sync.Cond
 	queue       [][]int // LIFO of pinned prefixes
@@ -56,11 +65,18 @@ func runSystematic(s *Scenario, opts Options, workers int, rep *Report) {
 		workers:   workers,
 		execsLeft: int64(opts.MaxExecutions),
 		queue:     [][]int{nil}, // the root job: the empty prefix
+		donated:   make([]atomic.Int64, workers),
 	}
 	p.outstanding = 1
 	p.cond = sync.NewCond(&p.mu)
 	if !opts.NoDedup && s.Fingerprint != nil {
 		p.table = newFPTable()
+	}
+
+	var progStop, progDone chan struct{}
+	if opts.Progress != nil && opts.Progress.Sink != nil {
+		progStop, progDone = make(chan struct{}), make(chan struct{})
+		go p.progressLoop(opts.Progress, s.Name, rep.Stats.Depth, progStop, progDone)
 	}
 
 	wreps := make([]*Report, workers)
@@ -71,10 +87,16 @@ func runSystematic(s *Scenario, opts Options, workers int, rep *Report) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			p.worker(wreps[w])
+			p.worker(w, wreps[w])
 		}(w)
 	}
 	wg.Wait()
+	if progStop != nil {
+		// Stop the sampler and wait for its final snapshot so callers
+		// see it before the report.
+		close(progStop)
+		<-progDone
+	}
 
 	per := make([]WorkerStats, workers)
 	for w, r := range wreps {
@@ -93,13 +115,13 @@ func runSystematic(s *Scenario, opts Options, workers int, rep *Report) {
 	rep.Complete = p.best == nil && !p.budgetHit
 }
 
-func (p *searchPool) worker(wrep *Report) {
+func (p *searchPool) worker(w int, wrep *Report) {
 	for {
 		prefix, ok := p.take()
 		if !ok {
 			return
 		}
-		p.explore(prefix, wrep)
+		p.explore(prefix, wrep, w)
 		p.finish()
 	}
 }
@@ -150,8 +172,8 @@ func (p *searchPool) claim() bool {
 	return false
 }
 
-// explore enumerates the subtree pinned at prefix.
-func (p *searchPool) explore(prefix []int, wrep *Report) {
+// explore enumerates the subtree pinned at prefix on behalf of worker w.
+func (p *searchPool) explore(prefix []int, wrep *Report, w int) {
 	d := &dfsChooser{}
 	d.seed(prefix)
 	for {
@@ -162,6 +184,7 @@ func (p *searchPool) explore(prefix []int, wrep *Report) {
 			return
 		}
 		wrep.Executions++
+		p.execs.Add(1)
 		d.reset()
 		var dd *dedupRun
 		if p.table != nil {
@@ -171,6 +194,7 @@ func (p *searchPool) explore(prefix []int, wrep *Report) {
 		if dd != nil {
 			if dd.pruned {
 				wrep.Stats.PrunedStates++
+				p.pruned.Add(1)
 			}
 			if dd.unfingerprintable {
 				p.mu.Lock()
@@ -182,7 +206,7 @@ func (p *searchPool) explore(prefix []int, wrep *Report) {
 			p.offerBest(cx)
 			return
 		}
-		p.donate(d)
+		p.donate(d, w)
 		if !d.next() {
 			return
 		}
@@ -215,7 +239,7 @@ func (p *searchPool) pastBest(d *dfsChooser) bool {
 // donate splits off jobs when peers are starving and the queue is
 // empty. splitShallowest only touches worker-local state; holding the
 // pool lock just keeps idle/queue consistent with the decision.
-func (p *searchPool) donate(d *dfsChooser) {
+func (p *searchPool) donate(d *dfsChooser, w int) {
 	if p.workers == 1 {
 		return
 	}
@@ -224,6 +248,7 @@ func (p *searchPool) donate(d *dfsChooser) {
 		if jobs := d.splitShallowest(); len(jobs) > 0 {
 			p.queue = append(p.queue, jobs...)
 			p.outstanding += len(jobs)
+			p.donated[w].Add(int64(len(jobs)))
 			p.cond.Broadcast()
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // ErrIntegrity is the loud-failure sentinel for checksum mismatches:
@@ -179,6 +180,7 @@ func (c *Checksummed) noteDetected(t T, dir, name string, v Verdict) {
 	c.detected++
 	c.mu.Unlock()
 	c.Metrics.detected()
+	trace.Event(t, "integrity detected: %s/%s %s", dir, name, v)
 	if mt, ok := t.(*machine.T); ok {
 		mt.Tracef("fs.integrity %s/%s: %s", dir, name, v)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // FaultOp enumerates the operation classes Faulty can inject transient
@@ -484,6 +485,7 @@ func (f *Faulty) begin(t T, op FaultOp, detail string) bool {
 	f.log = append(f.log, FaultEvent{Op: op, Index: idx, Detail: detail})
 	f.mu.Unlock()
 	f.Metrics.FaultInjected(op)
+	trace.Event(t, "fault injected: %s %s", op, detail)
 	return true
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // This file is the gfs-level lift of the paper's replicated disk
@@ -392,6 +393,7 @@ func (m *Mirrored) countFailover(t T) {
 		mt.Tracef("mirror: read failed over to survivor")
 	}
 	m.Metrics.failover()
+	trace.Event(t, "mirror: read failed over to survivor")
 }
 
 // mirrorFD is the mirror's descriptor. Append-mode descriptors carry
@@ -556,6 +558,7 @@ func (m *Mirrored) healFile(t T, dir, name string, bad int) bool {
 		mt.Tracef("mirror: healed %s/%s on replica %d from replica %d", dir, name, bad, good)
 	}
 	m.Integrity.healed()
+	trace.Event(t, "mirror: healed %s/%s on replica %d from replica %d", dir, name, bad, good)
 	return true
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // fsOps enumerates the System operations for metric labels.
@@ -111,6 +112,13 @@ func (m *FSMetrics) observe(op string, start time.Time) {
 // inner backend. Stack it outermost — above Faulty — so injected faults
 // and retries are measured exactly as the caller experienced them.
 //
+// When the thread handle carries a trace span (trace.Carrier), the
+// mutating and barrier ops also open leaf spans, attributing a
+// request's latency to individual file-system calls. Close, Size, and
+// ReadAt stay span-free on purpose: a chunked pickup read would bury
+// the timeline under hundreds of identical leaves; read time shows up
+// as the mailboat-level read stage instead.
+//
 // Timing uses the wall clock. That is meaningful for the OS backend
 // (which is what production wires up); under the modeled backend the
 // durations are merely the checker's own processing time, so scenarios
@@ -134,25 +142,31 @@ func (o *Observed) NewLock(t T, name string) Lock { return o.inner.NewLock(t, na
 
 // Create implements System.
 func (o *Observed) Create(t T, dir, name string) (FD, bool) {
+	sp := trace.Enter(t, "gfs.create")
 	start := time.Now()
 	fd, ok := o.inner.Create(t, dir, name)
 	o.m.observe("create", start)
+	trace.Exit(t, sp)
 	return fd, ok
 }
 
 // Open implements System.
 func (o *Observed) Open(t T, dir, name string) (FD, bool) {
+	sp := trace.Enter(t, "gfs.open")
 	start := time.Now()
 	fd, ok := o.inner.Open(t, dir, name)
 	o.m.observe("open", start)
+	trace.Exit(t, sp)
 	return fd, ok
 }
 
 // Append implements System.
 func (o *Observed) Append(t T, fd FD, data []byte) bool {
+	sp := trace.Enter(t, "gfs.append")
 	start := time.Now()
 	ok := o.inner.Append(t, fd, data)
 	o.m.observe("append", start)
+	trace.Exit(t, sp)
 	return ok
 }
 
@@ -181,42 +195,52 @@ func (o *Observed) Size(t T, fd FD) uint64 {
 
 // Sync implements System.
 func (o *Observed) Sync(t T, fd FD) bool {
+	sp := trace.Enter(t, "gfs.sync")
 	start := time.Now()
 	ok := o.inner.Sync(t, fd)
 	o.m.observe("sync", start)
 	o.m.SyncIssued("file", ok)
+	trace.Exit(t, sp)
 	return ok
 }
 
 // SyncDir implements System.
 func (o *Observed) SyncDir(t T, dir string) bool {
+	sp := trace.Enter(t, "gfs.syncdir")
 	start := time.Now()
 	ok := o.inner.SyncDir(t, dir)
 	o.m.observe("syncdir", start)
 	o.m.SyncIssued("dir", ok)
+	trace.Exit(t, sp)
 	return ok
 }
 
 // Delete implements System.
 func (o *Observed) Delete(t T, dir, name string) bool {
+	sp := trace.Enter(t, "gfs.delete")
 	start := time.Now()
 	ok := o.inner.Delete(t, dir, name)
 	o.m.observe("delete", start)
+	trace.Exit(t, sp)
 	return ok
 }
 
 // Link implements System.
 func (o *Observed) Link(t T, oldDir, oldName, newDir, newName string) bool {
+	sp := trace.Enter(t, "gfs.link")
 	start := time.Now()
 	ok := o.inner.Link(t, oldDir, oldName, newDir, newName)
 	o.m.observe("link", start)
+	trace.Exit(t, sp)
 	return ok
 }
 
 // List implements System.
 func (o *Observed) List(t T, dir string) []string {
+	sp := trace.Enter(t, "gfs.list")
 	start := time.Now()
 	names := o.inner.List(t, dir)
 	o.m.observe("list", start)
+	trace.Exit(t, sp)
 	return names
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/gfs"
 	"repro/internal/machine"
 	"repro/internal/spec"
+	"repro/internal/trace"
 )
 
 // SpoolDir is the spool directory name.
@@ -183,6 +184,8 @@ func (mb *Mailboat) WithSystem(sys gfs.System) *Mailboat {
 // silently.
 func (mb *Mailboat) Deliver(t gfs.T, j *core.JTok, user uint64, msg []byte) bool {
 	mb.checkUser(t, user)
+	sp := trace.Enter(t, "mailboat.deliver")
+	defer trace.Exit(t, sp)
 	start := mb.cfg.Metrics.start()
 	retries := mb.cfg.DeliverRetries
 	if retries <= 0 {
@@ -190,6 +193,7 @@ func (mb *Mailboat) Deliver(t gfs.T, j *core.JTok, user uint64, msg []byte) bool
 	}
 	for attempt := 0; attempt < retries; attempt++ {
 		if attempt > 0 {
+			trace.Event(t, "deliver retry: attempt %d", attempt+1)
 			mb.backoff(t, attempt)
 		}
 		if mb.deliverAttempt(t, j, user, msg) {
@@ -223,11 +227,22 @@ func (mb *Mailboat) backoff(t gfs.T, attempt int) {
 // any transient failure it deletes its spool file (best effort — a
 // leftover file is invisible at the spec level and reclaimed by
 // Recover, the TmpInv of §8.3) and reports false with the mailbox
-// untouched.
+// untouched. The two phases are separate functions so each shows up as
+// its own stage span on a traced request.
 func (mb *Mailboat) deliverAttempt(t gfs.T, j *core.JTok, user uint64, msg []byte) bool {
-	// Spool the message under a fresh name.
+	sname, ok := mb.spoolWrite(t, msg)
+	if !ok {
+		return false
+	}
+	return mb.publishLink(t, j, user, sname, msg)
+}
+
+// spoolWrite spools msg under a fresh name: create, chunked appends,
+// optional fsync. On failure the spool file is already cleaned up.
+func (mb *Mailboat) spoolWrite(t gfs.T, msg []byte) (sname string, ok bool) {
+	sp := trace.Enter(t, "spool.write")
+	defer trace.Exit(t, sp)
 	var spool gfs.FD
-	var sname string
 	created := false
 	for i := 0; i < nameAttempts; i++ {
 		id := t.RandUint64(mb.cfg.RandBound)
@@ -238,7 +253,7 @@ func (mb *Mailboat) deliverAttempt(t gfs.T, j *core.JTok, user uint64, msg []byt
 		}
 	}
 	if !created {
-		return false
+		return "", false
 	}
 	for off := 0; off < len(msg); off += gfs.MaxAppend {
 		end := off + gfs.MaxAppend
@@ -248,7 +263,7 @@ func (mb *Mailboat) deliverAttempt(t gfs.T, j *core.JTok, user uint64, msg []byt
 		if !mb.sys.Append(t, spool, msg[off:end]) {
 			mb.sys.Close(t, spool)
 			mb.sys.Delete(t, SpoolDir, sname)
-			return false
+			return "", false
 		}
 	}
 	if mb.cfg.SyncOnDeliver {
@@ -259,12 +274,19 @@ func (mb *Mailboat) deliverAttempt(t gfs.T, j *core.JTok, user uint64, msg []byt
 			// the file and rewrite from scratch.
 			mb.sys.Close(t, spool)
 			mb.sys.Delete(t, SpoolDir, sname)
-			return false
+			return "", false
 		}
 	}
 	mb.sys.Close(t, spool)
+	return sname, true
+}
 
-	// Publish atomically under a fresh mailbox name.
+// publishLink publishes the spooled message atomically under a fresh
+// mailbox name, barriers the directory when configured, and removes the
+// spool entry.
+func (mb *Mailboat) publishLink(t gfs.T, j *core.JTok, user uint64, sname string, msg []byte) bool {
+	sp := trace.Enter(t, "publish.link")
+	defer trace.Exit(t, sp)
 	for i := 0; i < nameAttempts; i++ {
 		id := t.RandUint64(mb.cfg.RandBound)
 		mname := MsgName(id)
@@ -310,7 +332,10 @@ func (mb *Mailboat) deliverAttempt(t gfs.T, j *core.JTok, user uint64, msg []byt
 // real disk a persistently failing directory fsync means the device is
 // dying, and stalling the ack is what a mail server owes its clients.
 func (mb *Mailboat) syncDirBarrier(t gfs.T, dir string) {
+	sp := trace.Enter(t, "syncdir.barrier")
+	defer trace.Exit(t, sp)
 	for attempt := 1; !mb.sys.SyncDir(t, dir); attempt++ {
+		trace.Event(t, "syncdir retry: attempt %d", attempt)
 		capped := attempt
 		if capped > 8 {
 			capped = 8
@@ -328,7 +353,10 @@ func (mb *Mailboat) syncDirBarrier(t gfs.T, dir string) {
 // bug.
 func (mb *Mailboat) Pickup(t gfs.T, j *core.JTok, user uint64) []Message {
 	mb.checkUser(t, user)
+	sp := trace.Enter(t, "mailboat.pickup")
+	defer trace.Exit(t, sp)
 	start := mb.cfg.Metrics.start()
+	lsp := trace.Enter(t, "mailbox.list")
 	mb.locks[user].Acquire(t)
 
 	var expected []Message
@@ -349,7 +377,9 @@ func (mb *Mailboat) Pickup(t gfs.T, j *core.JTok, user uint64) []Message {
 			mb.g.StepSim(modelT(t), j, expected)
 		}
 	}
+	trace.Exit(t, lsp)
 
+	rsp := trace.Enter(t, "mailbox.read")
 	msgs := make([]Message, 0, len(names))
 	for _, name := range names {
 		fd, ok := mb.sys.Open(t, UserDir(user), name)
@@ -375,6 +405,7 @@ func (mb *Mailboat) Pickup(t gfs.T, j *core.JTok, user uint64) []Message {
 		mb.sys.Close(t, fd)
 		msgs = append(msgs, Message{ID: name, Contents: string(contents)})
 	}
+	trace.Exit(t, rsp)
 	mb.cfg.Metrics.observePickup(start, msgs)
 	return msgs
 }
@@ -387,6 +418,8 @@ func (mb *Mailboat) Pickup(t gfs.T, j *core.JTok, user uint64) []Message {
 // mailbox, and the caller should report rather than swallow that.
 func (mb *Mailboat) Delete(t gfs.T, j *core.JTok, user uint64, id string) bool {
 	mb.checkUser(t, user)
+	sp := trace.Enter(t, "mailboat.delete")
+	defer trace.Exit(t, sp)
 	ok := mb.sys.Delete(t, UserDir(user), id)
 	if ok && mb.cfg.SyncDirs {
 		// The unlink may still be sitting in the directory cache; an
@@ -426,6 +459,8 @@ func (mb *Mailboat) Unlock(t gfs.T, j *core.JTok, user uint64) {
 // old carries the pre-crash ghost handles; it may be nil when the ghost
 // context is nil (production boot).
 func Recover(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config, old *Mailboat) *Mailboat {
+	sp := trace.Enter(t, "mailboat.recover")
+	defer trace.Exit(t, sp)
 	// If the stack includes a mirror, restore redundancy before touching
 	// any data: resilvering copies the surviving replica onto its
 	// replacement while the system is still single-threaded, so every
@@ -435,7 +470,9 @@ func Recover(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config, old *Mailboat) *M
 	// stale reads. Resilver is idempotent, so a crash mid-copy is
 	// repaired by the next boot's call.
 	if r := gfs.AsResilverer(sys); r != nil {
+		rsp := trace.Enter(t, "recover.resilver")
 		r.Resilver(t)
+		trace.Exit(t, rsp)
 	}
 	// With a checksum envelope somewhere in the stack, recovery also
 	// scrubs: every file's envelope is verified — and, on a mirror, a
@@ -446,8 +483,11 @@ func Recover(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config, old *Mailboat) *M
 	// envelope layer make this a cheap directory walk (nothing to
 	// verify), and single-backend envelopes detect without healing.
 	if sc := gfs.AsScrubber(sys); sc != nil {
+		ssp := trace.Enter(t, "recover.scrub")
 		sc.Scrub(t, true)
+		trace.Exit(t, ssp)
 	}
+	wsp := trace.Enter(t, "recover.sweep")
 	swept, sweepFailed := 0, 0
 	for _, name := range sys.List(t, SpoolDir) {
 		if sys.Delete(t, SpoolDir, name) {
@@ -456,6 +496,7 @@ func Recover(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config, old *Mailboat) *M
 			sweepFailed++
 		}
 	}
+	trace.Exit(t, wsp)
 	cfg.Metrics.observeRecover(swept, sweepFailed)
 	if g == nil {
 		return Init(t, nil, sys, cfg)

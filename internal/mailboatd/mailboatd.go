@@ -19,6 +19,7 @@ import (
 	"repro/internal/gfs"
 	"repro/internal/mailboat"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // ErrTransient reports a transient store failure: the operation did not
@@ -98,6 +99,13 @@ type Options struct {
 	// ScrubEvery, when positive, runs a background scrub pass (healing
 	// on a mirrored store) at this interval until Close.
 	ScrubEvery time.Duration
+	// Tracer, when non-nil, records request-scoped span trees: the
+	// front ends open a root span per verb and hand it to the adapter's
+	// *Traced entry points, which run the library on a per-request
+	// thread handle carrying the span (the shared Adapter itself stays
+	// span-free, since it serves many requests at once). Boot-time
+	// recovery is traced too, under op "recover".
+	Tracer *trace.Tracer
 }
 
 // opMetrics counts adapter-level operation outcomes — the boundary
@@ -153,6 +161,8 @@ type Adapter struct {
 	chk   *gfs.Checksummed
 	chks  [2]*gfs.Checksummed
 	integ *gfs.IntegrityMetrics
+
+	tracer *trace.Tracer
 
 	scrubMu   sync.Mutex // serializes scrub passes
 	lastMu    sync.Mutex
@@ -234,7 +244,8 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 		}
 		a.sys = sys
 		a.rng.Store(uint64(o.Seed))
-		a.mb = mailboat.Recover(a, nil, sys, cfg, nil)
+		a.tracer = o.Tracer
+		a.bootRecover(sys, cfg)
 		// Recovery already swept rot it could reach; record a baseline
 		// pass so LastScrub (and the admin /healthz degradation) reflect
 		// the store's integrity from the first request on.
@@ -253,7 +264,8 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 		a.ops = newOpMetrics(o.Metrics)
 	}
 	a.rng.Store(uint64(o.Seed))
-	a.mb = mailboat.Recover(a, nil, sys, cfg, nil)
+	a.tracer = o.Tracer
+	a.bootRecover(sys, cfg)
 	if o.Fault != nil {
 		a.faulty = gfs.NewFaulty(fs, &gfs.SeededPolicy{
 			Seed:      o.Fault.Seed,
@@ -329,7 +341,8 @@ func newMirrored(root string, o Options, cfg mailboat.Config) (*Adapter, error) 
 		a.ops = newOpMetrics(o.Metrics)
 	}
 	a.rng.Store(uint64(o.Seed))
-	a.mb = mailboat.Recover(a, nil, sys, cfg, nil)
+	a.tracer = o.Tracer
+	a.bootRecover(sys, cfg)
 	if o.Checksum {
 		// Record the boot-time integrity baseline (recovery's own scrub
 		// runs below the adapter and is not captured by LastScrub).
@@ -498,10 +511,55 @@ func (a *Adapter) RandUint64(bound uint64) uint64 {
 	return (x ^ (x >> 31)) % bound
 }
 
+// reqT is the per-request thread handle for traced requests: it draws
+// randomness from the shared adapter but carries the request's active
+// span (trace.Carrier). The Adapter itself cannot carry spans — it is
+// one value shared by every connection handler.
+type reqT struct {
+	a    *Adapter
+	span *trace.Span
+}
+
+// RandUint64 implements gfs.T.
+func (r *reqT) RandUint64(bound uint64) uint64 { return r.a.RandUint64(bound) }
+
+// TraceSpan implements trace.Carrier.
+func (r *reqT) TraceSpan() *trace.Span { return r.span }
+
+// SetTraceSpan implements trace.Carrier.
+func (r *reqT) SetTraceSpan(s *trace.Span) { r.span = s }
+
+// thread returns the thread handle for a request: the shared adapter
+// when untraced, a per-request carrier when a root span is present.
+func (a *Adapter) thread(sp *trace.Span) gfs.T {
+	if sp == nil {
+		return a
+	}
+	return &reqT{a: a, span: sp}
+}
+
+// bootRecover runs crash recovery; with a tracer configured the boot is
+// recorded as a trace under op "recover" (resilver, scrub, and spool
+// sweep each show as stage spans).
+func (a *Adapter) bootRecover(sys gfs.System, cfg mailboat.Config) {
+	root := a.tracer.Start("recover", "mailboatd.boot")
+	a.mb = mailboat.Recover(a.thread(root), nil, sys, cfg, nil)
+	root.End()
+}
+
+// Tracer returns the adapter's tracer (nil when tracing is off).
+func (a *Adapter) Tracer() *trace.Tracer { return a.tracer }
+
 // Deliver implements smtp.Deliverer. ErrTransient means the message was
 // NOT accepted (retries exhausted) and the client must retry later.
 func (a *Adapter) Deliver(user uint64, msg []byte) error {
-	if !a.mb.Deliver(a, nil, user, msg) {
+	return a.DeliverTraced(nil, user, msg)
+}
+
+// DeliverTraced is Deliver under a front-end root span (nil = untraced;
+// it implements smtp.TracedDeliverer).
+func (a *Adapter) DeliverTraced(sp *trace.Span, user uint64, msg []byte) error {
+	if !a.mb.Deliver(a.thread(sp), nil, user, msg) {
 		a.ops.deliverTransient.Inc()
 		return ErrTransient
 	}
@@ -524,7 +582,13 @@ func (a *Adapter) Deliver(user uint64, msg []byte) error {
 // "-ERR [SYS/TEMP]". TestPickupUnderReadFaults drills this contract
 // with every read faulted.
 func (a *Adapter) Pickup(user uint64) ([]mailboat.Message, error) {
-	msgs := a.mb.Pickup(a, nil, user)
+	return a.PickupTraced(nil, user)
+}
+
+// PickupTraced is Pickup under a front-end root span (nil = untraced;
+// it implements pop3.TracedMaildrop).
+func (a *Adapter) PickupTraced(sp *trace.Span, user uint64) ([]mailboat.Message, error) {
+	msgs := a.mb.Pickup(a.thread(sp), nil, user)
 	a.ops.pickupOK.Inc()
 	return msgs, nil
 }
@@ -532,7 +596,13 @@ func (a *Adapter) Pickup(user uint64) ([]mailboat.Message, error) {
 // Delete implements pop3.Maildrop. ErrTransient means the message is
 // still in the maildrop.
 func (a *Adapter) Delete(user uint64, id string) error {
-	if !a.mb.Delete(a, nil, user, id) {
+	return a.DeleteTraced(nil, user, id)
+}
+
+// DeleteTraced is Delete under a front-end root span (nil = untraced;
+// it implements pop3.TracedMaildrop).
+func (a *Adapter) DeleteTraced(sp *trace.Span, user uint64, id string) error {
+	if !a.mb.Delete(a.thread(sp), nil, user, id) {
 		a.ops.deleteTransient.Inc()
 		return ErrTransient
 	}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bufio"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestZeroCountHistogramExposition: a registered histogram that has
+// never observed anything must still render a complete, well-formed
+// series — every bucket (including +Inf) at 0, sum 0, count 0 — so a
+// freshly booted server's first scrape parses.
+func TestZeroCountHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("idle_seconds", "Never observed.", []float64{0.1, 1})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`idle_seconds_bucket{le="0.1"} 0`,
+		`idle_seconds_bucket{le="1"} 0`,
+		`idle_seconds_bucket{le="+Inf"} 0`,
+		"idle_seconds_sum 0\n",
+		"idle_seconds_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("zero-count exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestInfBucketIsCumulativeTotal: observations past the last bound land
+// only in the implicit +Inf bucket, which must equal the count — the
+// invariant PromQL's histogram_quantile relies on.
+func TestInfBucketIsCumulativeTotal(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("big_seconds", "Overflow test.", []float64{0.001, 0.01})
+	h.Observe(0.0005) // first bucket
+	h.Observe(99)     // overflow
+	h.Observe(1e12)   // far overflow
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`big_seconds_bucket{le="0.001"} 1`,
+		`big_seconds_bucket{le="0.01"} 1`,
+		`big_seconds_bucket{le="+Inf"} 3`,
+		"big_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("+Inf bucket exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLabelValueEscaping: label values containing quotes, backslashes
+// and newlines must be escaped in the exposition (labelSig renders via
+// %q), and each rendered sample must stay on a single line.
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "Escape test.", "path", `a"b\c`).Inc()
+	r.Counter("esc_total", "Escape test.", "path", "two\nlines").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`esc_total{path="a\"b\\c"} 1`,
+		`esc_total{path="two\nlines"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("escaped exposition missing %q:\n%s", want, out)
+		}
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Errorf("blank line in exposition:\n%s", out)
+		}
+	}
+	// A raw (unescaped) newline inside a label value would have split a
+	// sample across two lines; every non-comment line must parse as
+	// `name{...} value` or `name value`.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line[strings.LastIndexByte(line, '}')+1:])) != 1 {
+			t.Errorf("sample line does not end in exactly one value: %q", line)
+		}
+	}
+}
+
+// TestConcurrentScrape: scraping while writers are hot must be safe
+// (the race detector is the assertion) and every rendered value must
+// be a consistent point-in-time read, never torn.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "Contended counter.")
+	h := r.Histogram("hot_seconds", "Contended histogram.", []float64{0.001, 1})
+	g := r.Gauge("hot_gauge", "Contended gauge.")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c.Inc()
+				h.Observe(0.5)
+				g.Add(1)
+				g.Dec()
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(b.String(), "hot_total") {
+			t.Fatalf("scrape %d lost the counter family:\n%s", i, b.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if c.Value() == 0 || !strings.Contains(out, `hot_seconds_bucket{le="+Inf"}`) {
+		t.Fatalf("final scrape inconsistent:\n%s", out)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/mailboat"
+	"repro/internal/trace"
 )
 
 // Maildrop is the mailbox backend; internal/mailboatd adapts the
@@ -34,6 +35,14 @@ type Maildrop interface {
 	Pickup(user uint64) ([]mailboat.Message, error)
 	Delete(user uint64, id string) error
 	Unlock(user uint64)
+}
+
+// TracedMaildrop is the optional tracing extension of Maildrop: the
+// server hands the verb's root span down so the store can hang stage
+// spans off it. Backends that don't implement it are served untraced.
+type TracedMaildrop interface {
+	PickupTraced(sp *trace.Span, user uint64) ([]mailboat.Message, error)
+	DeleteTraced(sp *trace.Span, user uint64, id string) error
 }
 
 // Server is one POP3 listener.
@@ -52,6 +61,10 @@ type Server struct {
 	// Metrics, when non-nil, records connection and command metrics
 	// (see NewMetrics). Set it before Serve.
 	Metrics *Metrics
+	// Tracer, when non-nil, opens a root span per PASS (op "pickup")
+	// and per QUIT with pending deletes (op "delete"), threading them
+	// through a TracedMaildrop backend. Set it before Serve.
+	Tracer *trace.Tracer
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -243,8 +256,17 @@ func (s *Server) handle(conn net.Conn) {
 				bad("no such user")
 				return false
 			}
-			m, err := s.backend.Pickup(u)
+			root := s.Tracer.Start("pickup", "pop3.PASS")
+			tm, traced := s.backend.(TracedMaildrop)
+			var m []mailboat.Message
+			if root != nil && traced {
+				m, err = tm.PickupTraced(root, u)
+			} else {
+				m, err = s.backend.Pickup(u)
+			}
 			if err != nil {
+				root.Note("pickup failed transiently ([SYS/TEMP])")
+				root.End()
 				// Transient store failure: the session stays open so
 				// the client can retry PASS, per the graceful-
 				// degradation contract.
@@ -252,6 +274,7 @@ func (s *Server) handle(conn net.Conn) {
 				bad("[SYS/TEMP] maildrop unavailable, try again later")
 				return false
 			}
+			root.End()
 			authedUser, authed = u, true
 			msgs = m
 			deleted = make([]bool, len(m))
@@ -349,14 +372,34 @@ func (s *Server) handle(conn net.Conn) {
 			ok("")
 		case "QUIT":
 			if authed {
+				var root *trace.Span
+				for i := range msgs {
+					if deleted[i] {
+						// Open the root only when there is delete work
+						// to time; a plain disconnect stays trace-free.
+						root = s.Tracer.Start("delete", "pop3.QUIT")
+						break
+					}
+				}
+				tm, traced := s.backend.(TracedMaildrop)
 				failed := 0
 				for i, m := range msgs {
 					if deleted[i] {
-						if err := s.backend.Delete(authedUser, m.ID); err != nil {
+						var err error
+						if root != nil && traced {
+							err = tm.DeleteTraced(root, authedUser, m.ID)
+						} else {
+							err = s.backend.Delete(authedUser, m.ID)
+						}
+						if err != nil {
 							failed++
 						}
 					}
 				}
+				if failed > 0 {
+					root.Note("%d delete(s) failed transiently", failed)
+				}
+				root.End()
 				s.backend.Unlock(authedUser)
 				authed = false
 				if failed > 0 {

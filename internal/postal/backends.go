@@ -9,6 +9,7 @@ import (
 	"repro/internal/gfs"
 	"repro/internal/gomail"
 	"repro/internal/mailboat"
+	"repro/internal/trace"
 )
 
 // RAMDir returns a RAM-backed scratch directory when one is available
@@ -58,6 +59,12 @@ func NewMailboatBackend(root string, users uint64, workers int, seed int64, noFs
 
 // Close releases cached directory handles.
 func (b *MailboatBackend) Close() { b.fs.CloseAll() }
+
+// SetWorkerSpan implements SpanCarrier: the worker's thread handle
+// carries sp, so the library's stage spans nest under it.
+func (b *MailboatBackend) SetWorkerSpan(w int, sp *trace.Span) {
+	b.ths[w].SetTraceSpan(sp)
+}
 
 // Deliver implements Backend.
 func (b *MailboatBackend) Deliver(w int, user uint64, msg []byte) error {

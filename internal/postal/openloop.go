@@ -1,0 +1,185 @@
+package postal
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// SpanCarrier is implemented by backends whose per-worker thread
+// handles can carry a trace span (MailboatBackend); the open-loop
+// runner uses it to hang the library's stage spans off a per-request
+// root, so one benchmark request renders as a full nested timeline.
+type SpanCarrier interface {
+	SetWorkerSpan(worker int, sp *trace.Span)
+}
+
+// OpenLoopOptions shapes an open-loop (fixed offered rate) run.
+//
+// The closed loop of Run reproduces Figure 11, but it hides queueing:
+// a slow request delays the next request's issue, so the measured
+// latencies are only of requests the system was ready for (coordinated
+// omission). The open loop schedules request starts on a fixed grid
+// regardless of completions and measures each latency from the
+// *scheduled* start, so backlog waits count against the store.
+type OpenLoopOptions struct {
+	// Workers is the number of issuing goroutines; the schedule grid is
+	// interleaved across them.
+	Workers int
+	// Users spreads requests over this many mailboxes.
+	Users uint64
+	// Rate is the total offered load in requests/second across all
+	// workers.
+	Rate float64
+	// Duration bounds the schedule; the run drains in-flight requests
+	// past it.
+	Duration time.Duration
+	// MessageBytes sizes delivered bodies.
+	MessageBytes int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Tracer, when non-nil and the backend is a SpanCarrier, opens a
+	// root span per request so the per-stage histograms fill.
+	Tracer *trace.Tracer
+}
+
+func (o *OpenLoopOptions) fill() {
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	if o.Users == 0 {
+		o.Users = 100
+	}
+	if o.Rate == 0 {
+		o.Rate = 1000
+	}
+	if o.Duration == 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.MessageBytes == 0 {
+		o.MessageBytes = 256
+	}
+}
+
+// OpenLoopResult summarizes an open-loop run. Latency quantiles are
+// measured from each request's scheduled start (coordinated-omission
+// free); Stages carries the per-stage breakdown from the tracer's
+// histograms when tracing was on.
+type OpenLoopResult struct {
+	OfferedRate float64        `json:"offered_rate_per_second"`
+	Requests    int            `json:"requests"`
+	Delivers    int            `json:"delivers"`
+	Pickups     int            `json:"pickups"`
+	Errors      int            `json:"errors"`
+	Elapsed     time.Duration  `json:"elapsed_ns"`
+	Throughput  float64        `json:"requests_per_second"`
+	Deliver     LatencySummary `json:"deliver_latency"`
+	Pickup      LatencySummary `json:"pickup_latency"`
+
+	Stages []trace.StageSummary `json:"stages,omitempty"`
+}
+
+// OpenLoop drives the mixed workload at a fixed offered rate and
+// returns coordinated-omission-free latencies. Worker w owns schedule
+// slots w, w+Workers, w+2·Workers, …; a worker that falls behind keeps
+// its grid, so the wait shows up as latency instead of silently
+// thinning the load.
+func OpenLoop(b Backend, opts OpenLoopOptions) OpenLoopResult {
+	opts.fill()
+	carrier, _ := b.(SpanCarrier)
+	traced := opts.Tracer != nil && carrier != nil
+
+	var delivers, pickups, errs atomic.Int64
+	deliverLat := obs.NewHistogram(obs.DefLatencyBuckets)
+	pickupLat := obs.NewHistogram(obs.DefLatencyBuckets)
+
+	interval := time.Duration(float64(time.Second) * float64(opts.Workers) / opts.Rate)
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+			offset := time.Duration(float64(time.Second) * float64(w) / opts.Rate)
+			for sched := start.Add(offset); sched.Before(deadline); sched = sched.Add(interval) {
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				user := uint64(rng.Int63n(int64(opts.Users)))
+				if rng.Intn(2) == 0 {
+					msg := Compose(rng, opts.MessageBytes)
+					var root *trace.Span
+					if traced {
+						root = opts.Tracer.Start("deliver", "bench.deliver")
+						carrier.SetWorkerSpan(w, root)
+					}
+					err := b.Deliver(w, user, msg)
+					if traced {
+						carrier.SetWorkerSpan(w, nil)
+						root.End()
+					}
+					// Latency from the scheduled start: queueing behind
+					// a backlog is the store's problem, not the clock's.
+					deliverLat.Observe(time.Since(sched).Seconds())
+					if err != nil {
+						errs.Add(1)
+					} else {
+						delivers.Add(1)
+					}
+				} else {
+					var root *trace.Span
+					if traced {
+						root = opts.Tracer.Start("pickup", "bench.pickup")
+						carrier.SetWorkerSpan(w, root)
+					}
+					msgs, err := b.Pickup(w, user)
+					if err == nil {
+						for _, m := range msgs {
+							if !Verify(m.Contents) {
+								errs.Add(1)
+							}
+							if err := b.Delete(w, user, m.ID); err != nil {
+								errs.Add(1)
+							}
+						}
+						b.Unlock(w, user)
+					}
+					if traced {
+						carrier.SetWorkerSpan(w, nil)
+						root.End()
+					}
+					pickupLat.Observe(time.Since(sched).Seconds())
+					if err != nil {
+						errs.Add(1)
+					} else {
+						pickups.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := OpenLoopResult{
+		OfferedRate: opts.Rate,
+		Requests:    int(delivers.Load() + pickups.Load() + errs.Load()),
+		Delivers:    int(delivers.Load()),
+		Pickups:     int(pickups.Load()),
+		Errors:      int(errs.Load()),
+		Elapsed:     elapsed,
+		Throughput:  float64(delivers.Load()+pickups.Load()) / elapsed.Seconds(),
+		Deliver:     summarize(deliverLat),
+		Pickup:      summarize(pickupLat),
+	}
+	if traced && opts.Tracer.Stages != nil {
+		res.Stages = opts.Tracer.Stages.Summaries()
+	}
+	return res
+}

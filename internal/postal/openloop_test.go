@@ -1,0 +1,104 @@
+package postal
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// TestOpenLoopTraced drives the open-loop runner against the verified
+// library with tracing on and checks the coordinated-omission-free
+// accounting: every scheduled request is issued, both ops record
+// latencies, and the per-stage breakdown from span durations is
+// populated with the library's stage names.
+func TestOpenLoopTraced(t *testing.T) {
+	b, err := NewMailboatBackend(t.TempDir(), 10, 2, 1, true /* noFsync: speed */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	reg := obs.NewRegistry()
+	tracer := trace.New(0, 0)
+	tracer.Stages = trace.NewStageMetrics(reg)
+	res := OpenLoop(b, OpenLoopOptions{
+		Workers:  2,
+		Users:    10,
+		Rate:     400,
+		Duration: 500 * time.Millisecond,
+		Seed:     1,
+		Tracer:   tracer,
+	})
+
+	if res.Requests == 0 || res.Delivers == 0 || res.Pickups == 0 {
+		t.Fatalf("open loop issued nothing: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Errorf("unexpected errors: %+v", res)
+	}
+	// The schedule is fixed: with rate R over duration D the runner
+	// must issue close to R·D requests no matter how slow the store is.
+	want := int(400 * 0.5)
+	if res.Requests < want*8/10 || res.Requests > want*12/10 {
+		t.Errorf("issued %d requests, want about %d (open loop must hold its schedule)", res.Requests, want)
+	}
+	if res.Deliver.Count == 0 || res.Deliver.P99 <= 0 {
+		t.Errorf("deliver latency summary empty: %+v", res.Deliver)
+	}
+	stages := map[string]bool{}
+	for _, s := range res.Stages {
+		stages[s.Stage] = true
+	}
+	for _, want := range []string{"mailboat.deliver", "spool.write", "publish.link", "mailboat.pickup", "mailbox.list"} {
+		if !stages[want] {
+			t.Errorf("per-stage breakdown missing %q (have %v)", want, stages)
+		}
+	}
+}
+
+// TestOpenLoopUntraced: without a tracer the runner still measures,
+// and no stage breakdown appears.
+func TestOpenLoopUntraced(t *testing.T) {
+	b, err := NewMailboatBackend(t.TempDir(), 4, 1, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	res := OpenLoop(b, OpenLoopOptions{Workers: 1, Users: 4, Rate: 200, Duration: 200 * time.Millisecond, Seed: 2})
+	if res.Requests == 0 {
+		t.Fatalf("open loop issued nothing: %+v", res)
+	}
+	if len(res.Stages) != 0 {
+		t.Errorf("untraced run has stage data: %+v", res.Stages)
+	}
+}
+
+func TestEvaluateGates(t *testing.T) {
+	res := OpenLoopResult{
+		Deliver: LatencySummary{Count: 10, P50: 0.001, P90: 0.002, P99: 0.004},
+		Pickup:  LatencySummary{Count: 10, P50: 0.002, P90: 0.004, P99: 0.300},
+	}
+
+	results, pass := EvaluateGates(DefaultGates(), res)
+	if len(results) != 2 {
+		t.Fatalf("want 2 gate results, got %d", len(results))
+	}
+	if !results[0].Pass {
+		t.Errorf("deliver gate should pass: %+v", results[0])
+	}
+	if results[1].Pass || pass {
+		t.Errorf("pickup p99 0.3s must fail its 0.2s gate: %+v (all=%v)", results[1], pass)
+	}
+
+	// A misdeclared gate fails loudly instead of silently passing.
+	bad, all := EvaluateGates([]Gate{{Op: "frobnicate", Quantile: 0.99, MaxSeconds: 1}}, res)
+	if all || bad[0].Pass || bad[0].ObservedSeconds != -1 {
+		t.Errorf("unknown op gate must fail: %+v", bad[0])
+	}
+	badQ, allQ := EvaluateGates([]Gate{{Op: "deliver", Quantile: 0.42, MaxSeconds: 1}}, res)
+	if allQ || badQ[0].Pass {
+		t.Errorf("unknown quantile gate must fail: %+v", badQ[0])
+	}
+}

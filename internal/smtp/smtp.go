@@ -23,6 +23,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Deliverer accepts completed messages; the Mailboat adapter in
@@ -31,6 +33,14 @@ import (
 // reported to the client as transient (451), so the sender retries.
 type Deliverer interface {
 	Deliver(user uint64, msg []byte) error
+}
+
+// TracedDeliverer is the optional tracing extension of Deliverer: the
+// server hands the verb's root span down so the store can hang stage
+// spans off it. Backends that don't implement it are simply served
+// untraced.
+type TracedDeliverer interface {
+	DeliverTraced(sp *trace.Span, user uint64, msg []byte) error
 }
 
 // ParseRecipient extracts the mailbox index from an address like
@@ -69,6 +79,10 @@ type Server struct {
 	// Metrics, when non-nil, records connection and command metrics
 	// (see NewMetrics). Set it before Serve.
 	Metrics *Metrics
+	// Tracer, when non-nil, opens a root span per DATA command (op
+	// "deliver") and threads it through a TracedDeliverer backend, so a
+	// single delivery renders as a nested timeline. Set it before Serve.
+	Tracer *trace.Tracer
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -285,12 +299,26 @@ func (s *Server) command(st *session, verb, arg string, readLine func() (string,
 		if err != nil {
 			return true
 		}
+		// The root span opens after the body is read: it times the
+		// store's work, not the client's typing speed.
+		root := s.Tracer.Start("deliver", "smtp.DATA")
+		td, traced := s.backend.(TracedDeliverer)
 		failed := false
 		for _, user := range st.rcpts {
-			if err := s.backend.Deliver(user, body); err != nil {
+			var err error
+			if root != nil && traced {
+				err = td.DeliverTraced(root, user, body)
+			} else {
+				err = s.backend.Deliver(user, body)
+			}
+			if err != nil {
 				failed = true
 			}
 		}
+		if failed {
+			root.Note("delivery failed transiently (451)")
+		}
+		root.End()
 		*st = session{}
 		if failed {
 			// Transient store failure: degrade gracefully with 451
