@@ -15,12 +15,14 @@ import (
 )
 
 // benchSchema versions BENCH_mailboat.json so tooling can detect shape
-// changes instead of guessing.
-const benchSchema = "mailboat-bench/v1"
+// changes instead of guessing. v2 added the optional "partition" field
+// (the replication partition drill's results); v1 readers that ignore
+// unknown fields still parse every run.
+const benchSchema = "mailboat-bench/v2"
 
 // benchRun is one dated entry in BENCH_mailboat.json. A sweep run
 // carries Sweep; a trace-profile run carries OpenLoop + SLO; a -json
-// run carries both.
+// run carries both; a -partition run carries Partition.
 type benchRun struct {
 	Date       string                 `json:"date"`
 	Revision   string                 `json:"revision"`
@@ -32,6 +34,7 @@ type benchRun struct {
 	OpenLoop   *postal.OpenLoopResult `json:"openloop,omitempty"`
 	SLO        []postal.GateResult    `json:"slo,omitempty"`
 	SLOPass    *bool                  `json:"slo_pass,omitempty"`
+	Partition  *partitionResult       `json:"partition,omitempty"`
 }
 
 // benchFile is the whole append-style file: one JSON object whose runs

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	mailbench [-cores 1,2,4,8] [-requests N] [-users N] [-servers a,b,c]
-//	          [-dir path] [-json path] [-corrupt] [-no-fsync]
+//	          [-dir path] [-json path] [-corrupt] [-partition] [-no-fsync]
 //	          [-trace] [-rate N] [-profile-duration d] [-bench path] [-slo]
 //
 // By default the mailboat backends run with the full checked sync
@@ -33,6 +33,14 @@
 // dated entry (with the build's git revision) to the -bench file,
 // BENCH_mailboat.json by default, so a working tree accretes a
 // performance history; -slo makes a failing gate exit nonzero.
+//
+// -partition runs the replication drill instead of the sweep: a
+// primary/backup pair over loopback TCP takes a concurrent delivery
+// workload while the replication link is cut and healed mid-load. The
+// run fails unless every acknowledged delivery is still readable, the
+// pair reports in-sync after the heal (catch-up resync), and the two
+// stores end byte-identical; the result is appended to -bench under
+// the schema-v2 "partition" field.
 //
 // -corrupt runs the integrity drill instead of the sweep: a
 // checksummed, mirrored store takes a concurrent deliver/pickup
@@ -73,6 +81,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file")
 	corrupt := flag.Bool("corrupt", false, "run the silent-corruption heal drill instead of the throughput sweep")
+	partition := flag.Bool("partition", false, "run the replication partition drill instead of the throughput sweep (two-node pair, link cut and healed mid-load)")
 	noFsync := flag.Bool("no-fsync", false, "run the mailboat backends without durability barriers (acked mail may be lost on an OS crash; contract weakens to prefix durability)")
 	traceMode := flag.Bool("trace", false, "run only the traced open-loop profile (per-stage latency breakdown + SLO gates) and append it to -bench")
 	rate := flag.Float64("rate", 1000, "offered load for the open-loop trace profile, requests/second")
@@ -86,6 +95,29 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mailbench: corrupt drill: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *partition {
+		pr, err := partitionDrill(*dir, *users, *requests, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mailbench: partition drill: %v\n", err)
+			os.Exit(1)
+		}
+		run := benchRun{
+			Date:       time.Now().UTC().Format(time.RFC3339),
+			Revision:   gitRevision(),
+			Go:         runtime.Version(),
+			Store:      storeDesc(*dir),
+			Durability: durabilityDesc(false), // the drill always runs the full sync discipline
+			Users:      *users,
+			Partition:  &pr,
+		}
+		if err := appendBenchRun(*benchPath, run); err != nil {
+			fmt.Fprintf(os.Stderr, "mailbench: writing %s: %v\n", *benchPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench history appended to %s\n", *benchPath)
 		return
 	}
 

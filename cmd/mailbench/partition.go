@@ -1,0 +1,240 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mailboat"
+	"repro/internal/mailboatd"
+	"repro/internal/obs"
+)
+
+// partitionResult is the machine-readable outcome of the partition
+// drill, recorded under "partition" in BENCH_mailboat.json (the field
+// whose addition bumped the schema to mailboat-bench/v2).
+type partitionResult struct {
+	Workers    int     `json:"workers"`
+	Acked      int     `json:"acked"`
+	Rejected   int     `json:"rejected_transient"`
+	ElapsedSec float64 `json:"elapsed_seconds"`
+	Throughput float64 `json:"req_per_sec"`
+	ResyncSec  float64 `json:"resync_seconds"`
+	ZeroLoss   bool    `json:"zero_acked_loss"`
+	Identical  bool    `json:"stores_identical"`
+}
+
+// partitionDrill boots a primary/backup replicated pair over loopback
+// TCP, runs a concurrent delivery workload on the primary, cuts the
+// replication link mid-load (deliveries fail transiently — clients
+// are told, never lied to), heals it, waits for the pair to report
+// in-sync, and audits the robustness contract: every acknowledged
+// delivery readable on the primary, and the two stores' user
+// directories byte-identical.
+func partitionDrill(base string, users uint64, requests int, seed int64) (partitionResult, error) {
+	var res partitionResult
+	proot, err := os.MkdirTemp(base, "mailbench-repl-p-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(proot)
+	broot, err := os.MkdirTemp(base, "mailbench-repl-b-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(broot)
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	baddr := lis.Addr().String()
+	lis.Close()
+
+	backup, err := mailboatd.NewWithOptions(broot, mailboatd.Options{
+		Users:         users,
+		Seed:          seed + 1,
+		SyncOnDeliver: true,
+		SyncDirs:      true,
+		Replica:       &mailboatd.ReplicaOptions{ListenAddr: baddr},
+	})
+	if err != nil {
+		return res, err
+	}
+	defer backup.Close()
+	primary, err := mailboatd.NewWithOptions(proot, mailboatd.Options{
+		Users:         users,
+		Seed:          seed,
+		SyncOnDeliver: true,
+		SyncDirs:      true,
+		Metrics:       obs.NewRegistry(),
+		Replica: &mailboatd.ReplicaOptions{
+			Primary:      true,
+			PeerAddr:     baddr,
+			CallTimeout:  2 * time.Second,
+			PingEvery:    25 * time.Millisecond,
+			RetryBackoff: time.Millisecond,
+		},
+	})
+	if err != nil {
+		return res, err
+	}
+	defer primary.Close()
+
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	perWorker := requests / workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	var mu sync.Mutex
+	acked := map[string]bool{}
+	var rejected atomic.Int64
+	var next atomic.Uint64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := next.Add(1)
+				body := fmt.Sprintf("repl-%d", n)
+				if err := primary.Deliver(n%users, []byte(body)); err == nil {
+					mu.Lock()
+					acked[body] = true
+					mu.Unlock()
+				} else {
+					rejected.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Mid-load: cut the replication link, hold it open, heal it. While
+	// cut, replication legs are dropped before the wire and deliveries
+	// answer transiently — acked mail never depends on a frame that
+	// might not have arrived.
+	time.Sleep(time.Millisecond)
+	primary.ReplTransport().Partition(true)
+	time.Sleep(50 * time.Millisecond)
+	primary.ReplTransport().Partition(false)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Wait for in-sync: probes ride the normal replicated path, and the
+	// first one after the heal trips any pending catch-up resync.
+	resyncStart := time.Now()
+	deadline := resyncStart.Add(30 * time.Second)
+	for {
+		body := fmt.Sprintf("repl-probe-%d", time.Now().UnixNano())
+		if err := primary.Deliver(0, []byte(body)); err == nil {
+			mu.Lock()
+			acked[body] = true
+			mu.Unlock()
+		}
+		pst, bst := primary.ReplNode().Status(), backup.ReplNode().Status()
+		h := primary.ReplHealth()
+		if pst.Epoch == bst.Epoch && !pst.Resyncing && !bst.Resyncing && h.PeerReachable && !h.Degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("pair never resynced: primary %+v backup %+v", pst, bst)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resyncDur := time.Since(resyncStart)
+
+	// Audit 1: zero acked loss on the primary.
+	present := map[string]bool{}
+	for u := uint64(0); u < users; u++ {
+		msgs, err := primary.Pickup(u)
+		if err != nil {
+			return res, err
+		}
+		for _, m := range msgs {
+			present[m.Contents] = true
+		}
+		primary.Unlock(u)
+	}
+	lost := 0
+	for body := range acked {
+		if !present[body] {
+			lost++
+		}
+	}
+
+	// Audit 2: byte-identical user directories once both nodes quiesce.
+	primary.Close()
+	backup.Close()
+	identical := true
+	for u := uint64(0); u < users && identical; u++ {
+		same, err := dirsEqual(filepath.Join(proot, mailboat.UserDir(u)), filepath.Join(broot, mailboat.UserDir(u)))
+		if err != nil {
+			return res, err
+		}
+		identical = same
+	}
+
+	res = partitionResult{
+		Workers:    workers,
+		Acked:      len(acked),
+		Rejected:   int(rejected.Load()),
+		ElapsedSec: elapsed.Seconds(),
+		Throughput: float64(workers*perWorker) / elapsed.Seconds(),
+		ResyncSec:  resyncDur.Seconds(),
+		ZeroLoss:   lost == 0,
+		Identical:  identical,
+	}
+	fmt.Printf("partition drill: %d workers, %d acked, %d transient rejections in %v (%.0f req/s)\n",
+		workers, res.Acked, res.Rejected, elapsed.Round(time.Millisecond), res.Throughput)
+	fmt.Printf("partition drill: link cut 50ms mid-load; pair in sync %v after heal\n",
+		resyncDur.Round(time.Millisecond))
+	if lost > 0 {
+		return res, fmt.Errorf("%d acknowledged deliveries lost", lost)
+	}
+	if !identical {
+		return res, fmt.Errorf("stores diverged after resync")
+	}
+	fmt.Println("partition drill: zero acked-mail loss, stores byte-identical after resync")
+	return res, nil
+}
+
+// dirsEqual compares two directories file for file.
+func dirsEqual(a, b string) (bool, error) {
+	ea, err := os.ReadDir(a)
+	if err != nil {
+		return false, err
+	}
+	eb, err := os.ReadDir(b)
+	if err != nil {
+		return false, err
+	}
+	if len(ea) != len(eb) {
+		return false, nil
+	}
+	for _, e := range ea {
+		ca, err := os.ReadFile(filepath.Join(a, e.Name()))
+		if err != nil {
+			return false, err
+		}
+		cb, err := os.ReadFile(filepath.Join(b, e.Name()))
+		if err != nil {
+			if os.IsNotExist(err) {
+				return false, nil
+			}
+			return false, err
+		}
+		if string(ca) != string(cb) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -10,6 +10,7 @@
 //	         [-admin addr] [-max-conns N] [-timeout d] [-grace d] [-no-fsync]
 //	         [-retries N] [-backoff d] [-checksum] [-scrub-interval d]
 //	         [-fault-seed N] [-fault-rate N] [-fault-max N]
+//	         [-replica addr | -backup-of addr] [-repl-listen addr]
 //
 // Deliver mail to userN@any-domain over SMTP; read it back by
 // authenticating as userN over POP3 (any password).
@@ -47,6 +48,23 @@
 // heal-scrub at that period (0 = off); POST /scrub on the admin
 // listener runs one on demand, and /healthz answers 503 while the last
 // scrub reports unhealed damage.
+//
+// -replica and -backup-of run a primary/backup replicated pair — the
+// same protocol the mb/repl checker scenarios verify, over a
+// length-prefixed TCP transport. The primary (-replica pointing at the
+// backup's -repl-listen address) serves clients and replicates every
+// delivery and delete to the backup before acknowledging it; the
+// backup (-backup-of, plus a required -repl-listen) serves only the
+// replication protocol and the admin surface — no SMTP or POP3. A
+// restarted backup is re-admitted automatically: the primary's
+// seq-aware liveness probe notices the listener, sees the backup's
+// rebooted apply cursor trailing its sequence space, and runs the
+// catch-up resync within one ping period — even on an idle primary. /healthz on either node reports role, epoch, and
+// last-resync time, answering 503 while the pair is degraded.
+// Promotion of a backup is an operator action (restart it with
+// -replica); only promote a backup whose /healthz shows it in sync.
+// Replication is mutually exclusive with -mirror, -checksum, and
+// -fault-rate.
 //
 // The -fault-* flags run the server in fault-drill mode: a
 // deterministic gfs.Faulty layer injects transient file-system faults
@@ -121,10 +139,21 @@ func main() {
 	backoff := flag.Duration("backoff", 10*time.Millisecond, "base backoff between delivery retries")
 	checksum := flag.Bool("checksum", false, "store files in checksummed envelopes; detect (and on a mirror, heal) silent corruption")
 	scrubEvery := flag.Duration("scrub-interval", 0, "background integrity heal-scrub period (0 = off; requires -checksum)")
+	replicaAddr := flag.String("replica", "", "run as replication PRIMARY: the backup's -repl-listen address to replicate to")
+	backupOf := flag.String("backup-of", "", "run as replication BACKUP of the primary at this address (requires -repl-listen; no SMTP/POP3)")
+	replListen := flag.String("repl-listen", "", "replication protocol listen address (required with -backup-of)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault-drill schedule seed")
 	faultRate := flag.Uint64("fault-rate", 0, "inject a fault into 1 in N file-system calls (0 = drills off)")
 	faultMax := flag.Uint64("fault-max", 0, "cap on total injected faults (0 = unlimited)")
 	flag.Parse()
+
+	if *replicaAddr != "" && *backupOf != "" {
+		log.Fatal("mailboat: -replica and -backup-of are mutually exclusive (a node is primary or backup, not both)")
+	}
+	if *backupOf != "" && *replListen == "" {
+		log.Fatal("mailboat: -backup-of requires -repl-listen (the backup must serve the replication protocol)")
+	}
+	backup := *backupOf != ""
 
 	// Durability: the full sync discipline is the default; -no-fsync
 	// (or the legacy -sync=false) opts into the barrier-free fast mode,
@@ -162,6 +191,18 @@ func main() {
 			MaxFaults: *faultMax,
 		}
 	}
+	if *replicaAddr != "" {
+		opts.Replica = &mailboatd.ReplicaOptions{
+			Primary:    true,
+			PeerAddr:   *replicaAddr,
+			ListenAddr: *replListen,
+		}
+	} else if backup {
+		opts.Replica = &mailboatd.ReplicaOptions{
+			PeerAddr:   *backupOf,
+			ListenAddr: *replListen,
+		}
+	}
 	adapter, err := mailboatd.NewWithOptions(*dir, opts)
 	if err != nil {
 		log.Fatalf("mailboat: %v", err)
@@ -180,6 +221,12 @@ func main() {
 	if *checksum {
 		log.Printf("mailboat: CHECKSUMMED store (scrub interval %v)", *scrubEvery)
 	}
+	if *replicaAddr != "" {
+		log.Printf("mailboat: PRIMARY replicating to backup at %s", *replicaAddr)
+	}
+	if backup {
+		log.Printf("mailboat: BACKUP of %s — replication on %s, no client listeners", *backupOf, *replListen)
+	}
 
 	harden := func(read, write *time.Duration, conns *int) {
 		*read = *timeout
@@ -187,24 +234,32 @@ func main() {
 		*conns = *maxConns
 	}
 	errs := make(chan error, 3)
-	ss := smtp.NewServer(adapter, *users)
-	ss.Metrics = smtp.NewMetrics(reg)
-	ss.Tracer = tracer
-	harden(&ss.ReadTimeout, &ss.WriteTimeout, &ss.MaxConns)
-	go func() { errs <- ss.ListenAndServe(*smtpAddr) }()
-	log.Printf("mailboat: SMTP on %s", *smtpAddr)
+	// A backup serves only the replication protocol (plus admin): mail
+	// clients talk to the primary, and a half-open POP3 path on the
+	// backup would read a store that is legitimately behind mid-resync.
+	var ss *smtp.Server
+	var ps *pop3.Server
+	if !backup {
+		ss = smtp.NewServer(adapter, *users)
+		ss.Metrics = smtp.NewMetrics(reg)
+		ss.Tracer = tracer
+		harden(&ss.ReadTimeout, &ss.WriteTimeout, &ss.MaxConns)
+		go func() { errs <- ss.ListenAndServe(*smtpAddr) }()
+		log.Printf("mailboat: SMTP on %s", *smtpAddr)
 
-	ps := pop3.NewServer(adapter, *users)
-	ps.Metrics = pop3.NewMetrics(reg)
-	ps.Tracer = tracer
-	harden(&ps.ReadTimeout, &ps.WriteTimeout, &ps.MaxConns)
-	go func() { errs <- ps.ListenAndServe(*popAddr) }()
-	log.Printf("mailboat: POP3 on %s", *popAddr)
+		ps = pop3.NewServer(adapter, *users)
+		ps.Metrics = pop3.NewMetrics(reg)
+		ps.Tracer = tracer
+		harden(&ps.ReadTimeout, &ps.WriteTimeout, &ps.MaxConns)
+		go func() { errs <- ps.ListenAndServe(*popAddr) }()
+		log.Printf("mailboat: POP3 on %s", *popAddr)
+	}
 
 	if *adminAddr != "" {
-		// Healthy = both protocol listeners are up.
+		// Healthy = both protocol listeners are up (a backup has none;
+		// its health is the replication snapshot's).
 		healthz := func() error {
-			if ss.Addr() == nil || ps.Addr() == nil {
+			if !backup && (ss.Addr() == nil || ps.Addr() == nil) {
 				return errors.New("protocol listener not up")
 			}
 			return nil
@@ -214,7 +269,7 @@ func main() {
 		// non-mirrored stores keeps the 200 "ok" contract). The adapter
 		// is the scrub runner; on a store without an integrity layer
 		// POST /scrub answers 409 and /healthz is unaffected.
-		as := &http.Server{Addr: *adminAddr, Handler: admin.Handler(reg, healthz, adapter.MirrorStatus, adapter, tracer)}
+		as := &http.Server{Addr: *adminAddr, Handler: admin.Handler(reg, healthz, adapter.MirrorStatus, adapter, tracer, adapter.ReplHealth)}
 		go func() { errs <- as.ListenAndServe() }()
 		defer as.Close()
 		log.Printf("mailboat: admin HTTP on %s (/metrics, /healthz, /version, /traces, /debug/pprof)", *adminAddr)
@@ -232,11 +287,15 @@ func main() {
 		log.Printf("mailboat: %v, draining (up to %v)", sig, *grace)
 		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
-		if err := ss.Shutdown(ctx); err != nil {
-			log.Printf("mailboat: smtp shutdown: %v", err)
+		if ss != nil {
+			if err := ss.Shutdown(ctx); err != nil {
+				log.Printf("mailboat: smtp shutdown: %v", err)
+			}
 		}
-		if err := ps.Shutdown(ctx); err != nil {
-			log.Printf("mailboat: pop3 shutdown: %v", err)
+		if ps != nil {
+			if err := ps.Shutdown(ctx); err != nil {
+				log.Printf("mailboat: pop3 shutdown: %v", err)
+			}
 		}
 		if fl := adapter.FaultLog(); fl != nil {
 			dumpFaultLog(fl)

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/gfs"
 	"repro/internal/obs"
+	"repro/internal/repl"
 	"repro/internal/trace"
 )
 
@@ -29,10 +30,13 @@ type ScrubRunner interface {
 
 // healthStatus is the JSON shape a healthy /healthz serves; including
 // the build version lets one probe answer "is it up" and "what is
-// deployed" at once.
+// deployed" at once. On a replicated node the replication snapshot
+// rides along (role, epoch, last-resync time), so a healthy 200 still
+// tells the operator which half of the pair they are probing.
 type healthStatus struct {
-	Status  string  `json:"status"`
-	Version Version `json:"version"`
+	Status      string       `json:"status"`
+	Version     Version      `json:"version"`
+	Replication *repl.Health `json:"replication,omitempty"`
 }
 
 // scrubStatus is the JSON shape /scrub serves.
@@ -64,7 +68,15 @@ type scrubStatus struct {
 // recent request timelines (?op= filters, ?n= sizes the batch,
 // ?format=json for tooling) and GET /traces/slow the slowest retained
 // trace per operation kind. Without a tracer both answer 404.
-func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorStatus, scrub ScrubRunner, tracer *trace.Tracer) http.Handler {
+//
+// replica, when non-nil, reports the node's replication health
+// (mailboatd.Adapter.ReplHealth fits the signature). A healthy (or
+// absent: nil return) snapshot keeps the 200 contract and is included
+// in the healthy JSON — role, current epoch, last-resync time — so
+// degraded states are observable before they page; while the pair is
+// degraded (backup unreachable, fenced dead, or a catch-up resync in
+// flight), /healthz answers 503 with the snapshot as JSON.
+func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorStatus, scrub ScrubRunner, tracer *trace.Tracer, replica func() *repl.Health) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -98,8 +110,18 @@ func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorS
 				return
 			}
 		}
+		var rst *repl.Health
+		if replica != nil {
+			rst = replica()
+			if rst != nil && rst.Degraded {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				json.NewEncoder(w).Encode(rst)
+				return
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(healthStatus{Status: "ok", Version: version})
+		json.NewEncoder(w).Encode(healthStatus{Status: "ok", Version: version, Replication: rst})
 	})
 	if tracer != nil {
 		mux.HandleFunc("/traces", tracesRecent(tracer))

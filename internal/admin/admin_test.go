@@ -54,7 +54,7 @@ func TestAdminEndToEnd(t *testing.T) {
 	go ps.Serve(pl)
 	t.Cleanup(func() { ps.Close() })
 
-	srv := httptest.NewServer(admin.Handler(reg, func() error { return nil }, adapter.MirrorStatus, adapter, nil))
+	srv := httptest.NewServer(admin.Handler(reg, func() error { return nil }, adapter.MirrorStatus, adapter, nil, nil))
 	t.Cleanup(srv.Close)
 
 	// Drive one delivery and one pickup over the wire.
@@ -125,7 +125,7 @@ func TestAdminMirrorDegradedHealthz(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil))
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil, nil))
 	t.Cleanup(srv.Close)
 
 	checkHealthy(t, get(t, srv.URL+"/healthz", http.StatusOK))
@@ -176,7 +176,7 @@ func TestAdminMirrorDegradedHealthz(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(adapter2.Close)
-	srv2 := httptest.NewServer(admin.Handler(reg2, nil, adapter2.MirrorStatus, adapter2, nil))
+	srv2 := httptest.NewServer(admin.Handler(reg2, nil, adapter2.MirrorStatus, adapter2, nil, nil))
 	t.Cleanup(srv2.Close)
 	checkHealthy(t, get(t, srv2.URL+"/healthz", http.StatusOK))
 	metrics2 := get(t, srv2.URL+"/metrics", http.StatusOK)
@@ -205,7 +205,7 @@ func TestAdminScrubEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(adapter.Close)
-	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil))
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil, nil))
 	t.Cleanup(srv.Close)
 
 	if err := adapter.Deliver(0, []byte("scrub me")); err != nil {
@@ -284,7 +284,7 @@ func TestScrubWithoutIntegrityLayer(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(adapter.Close)
-	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil))
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil, nil))
 	t.Cleanup(srv.Close)
 	post(t, srv.URL+"/scrub?heal=1", http.StatusConflict)
 	checkHealthy(t, get(t, srv.URL+"/healthz", http.StatusOK))
@@ -293,7 +293,7 @@ func TestScrubWithoutIntegrityLayer(t *testing.T) {
 func TestHealthzFailure(t *testing.T) {
 	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), func() error {
 		return errors.New("listener down")
-	}, nil, nil, nil))
+	}, nil, nil, nil, nil))
 	defer srv.Close()
 	if body := get(t, srv.URL+"/healthz", http.StatusServiceUnavailable); !strings.Contains(body, "listener down") {
 		t.Errorf("/healthz body: %q", body)
@@ -301,7 +301,7 @@ func TestHealthzFailure(t *testing.T) {
 }
 
 func TestPprofIndex(t *testing.T) {
-	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil, nil, nil, nil))
+	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil, nil, nil, nil, nil))
 	defer srv.Close()
 	if body := get(t, srv.URL+"/debug/pprof/", http.StatusOK); !strings.Contains(body, "goroutine") {
 		t.Errorf("pprof index: %q", body)

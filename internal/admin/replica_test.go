@@ -1,0 +1,112 @@
+package admin_test
+
+import (
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/admin"
+	"repro/internal/mailboatd"
+	"repro/internal/obs"
+)
+
+// TestAdminReplicaHealth boots a real replicated pair over loopback
+// TCP and drives the admin surface end to end: a healthy /healthz
+// answers 200 with the replication snapshot (role, epoch, last-resync
+// time), /metrics serves the repl_* families, and opening the
+// partition gate degrades /healthz to a 503 carrying the snapshot.
+func TestAdminReplicaHealth(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baddr := lis.Addr().String()
+	lis.Close()
+
+	backup, err := mailboatd.NewWithOptions(t.TempDir(), mailboatd.Options{
+		Users:   2,
+		Seed:    2,
+		Replica: &mailboatd.ReplicaOptions{ListenAddr: baddr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(backup.Close)
+
+	reg := obs.NewRegistry()
+	primary, err := mailboatd.NewWithOptions(t.TempDir(), mailboatd.Options{
+		Users:   2,
+		Seed:    1,
+		Metrics: reg,
+		Replica: &mailboatd.ReplicaOptions{
+			Primary:      true,
+			PeerAddr:     baddr,
+			CallTimeout:  time.Second,
+			RetryBackoff: time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(primary.Close)
+
+	if err := primary.Deliver(0, []byte("replicated mail")); err != nil {
+		t.Fatalf("replicated Deliver: %v", err)
+	}
+
+	srv := httptest.NewServer(admin.Handler(reg, nil, primary.MirrorStatus, primary, nil, primary.ReplHealth))
+	t.Cleanup(srv.Close)
+
+	// Healthy: 200 with the replication snapshot riding along.
+	var health struct {
+		Status      string `json:"status"`
+		Replication *struct {
+			Role           string `json:"role"`
+			Epoch          uint64 `json:"epoch"`
+			LastResyncUnix int64  `json:"last_resync_unix"`
+			PeerReachable  bool   `json:"peer_reachable"`
+			Degraded       bool   `json:"degraded"`
+		} `json:"replication"`
+	}
+	body := get(t, srv.URL+"/healthz", 200)
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("healthz JSON: %v\n%s", err, body)
+	}
+	if health.Status != "ok" || health.Replication == nil {
+		t.Fatalf("healthy /healthz missing replication snapshot: %s", body)
+	}
+	if health.Replication.Role != "primary" || !health.Replication.PeerReachable || health.Replication.Degraded {
+		t.Fatalf("unexpected replication snapshot: %s", body)
+	}
+
+	// The repl_* families are live on /metrics.
+	metrics := get(t, srv.URL+"/metrics", 200)
+	for _, want := range []string{"repl_epoch", "repl_role_primary 1", "repl_replicate_total"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Partition the replication link: the pair can no longer tolerate
+	// losing the primary, so /healthz degrades to 503 with the snapshot.
+	primary.ReplTransport().Partition(true)
+	body = get(t, srv.URL+"/healthz", 503)
+	var degraded struct {
+		Role          string `json:"role"`
+		PeerReachable bool   `json:"peer_reachable"`
+		Degraded      bool   `json:"degraded"`
+	}
+	if err := json.Unmarshal([]byte(body), &degraded); err != nil {
+		t.Fatalf("degraded /healthz JSON: %v\n%s", err, body)
+	}
+	if !degraded.Degraded || degraded.PeerReachable || degraded.Role != "primary" {
+		t.Fatalf("degraded /healthz snapshot: %s", body)
+	}
+
+	// Heal: back to 200.
+	primary.ReplTransport().Partition(false)
+	get(t, srv.URL+"/healthz", 200)
+}

@@ -79,6 +79,21 @@ func (h *Harness) Op(op spec.Op, impl func() spec.Ret) spec.Ret {
 	return ret
 }
 
+// OpMaybe records op's invocation and runs impl; when impl reports the
+// client never got a response (ok=false — e.g. a replicated service
+// whose every node is down), no return is recorded and the operation
+// stays pending in the history. The checker then treats it exactly as
+// an op cut off by a crash: it may have taken effect or not, and no
+// response value constrains the spec.
+func (h *Harness) OpMaybe(op spec.Op, impl func() (spec.Ret, bool)) (spec.Ret, bool) {
+	id := h.rec.Invoke(op)
+	ret, ok := impl()
+	if ok {
+		h.rec.Return(id, ret)
+	}
+	return ret, ok
+}
+
 // History exposes the recorded history (for custom scenario checks).
 func (h *Harness) History() history.History { return h.rec.History() }
 

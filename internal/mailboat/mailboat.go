@@ -309,8 +309,13 @@ func (mb *Mailboat) publishLink(t gfs.T, j *core.JTok, user uint64, sname string
 			if mb.cfg.SyncDirs {
 				// The link is visible but not yet durable: barrier the
 				// mailbox directory before acking, so a crash after the
-				// true return cannot take the message back.
-				mb.syncDirBarrier(t, UserDir(user))
+				// true return cannot take the message back. A store that
+				// fail-stopped under the barrier can never ack: report
+				// failure (the node is dead; no client hears from it).
+				if !mb.syncDirBarrier(t, UserDir(user)) {
+					mb.sys.Delete(t, SpoolDir, sname)
+					return false
+				}
 			}
 			// The spool entry is no longer needed.
 			mb.sys.Delete(t, SpoolDir, sname)
@@ -327,14 +332,24 @@ func (mb *Mailboat) publishLink(t gfs.T, j *core.JTok, user uint64, sname string
 // (directory metadata goes through the journal; there are no fsyncgate
 // dirty pages to lose), and after a publish that cannot be
 // un-published, retrying until success is the only answer that keeps
-// the ack ⟺ durable contract exact. Under the checker the fault
-// budget bounds consecutive failures, so the loop terminates; on a
+// the ack ⟺ durable contract exact. Under the checker transient fault
+// budgets bound consecutive failures, so the loop terminates; on a
 // real disk a persistently failing directory fsync means the device is
 // dying, and stalling the ack is what a mail server owes its clients.
-func (mb *Mailboat) syncDirBarrier(t gfs.T, dir string) {
+//
+// The one failure that IS permanent is a fail-stopped store (the
+// replicated scenarios latch a whole node dead): no barrier will ever
+// commit there, so the loop reports false and the caller must withhold
+// its ack. A dead node cannot answer clients anyway — the replication
+// layer's failover is what turns this refusal into availability.
+func (mb *Mailboat) syncDirBarrier(t gfs.T, dir string) bool {
 	sp := trace.Enter(t, "syncdir.barrier")
 	defer trace.Exit(t, sp)
 	for attempt := 1; !mb.sys.SyncDir(t, dir); attempt++ {
+		if mb.storeDead() {
+			trace.Event(t, "syncdir barrier abandoned: store fail-stopped")
+			return false
+		}
 		trace.Event(t, "syncdir retry: attempt %d", attempt)
 		capped := attempt
 		if capped > 8 {
@@ -342,6 +357,14 @@ func (mb *Mailboat) syncDirBarrier(t gfs.T, dir string) {
 		}
 		mb.backoff(t, capped)
 	}
+	return true
+}
+
+// storeDead reports whether the store has latched permanently dead
+// (gfs.Faulty after a fail-stop). Layers without the latch never are.
+func (mb *Mailboat) storeDead() bool {
+	fs, ok := mb.sys.(interface{ FailStopped() bool })
+	return ok && fs.FailStopped()
 }
 
 // Pickup lists and reads user's mailbox (Figure 10's Pickup),
@@ -424,8 +447,9 @@ func (mb *Mailboat) Delete(t gfs.T, j *core.JTok, user uint64, id string) bool {
 	if ok && mb.cfg.SyncDirs {
 		// The unlink may still be sitting in the directory cache; an
 		// un-barriered ack would let a crash resurrect the entry after
-		// the user was told it is gone.
-		mb.syncDirBarrier(t, UserDir(user))
+		// the user was told it is gone. On a fail-stopped store the
+		// barrier is unreachable forever: refuse the ack.
+		ok = mb.syncDirBarrier(t, UserDir(user))
 	}
 	if mb.g != nil {
 		if ok {

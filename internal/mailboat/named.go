@@ -1,0 +1,200 @@
+package mailboat
+
+import "repro/internal/gfs"
+
+// This file is the replication surface of the library: entry points
+// that store and remove messages under CALLER-CHOSEN mailbox names.
+// Deliver picks a fresh random name at the linearization point, which
+// is right for a single node but useless for a replica pair — both
+// nodes must hold the same message under the same name for the stores
+// to be byte-identical and for replayed/duplicated replication frames
+// to be recognizable as such. repl's primary picks the name once, and
+// both the primary's local apply and the backup's replicated apply go
+// through DeliverAs, which is idempotent on (name, contents).
+//
+// These entry points are ghost-free by design: the replicated checker
+// scenarios check black-box refinement through the Pair, so no proof
+// annotations run here (they would need a ghost context per node and a
+// distributed crash invariant — Grove's subject matter, not §8's).
+
+// ApplyStatus reports the outcome of a named apply (DeliverAs or
+// DeleteAs).
+type ApplyStatus int
+
+const (
+	// Applied: the operation took effect now.
+	Applied ApplyStatus = iota
+	// AlreadyApplied: the store was already in the requested state —
+	// for DeliverAs the name exists with identical contents, for
+	// DeleteAs the name is already absent. The idempotent-duplicate
+	// outcome replication retries rely on.
+	AlreadyApplied
+	// NameTaken: the name exists with DIFFERENT contents; the caller
+	// must pick another name. Never returned by DeleteAs.
+	NameTaken
+	// ApplyFailed: the store transiently refused; nothing changed (for
+	// DeliverAs the mailbox is untouched — spool debris is invisible at
+	// the spec level and swept by Recover).
+	ApplyFailed
+)
+
+// String names the status.
+func (s ApplyStatus) String() string {
+	switch s {
+	case Applied:
+		return "applied"
+	case AlreadyApplied:
+		return "already-applied"
+	case NameTaken:
+		return "name-taken"
+	case ApplyFailed:
+		return "apply-failed"
+	}
+	return "ApplyStatus(?)"
+}
+
+// Users returns the configured mailbox count — the replication layer
+// walks every box during a catch-up resync.
+func (mb *Mailboat) Users() uint64 { return mb.cfg.Users }
+
+// RandBound returns the name-allocation domain, so the replication
+// layer draws candidate names from the same space Deliver would.
+func (mb *Mailboat) RandBound() uint64 { return mb.cfg.RandBound }
+
+// readMsgFile reads user's message name in full; ok is false when the
+// name cannot be opened (absent — or every store op failing, which the
+// caller's next write will discover anyway). Short reads are retried
+// from the advanced offset exactly as in Pickup.
+func (mb *Mailboat) readMsgFile(t gfs.T, user uint64, name string) (contents []byte, ok bool) {
+	fd, ok := mb.sys.Open(t, UserDir(user), name)
+	if !ok {
+		return nil, false
+	}
+	for off := uint64(0); ; {
+		chunk := mb.sys.ReadAt(t, fd, off, gfs.ReadChunk)
+		if len(chunk) == 0 {
+			break
+		}
+		contents = append(contents, chunk...)
+		off += uint64(len(chunk))
+	}
+	mb.sys.Close(t, fd)
+	return contents, true
+}
+
+// ReadMessage reads user's message name in full; ok is false when the
+// name is absent (or unreadable). The replication layer pre-checks
+// candidate names with it before committing a fresh delivery to one.
+func (mb *Mailboat) ReadMessage(t gfs.T, user uint64, name string) ([]byte, bool) {
+	mb.checkUser(t, user)
+	return mb.readMsgFile(t, user, name)
+}
+
+// DeliverAs stores msg in user's mailbox under exactly the given name:
+// spool write, then an atomic link claiming name. One attempt — the
+// retry policy belongs to the replication layer, which knows whether a
+// failure is worth a backoff, a peer consultation, or giving up.
+func (mb *Mailboat) DeliverAs(t gfs.T, user uint64, name string, msg []byte) ApplyStatus {
+	mb.checkUser(t, user)
+	if mb.storeDead() {
+		// A dead store must not classify anything: its unreadable
+		// entries would be mistaken for absent ones.
+		return ApplyFailed
+	}
+	if existing, ok := mb.readMsgFile(t, user, name); ok {
+		if string(existing) == string(msg) {
+			return AlreadyApplied
+		}
+		return NameTaken
+	}
+	sname, ok := mb.spoolWrite(t, msg)
+	if !ok {
+		return ApplyFailed
+	}
+	if mb.sys.Link(t, SpoolDir, sname, UserDir(user), name) {
+		if mb.cfg.SyncDirs && !mb.syncDirBarrier(t, UserDir(user)) {
+			// Linked but the store died before the durability barrier:
+			// not applied. The retry (after failover or revival) resolves
+			// idempotently.
+			mb.sys.Delete(t, SpoolDir, sname)
+			return ApplyFailed
+		}
+		mb.sys.Delete(t, SpoolDir, sname)
+		return Applied
+	}
+	mb.sys.Delete(t, SpoolDir, sname)
+	// The link was refused: either the name appeared concurrently or
+	// the store faulted. Re-check so a lost race is classified as the
+	// duplicate/conflict it is rather than a transient failure.
+	if existing, ok := mb.readMsgFile(t, user, name); ok {
+		if string(existing) == string(msg) {
+			return AlreadyApplied
+		}
+		return NameTaken
+	}
+	return ApplyFailed
+}
+
+// DeleteAs removes user's message name without taking the per-user
+// lock — the replication layer serializes its own applies, and client
+// deletes reach it only while the session's pickup lock is held at the
+// Pair level. Absent names report AlreadyApplied (the idempotent
+// outcome a retried or duplicated delete frame needs); NameTaken is
+// never returned.
+func (mb *Mailboat) DeleteAs(t gfs.T, user uint64, name string) ApplyStatus {
+	mb.checkUser(t, user)
+	if mb.storeDead() {
+		// Unreadable must not be reported as absent/AlreadyApplied.
+		return ApplyFailed
+	}
+	if _, ok := mb.readMsgFile(t, user, name); !ok {
+		return AlreadyApplied
+	}
+	if !mb.sys.Delete(t, UserDir(user), name) {
+		return ApplyFailed
+	}
+	if mb.cfg.SyncDirs && !mb.syncDirBarrier(t, UserDir(user)) {
+		return ApplyFailed
+	}
+	return Applied
+}
+
+// ReadBox reads user's entire mailbox without taking the per-user lock
+// — the resync source read. The caller (repl's primary, holding its
+// replication lock during a catch-up resync) is responsible for
+// keeping concurrent mutation out, or for tolerating a torn snapshot
+// (a delivery published during the walk simply replicates normally
+// afterwards, under the post-resync epoch).
+func (mb *Mailboat) ReadBox(t gfs.T, user uint64) []Message {
+	mb.checkUser(t, user)
+	names := mb.sys.List(t, UserDir(user))
+	msgs := make([]Message, 0, len(names))
+	for _, name := range names {
+		contents, ok := mb.readMsgFile(t, user, name)
+		if !ok {
+			continue
+		}
+		msgs = append(msgs, Message{ID: name, Contents: string(contents)})
+	}
+	return msgs
+}
+
+// WipeBox deletes every message in user's mailbox — the destination
+// half of a catch-up resync, clearing the stale replica before the
+// authoritative copy streams in. Reports whether every entry went; a
+// false return aborts the resync (the replica stays stale and the pair
+// degraded, which is honest — a half-wiped box must not be declared
+// synced).
+func (mb *Mailboat) WipeBox(t gfs.T, user uint64) bool {
+	mb.checkUser(t, user)
+	ok := true
+	for _, name := range mb.sys.List(t, UserDir(user)) {
+		if !mb.sys.Delete(t, UserDir(user), name) {
+			ok = false
+		}
+	}
+	if ok && mb.cfg.SyncDirs {
+		ok = mb.syncDirBarrier(t, UserDir(user))
+	}
+	return ok
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/gfs"
 	"repro/internal/mailboat"
 	"repro/internal/obs"
+	"repro/internal/repl"
 	"repro/internal/trace"
 )
 
@@ -99,6 +100,14 @@ type Options struct {
 	// ScrubEvery, when positive, runs a background scrub pass (healing
 	// on a mirrored store) at this interval until Close.
 	ScrubEvery time.Duration
+	// Replica, when non-nil, runs this node as half of a primary/backup
+	// replicated pair over the TCP replication transport: the primary
+	// acknowledges a Deliver or Delete only after the backup has
+	// durably applied it (see ReplicaOptions). Exclusive with
+	// MirrorRoot, Fault, and Checksum — replication is cross-machine
+	// redundancy and composing it with the same-machine layers is
+	// future work.
+	Replica *ReplicaOptions
 	// Tracer, when non-nil, records request-scoped span trees: the
 	// front ends open a root span per verb and hand it to the adapter's
 	// *Traced entry points, which run the library on a per-request
@@ -162,6 +171,16 @@ type Adapter struct {
 	chks  [2]*gfs.Checksummed
 	integ *gfs.IntegrityMetrics
 
+	// Replication state (nil unless Options.Replica was set): node is
+	// the protocol engine over this store, replClient the TCP client
+	// leg (primary role), replSrv the frame server (backup role, or a
+	// listening primary), replStop the pinger's stop signal.
+	node       *repl.Node
+	replClient *repl.TCPClient
+	replSrv    *repl.Server
+	replStop   chan struct{}
+	replWG     sync.WaitGroup
+
 	tracer *trace.Tracer
 
 	scrubMu   sync.Mutex // serializes scrub passes
@@ -197,13 +216,30 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 		DeliverRetries: o.DeliverRetries,
 		DeliverBackoff: o.DeliverBackoff,
 	}
+	if o.Replica != nil {
+		if o.MirrorRoot != "" || o.Fault != nil || o.Checksum {
+			return nil, errors.New("mailboatd: Replica is exclusive with MirrorRoot, Fault, and Checksum")
+		}
+		if !o.Replica.Primary && o.Replica.ListenAddr == "" {
+			return nil, errors.New("mailboatd: a backup replica needs a ListenAddr to receive frames on")
+		}
+		if o.Replica.Primary && o.Replica.PeerAddr == "" {
+			return nil, errors.New("mailboatd: a primary replica needs the backup's PeerAddr")
+		}
+	}
 	if o.MirrorRoot != "" {
 		if o.Fault != nil {
 			return nil, errors.New("mailboatd: MirrorRoot and Fault are mutually exclusive")
 		}
 		return newMirrored(root, o, cfg)
 	}
-	fs, err := gfs.NewOS(root, mailboat.Dirs(cfg))
+	dirs := mailboat.Dirs(cfg)
+	if o.Replica != nil {
+		// The replicated store carries the .repl epoch meta-directory
+		// beside the mailboxes it fences.
+		dirs = repl.ReplDirs(cfg)
+	}
+	fs, err := gfs.NewOS(root, dirs)
 	if err != nil {
 		return nil, err
 	}
@@ -281,6 +317,12 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 		}
 		a.mb = a.mb.WithSystem(a.sys)
 	}
+	if o.Replica != nil {
+		if err := a.startReplica(o); err != nil {
+			a.fs.CloseAll()
+			return nil, err
+		}
+	}
 	if o.ScrubEvery > 0 {
 		a.startScrubber(o.ScrubEvery)
 	}
@@ -354,14 +396,16 @@ func newMirrored(root string, o Options, cfg mailboat.Config) (*Adapter, error) 
 	return a, nil
 }
 
-// Close stops the background scrubber (waiting out any in-flight pass)
-// and releases the cached directory handles.
+// Close stops the background scrubber (waiting out any in-flight
+// pass), tears down the replication machinery, and releases the cached
+// directory handles.
 func (a *Adapter) Close() {
 	if a.scrubStop != nil {
 		close(a.scrubStop)
 		a.scrubWG.Wait()
 		a.scrubStop = nil
 	}
+	a.stopReplica()
 	a.fs.CloseAll()
 	if a.fs1 != nil {
 		a.fs1.CloseAll()
@@ -559,6 +603,9 @@ func (a *Adapter) Deliver(user uint64, msg []byte) error {
 // DeliverTraced is Deliver under a front-end root span (nil = untraced;
 // it implements smtp.TracedDeliverer).
 func (a *Adapter) DeliverTraced(sp *trace.Span, user uint64, msg []byte) error {
+	if a.node != nil {
+		return a.deliverReplicated(sp, user, msg)
+	}
 	if !a.mb.Deliver(a.thread(sp), nil, user, msg) {
 		a.ops.deliverTransient.Inc()
 		return ErrTransient
@@ -602,6 +649,9 @@ func (a *Adapter) Delete(user uint64, id string) error {
 // DeleteTraced is Delete under a front-end root span (nil = untraced;
 // it implements pop3.TracedMaildrop).
 func (a *Adapter) DeleteTraced(sp *trace.Span, user uint64, id string) error {
+	if a.node != nil {
+		return a.deleteReplicated(sp, user, id)
+	}
 	if !a.mb.Delete(a.thread(sp), nil, user, id) {
 		a.ops.deleteTransient.Inc()
 		return ErrTransient

@@ -1,0 +1,229 @@
+package repl
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/internal/gfs"
+	"repro/internal/machine"
+	"repro/internal/mailboat"
+	"repro/internal/netmodel"
+	"repro/internal/spec"
+)
+
+// This file builds the replicated refinement scenarios: either node's
+// store may fail-stop and the network may drop, duplicate, reorder or
+// partition — and the Pair must still refine the UNCHANGED atomic
+// mailboat spec. The single-node spec is the point: replication is an
+// availability mechanism, not a semantic one, so the client-visible
+// contract must not move when a second node appears.
+//
+// The scenarios run ghost-free (black-box refinement through the Pair):
+// the ghost machinery commits a spec step atomically with one store
+// operation, and a replicated operation spans two stores and a network
+// round trip. Refinement rests on the recorded history, plus a
+// between-era invariant: when both nodes are live and in the same
+// epoch, their user directories must be byte-identical.
+
+// ScenarioWorld carries the replicated composition across eras.
+type ScenarioWorld struct {
+	FS       [2]*gfs.Model
+	F        [2]*gfs.Faulty
+	Net      *netmodel.Net
+	StorePol *gfs.ChooserPolicy
+	NetPol   *netmodel.ChooserPolicy
+	Pair     *Pair
+}
+
+// ScenarioOptions shapes the replicated workload.
+type ScenarioOptions struct {
+	// Config sizes each node's store (RandBound should stay small).
+	Config mailboat.Config
+	// Delivers spawns one delivery thread per entry.
+	Delivers []mailboat.OpDeliver
+	// PickupUsers spawns, per entry, a thread doing Pickup(u), Delete of
+	// the first message if any, then Unlock(u) — all through the Pair.
+	PickupUsers []uint64
+	// MaxCrashes bounds injected whole-site crashes (both nodes reboot;
+	// in-flight network frames survive).
+	MaxCrashes int
+	// PostPickups reads each user's mailbox at the end.
+	PostPickups bool
+	// StoreFaultBudget, when positive, lets the chooser permanently
+	// fail-stop EITHER node's store at any of its operations, with this
+	// many fail-stops per execution shared between the two nodes.
+	StoreFaultBudget int
+	// NetFaultBudget, when positive, lets the chooser inject network
+	// faults (tag "net") with this shared budget per execution.
+	NetFaultBudget int
+	// NetFaults restricts which fault classes the chooser may inject
+	// (nil = all of drop, duplicate, reorder, drop-reply, partition).
+	NetFaults []netmodel.Fault
+	// Mut enables the seeded replication-protocol mutations.
+	Mut Mutations
+}
+
+// Scenario builds the replicated checkable scenario.
+func Scenario(name string, o ScenarioOptions) *explore.Scenario {
+	sp := mailboat.Spec(o.Config)
+
+	pairOp := func(t *machine.T, w *ScenarioWorld, h *explore.Harness, user uint64) {
+		ret, served := h.OpMaybe(mailboat.OpPickup{User: user}, func() (spec.Ret, bool) {
+			m, ok := w.Pair.Pickup(t, user)
+			return m, ok
+		})
+		if !served {
+			// The pair could not answer (primary dead, backup
+			// unpromotable): the op stays pending, the client got nothing,
+			// and there is no session to continue.
+			return
+		}
+		listed := ret.([]mailboat.Message)
+		if len(listed) > 0 {
+			h.OpMaybe(mailboat.OpDelete{User: user, ID: listed[0].ID}, func() (spec.Ret, bool) {
+				removed, answered := w.Pair.Delete(t, user, listed[0].ID)
+				return removed, answered
+			})
+		}
+		h.Op(mailboat.OpUnlock{User: user}, func() spec.Ret {
+			w.Pair.Unlock(t, user)
+			return nil
+		})
+	}
+
+	return &explore.Scenario{
+		Name: name,
+		Spec: sp,
+		// A replicated op is a network round trip plus two store applies,
+		// and every recovery resync walks both stores message by message.
+		MachineOpts: machine.Options{MaxSteps: 60000},
+		MaxCrashes:  o.MaxCrashes,
+		RandPolicy:  func(call, n int) int { return call % n },
+		Setup: func(m *machine.Machine) any {
+			w := &ScenarioWorld{}
+			storePol := gfs.Policy(gfs.NeverPolicy{})
+			if o.StoreFaultBudget > 0 {
+				w.StorePol = &gfs.ChooserPolicy{
+					Budget:   o.StoreFaultBudget,
+					Eligible: map[gfs.FaultOp]bool{gfs.FaultFailStop: true},
+				}
+				storePol = w.StorePol
+			}
+			for i := 0; i < 2; i++ {
+				w.FS[i] = gfs.NewModel(m, ReplDirs(o.Config))
+				w.F[i] = gfs.NewFaulty(w.FS[i], storePol)
+			}
+			netPol := netmodel.Policy(netmodel.NeverPolicy{})
+			if o.NetFaultBudget > 0 {
+				w.NetPol = &netmodel.ChooserPolicy{Budget: o.NetFaultBudget}
+				if o.NetFaults != nil {
+					w.NetPol.Eligible = map[netmodel.Fault]bool{}
+					for _, f := range o.NetFaults {
+						w.NetPol.Eligible[f] = true
+					}
+				}
+				netPol = w.NetPol
+			}
+			w.Net = netmodel.New(m, netPol)
+			return w
+		},
+		Init: func(t *machine.T, wAny any) {
+			w := wAny.(*ScenarioWorld)
+			w.Pair = NewPair(t, [2]gfs.System{w.F[0], w.F[1]}, w.F, w.Net,
+				o.Config, Config{Mut: o.Mut})
+		},
+		Main: func(t *machine.T, wAny any, h *explore.Harness) {
+			w := wAny.(*ScenarioWorld)
+			for _, d := range o.Delivers {
+				op := d
+				t.Go(func(c *machine.T) {
+					// An indeterminate outcome (durably applied on a node the
+					// pair cannot promote) has no truthful answer: the op
+					// stays pending, free to linearize either way.
+					h.OpMaybe(op, func() (spec.Ret, bool) {
+						delivered, answered := w.Pair.Deliver(c, op.User, []byte(op.Msg))
+						return delivered, answered
+					})
+				})
+			}
+			for _, u := range o.PickupUsers {
+				user := u
+				t.Go(func(c *machine.T) { pairOp(c, w, h, user) })
+			}
+		},
+		Recover: func(t *machine.T, wAny any) {
+			// The crash models the whole site losing power: both nodes
+			// reboot (fail-stopped stores come back under operator care),
+			// epochs are re-read from disk, the higher-epoch node — the one
+			// that fenced the other — leads, and a catch-up resync runs
+			// unconditionally because lastApplied is volatile. Frames still
+			// in the network from before the crash survive it; the closing
+			// pings give the chooser the chance to land them AFTER the
+			// post-resync fence is up.
+			wAny.(*ScenarioWorld).Pair.Recover(t)
+		},
+		Post: func(t *machine.T, wAny any, h *explore.Harness) {
+			if !o.PostPickups {
+				return
+			}
+			w := wAny.(*ScenarioWorld)
+			for u := uint64(0); u < o.Config.Users; u++ {
+				pairOp(t, w, h, u)
+			}
+		},
+		Invariant: func(m *machine.Machine, wAny any) error {
+			w := wAny.(*ScenarioWorld)
+			if n0, n1 := w.FS[0].OpenFDs(), w.FS[1].OpenFDs(); n0 != 0 || n1 != 0 {
+				return fmt.Errorf("resource leak: %d/%d descriptors open on nodes", n0, n1)
+			}
+			if w.Pair == nil {
+				return nil
+			}
+			// While a node is dead the pair legitimately runs on one store;
+			// while epochs differ or a catch-up is incomplete the backup is
+			// legitimately behind. Equality is only owed when both nodes
+			// are live, settled, and in the same epoch.
+			if w.F[0].FailStopped() || w.F[1].FailStopped() || w.Pair.Degraded() {
+				return nil
+			}
+			for u := uint64(0); u < o.Config.Users; u++ {
+				d0 := w.FS[0].PeekDir(mailboat.UserDir(u))
+				d1 := w.FS[1].PeekDir(mailboat.UserDir(u))
+				if len(d0) != len(d1) {
+					return fmt.Errorf("replica divergence: user %d has %d vs %d messages", u, len(d0), len(d1))
+				}
+				for name, c0 := range d0 {
+					c1, ok := d1[name]
+					if !ok {
+						return fmt.Errorf("replica divergence: user %d message %s missing on backup", u, name)
+					}
+					if !bytes.Equal(c0, c1) {
+						return fmt.Errorf("replica divergence: user %d message %s contents differ", u, name)
+					}
+				}
+			}
+			return nil
+		},
+		// Crash-boundary dedup: the models and the Net are fingerprintable
+		// devices (the Net's encoding covers partition charge and the
+		// crash-surviving in-flight stash), so the hook covers the
+		// crash-surviving world state outside them — the two policies'
+		// spent budgets and the per-node fail-stop latches. The Pair's own
+		// fields (role, session locks, staleness) are all recomputed by
+		// Recover from device state, so they are not boundary state.
+		Fingerprint: func(wAny any, b []byte) []byte {
+			w := wAny.(*ScenarioWorld)
+			if w.StorePol != nil {
+				b = w.StorePol.AppendState(b)
+			}
+			if w.NetPol != nil {
+				b = w.NetPol.AppendState(b)
+			}
+			for i := range w.F {
+				b = w.F[i].AppendCheckerState(b)
+			}
+			return b
+		},
+	}
+}

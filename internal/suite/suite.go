@@ -14,6 +14,8 @@ import (
 	"repro/internal/gfs"
 	"repro/internal/journal"
 	"repro/internal/mailboat"
+	"repro/internal/netmodel"
+	"repro/internal/repl"
 )
 
 // Entry is one scenario plus how to run it and what to expect.
@@ -213,6 +215,38 @@ func Verified() []Entry {
 			}),
 			Opts: explore.Options{MaxExecutions: 20000},
 		},
+		{
+			// Primary/backup replication over the modeled lossy network:
+			// one whole-site crash may interleave with one enumerated
+			// network fault (drop, duplicate, reorder, partition burst,
+			// dropped reply); recovery re-elects by epoch and resyncs. The
+			// acked history must refine the UNCHANGED atomic mailboat spec
+			// and settled stores must be byte-identical.
+			Pattern: "mailboat-repl",
+			Scenario: repl.Scenario("mb/replicated+crash+net", repl.ScenarioOptions{
+				Config:         mailboat.Config{Users: 1, RandBound: 4, SyncOnDeliver: true, SyncDirs: true},
+				Delivers:       []mailboat.OpDeliver{{User: 0, Msg: "a"}},
+				PickupUsers:    []uint64{0},
+				PostPickups:    true,
+				MaxCrashes:     1,
+				NetFaultBudget: 1,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			// Fail-stop of either node at any operation: the failover path
+			// (promote by epoch, ack alone) must keep every acked
+			// operation visible.
+			Pattern: "mailboat-repl",
+			Scenario: repl.Scenario("mb/replicated+failstop", repl.ScenarioOptions{
+				Config:           mailboat.Config{Users: 1, RandBound: 4, SyncOnDeliver: true, SyncDirs: true},
+				Delivers:         []mailboat.OpDeliver{{User: 0, Msg: "a"}},
+				PickupUsers:      []uint64{0},
+				PostPickups:      true,
+				StoreFaultBudget: 1,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
 	}
 }
 
@@ -408,6 +442,43 @@ func Bugs() []Entry {
 				Writeback:   true,
 			}),
 			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			// The replication layer's analogue of acking before fsync: the
+			// primary acks after its local publish without waiting for the
+			// backup. A fail-stop of the primary right after the ack and a
+			// failover to the never-told backup lose acked mail.
+			Pattern:       "mailboat-repl",
+			WantViolation: true,
+			Scenario: repl.Scenario("mb/repl-bug:ack-before-backup", repl.ScenarioOptions{
+				Config:           mailboat.Config{Users: 1, RandBound: 4, SyncOnDeliver: true, SyncDirs: true},
+				Delivers:         []mailboat.OpDeliver{{User: 0, Msg: "a"}},
+				PickupUsers:      []uint64{0},
+				PostPickups:      true,
+				StoreFaultBudget: 1,
+				Mut:              repl.Mutations{AckBeforeBackup: true},
+			}),
+			Opts: explore.Options{MaxExecutions: 400000},
+		},
+		{
+			// Catch-up resync without an epoch bump: a reordered replicate
+			// frame held across a site crash lands after the catch-up,
+			// walks through the un-bumped epoch gate, and consumes a
+			// sequence number in the new run's space — the stores diverge.
+			// No main-era pickup thread: the post-era session exposes it
+			// and keeps the search shallow.
+			Pattern:       "mailboat-repl",
+			WantViolation: true,
+			Scenario: repl.Scenario("mb/repl-bug:resync-skips-epoch", repl.ScenarioOptions{
+				Config:         mailboat.Config{Users: 1, RandBound: 4, SyncOnDeliver: true, SyncDirs: true},
+				Delivers:       []mailboat.OpDeliver{{User: 0, Msg: "a"}},
+				PostPickups:    true,
+				MaxCrashes:     1,
+				NetFaultBudget: 1,
+				NetFaults:      []netmodel.Fault{netmodel.FaultReorder},
+				Mut:            repl.Mutations{ResyncSkipsEpoch: true},
+			}),
+			Opts: explore.Options{MaxExecutions: 400000},
 		},
 	}
 }
