@@ -1,12 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -15,34 +17,48 @@ import (
 )
 
 // benchSchema versions BENCH_mailboat.json so tooling can detect shape
-// changes instead of guessing. v2 added the optional "partition" field
-// (the replication partition drill's results); v1 readers that ignore
-// unknown fields still parse every run.
-const benchSchema = "mailboat-bench/v2"
+// changes instead of guessing.
+//
+// Schema evolution (every bump is additive — a vN reader that ignores
+// unknown fields parses every vN+1 run, and this writer preserves
+// fields it does not know, so histories survive both directions):
+//
+//	v1  date/revision/go/store/durability/users + "sweep" (Figure 11
+//	    points), "openloop" (trace profile), "slo"/"slo_pass".
+//	v2  added the optional "partition" field: the replication
+//	    partition drill's results (acked/lost counts, resync seconds,
+//	    stores-identical verdict).
+//	v3  the load harness: "skew"/"mix" name the multi-tenant workload
+//	    model, "deployment" the store stack it ran against,
+//	    "drills" the executed mid-load drill schedule, "audit" the
+//	    post-run durability audit, "phase_slo" the per-steady-phase
+//	    gate verdicts; "openloop" grows a "phases" array with
+//	    per-window latency slices. All new fields are omitempty, so
+//	    sweep/trace/partition runs look exactly like v2 wrote them.
+const benchSchema = "mailboat-bench/v3"
 
 // benchRun is one dated entry in BENCH_mailboat.json. A sweep run
 // carries Sweep; a trace-profile run carries OpenLoop + SLO; a -json
-// run carries both; a -partition run carries Partition.
+// run carries both; a -partition run carries Partition; a -load run
+// carries OpenLoop (with phases) + Drills + Audit + PhaseSLO.
 type benchRun struct {
-	Date       string                 `json:"date"`
-	Revision   string                 `json:"revision"`
-	Go         string                 `json:"go"`
-	Store      string                 `json:"store"`
-	Durability string                 `json:"durability"`
-	Users      uint64                 `json:"users"`
-	Sweep      []postal.SweepPoint    `json:"sweep,omitempty"`
-	OpenLoop   *postal.OpenLoopResult `json:"openloop,omitempty"`
-	SLO        []postal.GateResult    `json:"slo,omitempty"`
-	SLOPass    *bool                  `json:"slo_pass,omitempty"`
-	Partition  *partitionResult       `json:"partition,omitempty"`
-}
-
-// benchFile is the whole append-style file: one JSON object whose runs
-// array grows by one per invocation, so a working directory accretes a
-// dated performance history.
-type benchFile struct {
-	Schema string     `json:"schema"`
-	Runs   []benchRun `json:"runs"`
+	Date       string                   `json:"date"`
+	Revision   string                   `json:"revision"`
+	Go         string                   `json:"go"`
+	Store      string                   `json:"store"`
+	Durability string                   `json:"durability"`
+	Users      uint64                   `json:"users"`
+	Skew       string                   `json:"skew,omitempty"`
+	Mix        float64                  `json:"mix,omitempty"`
+	Deployment string                   `json:"deployment,omitempty"`
+	Sweep      []postal.SweepPoint      `json:"sweep,omitempty"`
+	OpenLoop   *postal.OpenLoopResult   `json:"openloop,omitempty"`
+	SLO        []postal.GateResult      `json:"slo,omitempty"`
+	PhaseSLO   []postal.PhaseGateResult `json:"phase_slo,omitempty"`
+	SLOPass    *bool                    `json:"slo_pass,omitempty"`
+	Partition  *partitionResult         `json:"partition,omitempty"`
+	Drills     []drillRecord            `json:"drills,omitempty"`
+	Audit      *loadAudit               `json:"audit,omitempty"`
 }
 
 // gitRevision reads the binary's VCS stamp; binaries built outside a
@@ -61,33 +77,83 @@ func gitRevision() string {
 // appendBenchRun loads path (tolerating a missing file), appends run,
 // and writes the file back. A corrupt existing file is an error, not
 // silently clobbered history.
+//
+// The reader is forward-compatible on purpose: existing run entries
+// are kept as raw JSON and re-emitted verbatim, and unknown top-level
+// keys are preserved (after "schema" and "runs", in sorted order) —
+// an older binary appending to a file written by a newer schema must
+// not strip the fields it does not understand. The round-trip is
+// pinned by TestAppendBenchRunPreservesUnknownFields.
 func appendBenchRun(path string, run benchRun) error {
-	var f benchFile
+	top := map[string]json.RawMessage{}
+	var runs []json.RawMessage
 	b, err := os.ReadFile(path)
 	switch {
 	case err == nil:
-		if err := json.Unmarshal(b, &f); err != nil {
+		if err := json.Unmarshal(b, &top); err != nil {
 			return fmt.Errorf("existing %s is not valid JSON (move it aside): %w", path, err)
+		}
+		if raw, ok := top["runs"]; ok {
+			if err := json.Unmarshal(raw, &runs); err != nil {
+				return fmt.Errorf("existing %s has a malformed runs array (move it aside): %w", path, err)
+			}
 		}
 	case os.IsNotExist(err):
 		// fresh file
 	default:
 		return err
 	}
-	f.Schema = benchSchema
-	f.Runs = append(f.Runs, run)
-	out, err := json.MarshalIndent(f, "", "  ")
+
+	newRun, err := json.Marshal(run)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	runs = append(runs, newRun)
+
+	var extra []string
+	for k := range top {
+		if k != "schema" && k != "runs" {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+
+	// Assemble by hand to control key order (schema, runs, then the
+	// preserved unknowns) — a map would shuffle it.
+	var buf bytes.Buffer
+	buf.WriteString(`{"schema":`)
+	sv, _ := json.Marshal(benchSchema)
+	buf.Write(sv)
+	buf.WriteString(`,"runs":[`)
+	for i, r := range runs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(r)
+	}
+	buf.WriteByte(']')
+	for _, k := range extra {
+		buf.WriteByte(',')
+		kv, _ := json.Marshal(k)
+		buf.Write(kv)
+		buf.WriteByte(':')
+		buf.Write(top[k])
+	}
+	buf.WriteByte('}')
+
+	var out bytes.Buffer
+	if err := json.Indent(&out, buf.Bytes(), "", "  "); err != nil {
+		return err
+	}
+	out.WriteByte('\n')
+	return os.WriteFile(path, out.Bytes(), 0o644)
 }
 
 // runTraceProfile runs the traced open-loop profile against the
 // verified library: a fixed offered rate, per-request root spans, and
 // the per-stage latency breakdown from the span durations. It returns
 // the run, the evaluated SLO gates, and their overall verdict.
-func runTraceProfile(base string, users uint64, rate float64, dur time.Duration, seed int64, noFsync bool) (postal.OpenLoopResult, []postal.GateResult, bool, error) {
+func runTraceProfile(base string, w postal.Workload, rate float64, dur time.Duration, seed int64, noFsync bool) (postal.OpenLoopResult, []postal.GateResult, bool, error) {
 	if base == "" {
 		base = postal.RAMDir()
 	}
@@ -99,7 +165,7 @@ func runTraceProfile(base string, users uint64, rate float64, dur time.Duration,
 	if noFsync {
 		mk = postal.NewFastBackend
 	}
-	b, cleanup, err := mk("mailboat", base, users, workers, seed)
+	b, cleanup, err := mk("mailboat", base, w.Users, workers, seed)
 	if err != nil {
 		return postal.OpenLoopResult{}, nil, false, err
 	}
@@ -110,7 +176,10 @@ func runTraceProfile(base string, users uint64, rate float64, dur time.Duration,
 	tracer.Stages = trace.NewStageMetrics(reg)
 	res := postal.OpenLoop(b, postal.OpenLoopOptions{
 		Workers:  workers,
-		Users:    users,
+		Users:    w.Users,
+		Skew:     w.Skew,
+		ZipfS:    w.ZipfS,
+		Mix:      w.Mix,
 		Rate:     rate,
 		Duration: dur,
 		Seed:     seed,

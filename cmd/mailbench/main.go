@@ -7,8 +7,10 @@
 // Usage:
 //
 //	mailbench [-cores 1,2,4,8] [-requests N] [-users N] [-servers a,b,c]
-//	          [-dir path] [-json path] [-corrupt] [-partition] [-no-fsync]
-//	          [-trace] [-rate N] [-profile-duration d] [-bench path] [-slo]
+//	          [-dir path] [-seed N] [-json path] [-corrupt] [-partition]
+//	          [-no-fsync] [-trace] [-rate N] [-profile-duration d]
+//	          [-bench path] [-slo] [-load] [-duration d] [-skew uniform|zipf]
+//	          [-zipf-s S] [-mix F] [-drill crash,fault,corrupt,partition]
 //
 // By default the mailboat backends run with the full checked sync
 // discipline (fsync spool data, fsync the mailbox directory before
@@ -49,6 +51,19 @@
 // acknowledged delivery is still readable afterwards and the rot was
 // detected rather than served.
 //
+// -load (implied by -drill) runs the sustained load harness instead
+// of the sweep: an open-loop multi-tenant workload — -users mailboxes
+// under -skew uniform|zipf (exponent -zipf-s) with a -mix fraction of
+// deliveries — at -rate req/s for -duration, while the -drill list
+// (crash, fault, corrupt, partition; comma-separated, evenly spaced
+// through the run) executes against the live store. Latency is
+// bucketed into steady vs drill phases by scheduled start; the gated
+// steady phases decide the SLO verdict, and a post-run audit enforces
+// zero acked-mail loss, no resurrected deletes, hash-clean reads,
+// and (replicated) byte-identical stores. Every run appends a
+// schema-v3 record to -bench. See docs/DURABILITY.md for the claims
+// each drill substantiates.
+//
 // Servers: mailboat (verified library, direct calls — the paper's
 // measurement method), gomail, cmail (simulated), and mailboat-net (the
 // same library behind real SMTP/POP3 over loopback TCP, quantifying the
@@ -86,9 +101,67 @@ func main() {
 	traceMode := flag.Bool("trace", false, "run only the traced open-loop profile (per-stage latency breakdown + SLO gates) and append it to -bench")
 	rate := flag.Float64("rate", 1000, "offered load for the open-loop trace profile, requests/second")
 	profileDur := flag.Duration("profile-duration", 2*time.Second, "duration of the open-loop trace profile")
-	benchPath := flag.String("bench", "BENCH_mailboat.json", "append-style dated results file, written by -trace and -json runs")
+	benchPath := flag.String("bench", "BENCH_mailboat.json", "append-style dated results file, written by -trace, -json, and -load runs")
 	sloStrict := flag.Bool("slo", false, "exit nonzero when an SLO gate fails")
+	loadMode := flag.Bool("load", false, "run the sustained open-loop load harness instead of the sweep (implied by -drill)")
+	duration := flag.Duration("duration", 0, "duration of the -load run (0 = auto: 8s, scaled up for large -users so drill windows contain O(users) recovery)")
+	skew := flag.String("skew", postal.SkewUniform, "mailbox popularity skew for -load and -trace: uniform or zipf")
+	zipfS := flag.Float64("zipf-s", postal.DefaultZipfS, "zipf exponent (> 1) when -skew zipf")
+	mix := flag.Float64("mix", 0.5, "fraction of requests that are deliveries, in [0,1]")
+	drillFlag := flag.String("drill", "", "comma-separated mid-load drills for -load: crash, fault, corrupt, partition")
 	flag.Parse()
+
+	if *loadMode || *drillFlag != "" {
+		cfg := loadConfig{
+			base:     *dir,
+			users:    *users,
+			rate:     *rate,
+			duration: *duration,
+			seed:     *seed,
+			noFsync:  *noFsync,
+			skew:     *skew,
+			zipfS:    *zipfS,
+			mix:      *mix,
+			drills:   parseDrills(*drillFlag),
+		}
+		if cfg.duration == 0 {
+			cfg.duration = autoDuration(cfg.users)
+		}
+		out, err := runLoad(cfg)
+		if out != nil {
+			printLoad(os.Stdout, cfg, out)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mailbench: load harness: %v\n", err)
+			os.Exit(1)
+		}
+		run := benchRun{
+			Date:       time.Now().UTC().Format(time.RFC3339),
+			Revision:   gitRevision(),
+			Go:         runtime.Version(),
+			Store:      storeDesc(*dir),
+			Durability: durabilityDesc(*noFsync),
+			Users:      *users,
+			Skew:       *skew,
+			Mix:        *mix,
+			Deployment: out.Deployment,
+			OpenLoop:   &out.Res,
+			SLO:        out.Gates,
+			PhaseSLO:   out.PhaseGates,
+			SLOPass:    &out.SLOPass,
+			Drills:     out.Drills,
+			Audit:      &out.Audit,
+		}
+		if err := appendBenchRun(*benchPath, run); err != nil {
+			fmt.Fprintf(os.Stderr, "mailbench: writing %s: %v\n", *benchPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench history appended to %s\n", *benchPath)
+		if !out.SLOPass && *sloStrict {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *corrupt {
 		if err := corruptDrill(*dir, *users, *requests, *seed); err != nil {
@@ -126,7 +199,8 @@ func main() {
 	// the sweep (so every machine-readable run carries per-stage
 	// quantiles and an SLO verdict).
 	profile := func(sweep []postal.SweepPoint) bool {
-		res, gates, pass, err := runTraceProfile(*dir, *users, *rate, *profileDur, *seed, *noFsync)
+		w := postal.Workload{Users: *users, Skew: *skew, ZipfS: *zipfS, Mix: *mix}
+		res, gates, pass, err := runTraceProfile(*dir, w, *rate, *profileDur, *seed, *noFsync)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mailbench: trace profile: %v\n", err)
 			os.Exit(1)
@@ -139,6 +213,8 @@ func main() {
 			Store:      storeDesc(*dir),
 			Durability: durabilityDesc(*noFsync),
 			Users:      *users,
+			Skew:       *skew,
+			Mix:        *mix,
 			Sweep:      sweep,
 			OpenLoop:   &res,
 			SLO:        gates,

@@ -167,11 +167,13 @@ func TestChecksummedUnsealedIsNotRot(t *testing.T) {
 	}
 
 	// Zero-byte file, as a torn create leaves behind.
-	if f, err := o.root("box").Create("torn"); err != nil {
+	r, release := o.root("box")
+	if f, err := r.Create("torn"); err != nil {
 		t.Fatal(err)
 	} else {
 		f.Close()
 	}
+	release()
 	if v := c.VerifyFile(th, "box", "torn"); v != VerdictUnsealed {
 		t.Fatalf("empty-file verdict %v, want unsealed", v)
 	}

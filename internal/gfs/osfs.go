@@ -1,6 +1,7 @@
 package gfs
 
 import (
+	"container/list"
 	"fmt"
 	"io"
 	"io/fs"
@@ -48,12 +49,37 @@ type nativeLock struct{ mu sync.Mutex }
 func (l *nativeLock) Acquire(T) { l.mu.Lock() }
 func (l *nativeLock) Release(T) { l.mu.Unlock() }
 
-// OS is the real-file-system backend. It keeps one cached os.Root per
-// directory and performs every lookup relative to it — the Goose
+// OS is the real-file-system backend. It keeps cached os.Root handles
+// per directory and performs every lookup relative to them — the Goose
 // library's directory-descriptor caching that §9.3 measures.
+//
+// The cache is bounded: a million-mailbox layout is a million
+// directories, and one kernel descriptor per directory would exhaust
+// RLIMIT_NOFILE long before that. Layouts at or under the handle
+// budget are opened eagerly at boot and never evicted (the original
+// behavior, and the fast path every small deployment takes); larger
+// layouts open handles lazily and evict least-recently-used ones, so
+// a zipfian workload's hot mailboxes keep their descriptors while the
+// cold tail is reopened on touch. Handles are refcounted so an
+// eviction or CloseAll never closes a root out from under an op in
+// flight.
 type OS struct {
-	path  string
-	roots map[string]*os.Root
+	path string
+
+	mu    sync.Mutex
+	max   int // handle budget; eviction only when the layout exceeds it
+	known map[string]bool
+	roots map[string]*osRoot
+	lru   *list.List // of *osRoot; front = most recently used
+}
+
+// osRoot is one cached directory handle.
+type osRoot struct {
+	dir  string
+	r    *os.Root
+	refs int
+	el   *list.Element
+	gone bool // evicted/closed: the last release closes r
 }
 
 type osFD struct {
@@ -61,43 +87,143 @@ type osFD struct {
 	append_ bool
 }
 
+// DefaultMaxDirHandles is the stock directory-handle budget: large
+// enough that every pre-harness layout (hundreds of user dirs) stays
+// fully cached, small enough that two million-mailbox stores in one
+// process fit comfortably under common RLIMIT_NOFILE settings.
+const DefaultMaxDirHandles = 4096
+
 // NewOS prepares (creating if necessary) the fixed directory layout
-// under path and opens a cached handle for each directory.
+// under path with the default handle budget.
 func NewOS(path string, dirs []string) (*OS, error) {
-	o := &OS{path: path, roots: map[string]*os.Root{}}
+	return NewOSLimited(path, dirs, DefaultMaxDirHandles)
+}
+
+// NewOSLimited is NewOS with an explicit directory-handle budget
+// (min 1). Layouts within the budget behave exactly like the
+// unbounded original.
+func NewOSLimited(path string, dirs []string, maxHandles int) (*OS, error) {
+	if maxHandles < 1 {
+		maxHandles = 1
+	}
+	o := &OS{
+		path:  path,
+		max:   maxHandles,
+		known: make(map[string]bool, len(dirs)),
+		roots: make(map[string]*osRoot),
+		lru:   list.New(),
+	}
 	if err := os.MkdirAll(path, 0o755); err != nil {
 		return nil, fmt.Errorf("gfs: preparing root: %w", err)
 	}
+	eager := len(dirs) <= maxHandles
 	for _, d := range dirs {
 		full := filepath.Join(path, d)
 		if err := os.MkdirAll(full, 0o755); err != nil {
 			return nil, fmt.Errorf("gfs: preparing %s: %w", d, err)
 		}
-		r, err := os.OpenRoot(full)
-		if err != nil {
-			return nil, fmt.Errorf("gfs: opening %s: %w", d, err)
+		o.known[d] = true
+		if eager {
+			r, err := os.OpenRoot(full)
+			if err != nil {
+				return nil, fmt.Errorf("gfs: opening %s: %w", d, err)
+			}
+			e := &osRoot{dir: d, r: r}
+			e.el = o.lru.PushFront(e)
+			o.roots[d] = e
 		}
-		o.roots[d] = r
 	}
 	return o, nil
 }
 
-// CloseAll releases the cached directory handles.
+// CloseAll releases the cached directory handles; handles held by ops
+// still in flight are closed when their op releases them.
 func (o *OS) CloseAll() {
-	for _, r := range o.roots {
-		r.Close()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, e := range o.roots {
+		e.gone = true
+		if e.refs == 0 {
+			e.r.Close()
+		}
 	}
+	o.roots = make(map[string]*osRoot)
+	o.lru.Init()
 }
 
 // Path returns the backing directory.
 func (o *OS) Path() string { return o.path }
 
-func (o *OS) root(dir string) *os.Root {
-	r, ok := o.roots[dir]
+// cachedRoot returns the directory's handle pinned against eviction
+// only if it is already cached — a miss reports ok=false without
+// opening anything. Unknown directories panic like root.
+func (o *OS) cachedRoot(dir string) (*os.Root, func(), bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	e, ok := o.roots[dir]
 	if !ok {
-		panic(fmt.Sprintf("gfs: unknown directory %q (fixed layout)", dir))
+		if !o.known[dir] {
+			panic(fmt.Sprintf("gfs: unknown directory %q (fixed layout)", dir))
+		}
+		return nil, nil, false
 	}
-	return r
+	o.lru.MoveToFront(e.el)
+	e.refs++
+	return e.r, func() {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		e.refs--
+		if e.gone && e.refs == 0 {
+			e.r.Close()
+		}
+	}, true
+}
+
+// root returns the directory's handle pinned against eviction; the
+// caller must invoke release when done with it. Unknown directories
+// panic (the layout is fixed); a handle that cannot be (re)opened —
+// possible only in the lazy regime — returns nil, and the op reports
+// failure like any other I/O error.
+func (o *OS) root(dir string) (*os.Root, func()) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	e, ok := o.roots[dir]
+	if !ok {
+		if !o.known[dir] {
+			panic(fmt.Sprintf("gfs: unknown directory %q (fixed layout)", dir))
+		}
+		r, err := os.OpenRoot(filepath.Join(o.path, dir))
+		if err != nil {
+			return nil, func() {}
+		}
+		e = &osRoot{dir: dir, r: r}
+		e.el = o.lru.PushFront(e)
+		o.roots[dir] = e
+		for len(o.roots) > o.max {
+			back := o.lru.Back()
+			if back == nil {
+				break
+			}
+			v := back.Value.(*osRoot)
+			o.lru.Remove(back)
+			delete(o.roots, v.dir)
+			v.gone = true
+			if v.refs == 0 {
+				v.r.Close()
+			}
+		}
+	} else {
+		o.lru.MoveToFront(e.el)
+	}
+	e.refs++
+	return e.r, func() {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		e.refs--
+		if e.gone && e.refs == 0 {
+			e.r.Close()
+		}
+	}
 }
 
 // NewLock implements System with a sync.Mutex.
@@ -105,7 +231,12 @@ func (o *OS) NewLock(T, string) Lock { return &nativeLock{} }
 
 // Create implements System (O_CREATE|O_EXCL, append mode).
 func (o *OS) Create(_ T, dir, name string) (FD, bool) {
-	f, err := o.root(dir).OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	r, release := o.root(dir)
+	if r == nil {
+		return nil, false
+	}
+	defer release()
+	f, err := r.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, false
 	}
@@ -114,7 +245,12 @@ func (o *OS) Create(_ T, dir, name string) (FD, bool) {
 
 // Open implements System (read mode).
 func (o *OS) Open(_ T, dir, name string) (FD, bool) {
-	f, err := o.root(dir).Open(name)
+	r, release := o.root(dir)
+	if r == nil {
+		return nil, false
+	}
+	defer release()
+	f, err := r.Open(name)
 	if err != nil {
 		return nil, false
 	}
@@ -180,7 +316,11 @@ func (o *OS) Sync(_ T, fd FD) bool {
 // directory fsync is sound — metadata goes through the journal, unlike
 // the fsyncgate'd data pages behind a failed file Sync.
 func (o *OS) SyncDir(_ T, dir string) bool {
-	o.root(dir) // panic on layout violations like every other op
+	r, release := o.root(dir) // panic on layout violations like every other op
+	if r == nil {
+		return false
+	}
+	release()
 	f, err := os.Open(filepath.Join(o.path, dir))
 	if err != nil {
 		return false
@@ -191,7 +331,12 @@ func (o *OS) SyncDir(_ T, dir string) bool {
 
 // Delete implements System.
 func (o *OS) Delete(_ T, dir, name string) bool {
-	return o.root(dir).Remove(name) == nil
+	r, release := o.root(dir)
+	if r == nil {
+		return false
+	}
+	defer release()
+	return r.Remove(name) == nil
 }
 
 // Link implements System. os.Root has no Link in this Go version, so the
@@ -207,7 +352,12 @@ func (o *OS) Link(_ T, oldDir, oldName, newDir, newName string) bool {
 // cached directory root), for corruption drills against a live server.
 // Absent and empty files report false.
 func (o *OS) CorruptFile(_ T, dir, name string, mode CorruptMode) bool {
-	f, err := o.root(dir).OpenFile(name, os.O_RDWR, 0)
+	r, release := o.root(dir)
+	if r == nil {
+		return false
+	}
+	defer release()
+	f, err := r.OpenFile(name, os.O_RDWR, 0)
 	if err != nil {
 		return false
 	}
@@ -229,9 +379,21 @@ func (o *OS) CorruptFile(_ T, dir, name string, mode CorruptMode) bool {
 	return err == nil
 }
 
-// List implements System, sorted like the model.
+// List implements System, sorted like the model. On a handle-cache
+// miss it reads the directory by path instead of opening a root: the
+// big List consumers are one-shot full-population sweeps (recovery,
+// resync, scrub, audits), and letting a 100k-mailbox sweep stream
+// through the LRU would churn the hot mailboxes' handles out of the
+// cache while paying an open/close per cold directory.
 func (o *OS) List(_ T, dir string) []string {
-	entries, err := fs.ReadDir(o.root(dir).FS(), ".")
+	var entries []fs.DirEntry
+	var err error
+	if r, release, ok := o.cachedRoot(dir); ok {
+		entries, err = fs.ReadDir(r.FS(), ".")
+		release()
+	} else {
+		entries, err = os.ReadDir(filepath.Join(o.path, dir))
+	}
 	if err != nil {
 		return nil
 	}

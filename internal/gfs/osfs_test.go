@@ -1,8 +1,10 @@
 package gfs
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/machine"
@@ -309,4 +311,136 @@ func boolStr(b bool) string {
 		return "true"
 	}
 	return "false"
+}
+
+// TestOSLimitedHandleCache: the bounded directory-handle cache serves
+// a layout far larger than its budget — every op works on every dir,
+// cold handles are evicted and transparently reopened, and the open
+// handle count never exceeds budget + in-flight ops.
+func TestOSLimitedHandleCache(t *testing.T) {
+	th := NewNative(1)
+	dirs := make([]string, 64)
+	for i := range dirs {
+		dirs[i] = fmt.Sprintf("d%02d", i)
+	}
+	o, err := NewOSLimited(t.TempDir(), dirs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.CloseAll()
+
+	// Round-robin far past the budget: each touch evicts the coldest.
+	for round := 0; round < 3; round++ {
+		for _, d := range dirs {
+			fd, ok := o.Create(th, d, fmt.Sprintf("m%d", round))
+			if !ok {
+				t.Fatalf("create in %s round %d failed", d, round)
+			}
+			if !o.Append(th, fd, []byte("x")) {
+				t.Fatalf("append in %s failed", d)
+			}
+			o.Close(th, fd)
+		}
+	}
+	if got := len(o.roots); got > 4 {
+		t.Errorf("cache holds %d handles, budget 4", got)
+	}
+	// Everything written through evicted-and-reopened handles is there.
+	for _, d := range dirs {
+		if ls := o.List(th, d); len(ls) != 3 {
+			t.Errorf("%s lists %v, want 3 files", d, ls)
+		}
+	}
+	if got := len(o.roots); got > 4 {
+		t.Errorf("cache holds %d handles after list sweep, budget 4", got)
+	}
+	// The fixed-layout contract survives the lazy regime.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown dir must still panic in the lazy regime")
+			}
+		}()
+		o.List(th, "never-declared")
+	}()
+}
+
+// TestOSLimitedConcurrent hammers a small budget from many goroutines:
+// eviction must never close a root out from under an op in flight
+// (refcounting), and every write must land.
+func TestOSLimitedConcurrent(t *testing.T) {
+	th := NewNative(1)
+	dirs := make([]string, 32)
+	for i := range dirs {
+		dirs[i] = fmt.Sprintf("c%02d", i)
+	}
+	o, err := NewOSLimited(t.TempDir(), dirs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.CloseAll()
+
+	var wg sync.WaitGroup
+	errCh := make(chan string, 256)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				d := dirs[(w*50+i)%len(dirs)]
+				name := fmt.Sprintf("w%d-%d", w, i)
+				fd, ok := o.Create(th, d, name)
+				if !ok {
+					errCh <- "create " + d + "/" + name
+					continue
+				}
+				if !o.Append(th, fd, []byte(name)) {
+					errCh <- "append " + d + "/" + name
+				}
+				if !o.Sync(th, fd) {
+					errCh <- "sync " + d + "/" + name
+				}
+				o.Close(th, fd)
+				if !o.SyncDir(th, d) {
+					errCh <- "syncdir " + d
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for e := range errCh {
+		t.Errorf("op failed under eviction pressure: %s", e)
+	}
+	total := 0
+	for _, d := range dirs {
+		total += len(o.List(th, d))
+	}
+	if total != 8*50 {
+		t.Errorf("found %d files, want %d", total, 8*50)
+	}
+}
+
+// TestOSEagerWithinBudget: a layout within the budget is fully cached
+// at boot (the original eager behavior) and never evicts.
+func TestOSEagerWithinBudget(t *testing.T) {
+	th := NewNative(1)
+	o, err := NewOSLimited(t.TempDir(), []string{"a", "b", "c"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.CloseAll()
+	if got := len(o.roots); got != 3 {
+		t.Fatalf("eager boot cached %d handles, want 3", got)
+	}
+	for i := 0; i < 20; i++ {
+		fd, ok := o.Create(th, "a", fmt.Sprintf("f%d", i))
+		if !ok {
+			t.Fatal("create failed")
+		}
+		o.Close(th, fd)
+	}
+	if got := len(o.roots); got != 3 {
+		t.Errorf("eager cache evicted: %d handles, want 3", got)
+	}
 }

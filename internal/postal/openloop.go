@@ -1,7 +1,6 @@
 package postal
 
 import (
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +17,34 @@ type SpanCarrier interface {
 	SetWorkerSpan(worker int, sp *trace.Span)
 }
 
+// PhaseWindow labels a slice of an open-loop run's schedule. The load
+// harness cuts a drill run into alternating steady and drill windows;
+// each request is attributed to the window containing its *scheduled*
+// start, so the attribution is a pure function of the schedule — two
+// runs of the same seed and windows bucket identically no matter how
+// the store behaved. Windows must be sorted and non-overlapping; an
+// End of 0 means "to the end of the run".
+type PhaseWindow struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+	// Gated windows are held to the latency SLO gates
+	// (EvaluatePhaseGates); drill windows are measured but not gated —
+	// a crash-restart is *supposed* to stall its window, and the
+	// interesting number is by how much.
+	Gated bool `json:"gated"`
+}
+
+// PhaseLatency is one window's slice of an open-loop run.
+type PhaseLatency struct {
+	Name     string         `json:"name"`
+	Gated    bool           `json:"gated"`
+	Requests int            `json:"requests"`
+	Errors   int            `json:"errors"`
+	Deliver  LatencySummary `json:"deliver_latency"`
+	Pickup   LatencySummary `json:"pickup_latency"`
+}
+
 // OpenLoopOptions shapes an open-loop (fixed offered rate) run.
 //
 // The closed loop of Run reproduces Figure 11, but it hides queueing:
@@ -32,6 +59,11 @@ type OpenLoopOptions struct {
 	Workers int
 	// Users spreads requests over this many mailboxes.
 	Users uint64
+	// Skew, ZipfS, and Mix select the multi-tenant workload model (see
+	// Workload): zero values mean the paper's uniform 50/50 mix.
+	Skew  string
+	ZipfS float64
+	Mix   float64
 	// Rate is the total offered load in requests/second across all
 	// workers.
 	Rate float64
@@ -45,6 +77,9 @@ type OpenLoopOptions struct {
 	// Tracer, when non-nil and the backend is a SpanCarrier, opens a
 	// root span per request so the per-stage histograms fill.
 	Tracer *trace.Tracer
+	// Windows, when non-empty, cuts the run into labeled phases with
+	// per-phase latency accounting (OpenLoopResult.Phases).
+	Windows []PhaseWindow
 }
 
 func (o *OpenLoopOptions) fill() {
@@ -65,10 +100,16 @@ func (o *OpenLoopOptions) fill() {
 	}
 }
 
+// Workload returns the options' multi-tenant workload model.
+func (o OpenLoopOptions) Workload() Workload {
+	return Workload{Users: o.Users, Skew: o.Skew, ZipfS: o.ZipfS, Mix: o.Mix}.fill()
+}
+
 // OpenLoopResult summarizes an open-loop run. Latency quantiles are
 // measured from each request's scheduled start (coordinated-omission
 // free); Stages carries the per-stage breakdown from the tracer's
-// histograms when tracing was on.
+// histograms when tracing was on, Phases the per-window slices when
+// the run declared phase windows.
 type OpenLoopResult struct {
 	OfferedRate float64        `json:"offered_rate_per_second"`
 	Requests    int            `json:"requests"`
@@ -81,6 +122,25 @@ type OpenLoopResult struct {
 	Pickup      LatencySummary `json:"pickup_latency"`
 
 	Stages []trace.StageSummary `json:"stages,omitempty"`
+	Phases []PhaseLatency       `json:"phases,omitempty"`
+}
+
+// windowIndex attributes a scheduled offset to a window: the last
+// window whose slice contains it. Falls back to the last window whose
+// Start has passed (contiguous windows never need it, but a gap must
+// not drop a measurement), then to 0.
+func windowIndex(ws []PhaseWindow, off time.Duration) int {
+	for i := len(ws) - 1; i >= 0; i-- {
+		if off >= ws[i].Start && (ws[i].End == 0 || off < ws[i].End) {
+			return i
+		}
+	}
+	for i := len(ws) - 1; i >= 0; i-- {
+		if off >= ws[i].Start {
+			return i
+		}
+	}
+	return 0
 }
 
 // OpenLoop drives the mixed workload at a fixed offered rate and
@@ -92,10 +152,23 @@ func OpenLoop(b Backend, opts OpenLoopOptions) OpenLoopResult {
 	opts.fill()
 	carrier, _ := b.(SpanCarrier)
 	traced := opts.Tracer != nil && carrier != nil
+	workload := opts.Workload()
 
 	var delivers, pickups, errs atomic.Int64
 	deliverLat := obs.NewHistogram(obs.DefLatencyBuckets)
 	pickupLat := obs.NewHistogram(obs.DefLatencyBuckets)
+
+	// Per-phase accounting, allocated up front so workers never
+	// contend on anything but the lock-free histograms themselves.
+	nw := len(opts.Windows)
+	phDeliver := make([]*obs.Histogram, nw)
+	phPickup := make([]*obs.Histogram, nw)
+	phReqs := make([]atomic.Int64, nw)
+	phErrs := make([]atomic.Int64, nw)
+	for i := 0; i < nw; i++ {
+		phDeliver[i] = obs.NewHistogram(obs.DefLatencyBuckets)
+		phPickup[i] = obs.NewHistogram(obs.DefLatencyBuckets)
+	}
 
 	interval := time.Duration(float64(time.Second) * float64(opts.Workers) / opts.Rate)
 	start := time.Now()
@@ -105,14 +178,21 @@ func OpenLoop(b Backend, opts OpenLoopOptions) OpenLoopResult {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+			sampler := NewSampler(workload, opts.Seed, w)
+			rng := sampler.Rng()
 			offset := time.Duration(float64(time.Second) * float64(w) / opts.Rate)
 			for sched := start.Add(offset); sched.Before(deadline); sched = sched.Add(interval) {
 				if d := time.Until(sched); d > 0 {
 					time.Sleep(d)
 				}
-				user := uint64(rng.Int63n(int64(opts.Users)))
-				if rng.Intn(2) == 0 {
+				ph := -1
+				if nw > 0 {
+					ph = windowIndex(opts.Windows, sched.Sub(start))
+					phReqs[ph].Add(1)
+				}
+				isDeliver := sampler.NextIsDeliver()
+				user := sampler.NextUser()
+				if isDeliver {
 					msg := Compose(rng, opts.MessageBytes)
 					var root *trace.Span
 					if traced {
@@ -126,9 +206,16 @@ func OpenLoop(b Backend, opts OpenLoopOptions) OpenLoopResult {
 					}
 					// Latency from the scheduled start: queueing behind
 					// a backlog is the store's problem, not the clock's.
-					deliverLat.Observe(time.Since(sched).Seconds())
+					lat := time.Since(sched).Seconds()
+					deliverLat.Observe(lat)
+					if ph >= 0 {
+						phDeliver[ph].Observe(lat)
+					}
 					if err != nil {
 						errs.Add(1)
+						if ph >= 0 {
+							phErrs[ph].Add(1)
+						}
 					} else {
 						delivers.Add(1)
 					}
@@ -154,9 +241,16 @@ func OpenLoop(b Backend, opts OpenLoopOptions) OpenLoopResult {
 						carrier.SetWorkerSpan(w, nil)
 						root.End()
 					}
-					pickupLat.Observe(time.Since(sched).Seconds())
+					lat := time.Since(sched).Seconds()
+					pickupLat.Observe(lat)
+					if ph >= 0 {
+						phPickup[ph].Observe(lat)
+					}
 					if err != nil {
 						errs.Add(1)
+						if ph >= 0 {
+							phErrs[ph].Add(1)
+						}
 					} else {
 						pickups.Add(1)
 					}
@@ -180,6 +274,16 @@ func OpenLoop(b Backend, opts OpenLoopOptions) OpenLoopResult {
 	}
 	if traced && opts.Tracer.Stages != nil {
 		res.Stages = opts.Tracer.Stages.Summaries()
+	}
+	for i := 0; i < nw; i++ {
+		res.Phases = append(res.Phases, PhaseLatency{
+			Name:     opts.Windows[i].Name,
+			Gated:    opts.Windows[i].Gated,
+			Requests: int(phReqs[i].Load()),
+			Errors:   int(phErrs[i].Load()),
+			Deliver:  summarize(phDeliver[i]),
+			Pickup:   summarize(phPickup[i]),
+		})
 	}
 	return res
 }

@@ -75,6 +75,76 @@ func TestOpenLoopUntraced(t *testing.T) {
 	}
 }
 
+// TestOpenLoopPhaseWindows: a windowed run buckets every request into
+// the phase containing its scheduled start, and the per-phase counts
+// add back up to the run total.
+func TestOpenLoopPhaseWindows(t *testing.T) {
+	b, err := NewMailboatBackend(t.TempDir(), 8, 2, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	windows := []PhaseWindow{
+		{Name: "steady-0", Start: 0, End: 200 * time.Millisecond, Gated: true},
+		{Name: "drill", Start: 200 * time.Millisecond, End: 400 * time.Millisecond},
+		{Name: "steady-1", Start: 400 * time.Millisecond, Gated: true},
+	}
+	res := OpenLoop(b, OpenLoopOptions{
+		Workers:  2,
+		Users:    8,
+		Skew:     SkewZipf,
+		Rate:     400,
+		Duration: 600 * time.Millisecond,
+		Seed:     4,
+		Windows:  windows,
+	})
+	if len(res.Phases) != 3 {
+		t.Fatalf("want 3 phases, got %+v", res.Phases)
+	}
+	total := 0
+	for i, p := range res.Phases {
+		if p.Name != windows[i].Name || p.Gated != windows[i].Gated {
+			t.Errorf("phase %d mislabeled: %+v vs window %+v", i, p, windows[i])
+		}
+		if p.Requests == 0 {
+			t.Errorf("phase %q saw no requests", p.Name)
+		}
+		if int(p.Deliver.Count+p.Pickup.Count) != p.Requests {
+			t.Errorf("phase %q: %d deliver + %d pickup observations != %d requests",
+				p.Name, p.Deliver.Count, p.Pickup.Count, p.Requests)
+		}
+		total += p.Requests
+	}
+	if total != res.Requests {
+		t.Errorf("phases bucket %d requests, run saw %d", total, res.Requests)
+	}
+}
+
+func TestEvaluatePhaseGates(t *testing.T) {
+	phases := []PhaseLatency{
+		{Name: "steady-0", Gated: true,
+			Deliver: LatencySummary{Count: 10, P99: 0.01}, Pickup: LatencySummary{Count: 10, P99: 0.01}},
+		// The drill phase blows the deliver gate but is not gated.
+		{Name: "crash",
+			Deliver: LatencySummary{Count: 10, P99: 3.0}, Pickup: LatencySummary{Count: 10, P99: 3.0}},
+		{Name: "steady-1", Gated: true,
+			Deliver: LatencySummary{Count: 10, P99: 0.02}, Pickup: LatencySummary{Count: 10, P99: 0.02}},
+	}
+	rs, pass := EvaluatePhaseGates(DefaultGates(), phases)
+	if !pass {
+		t.Errorf("steady phases within bounds must pass (drill phases are not gated): %+v", rs)
+	}
+	if len(rs) != 4 {
+		t.Errorf("want 2 gates x 2 gated phases = 4 results, got %d", len(rs))
+	}
+
+	phases[2].Deliver.P99 = 1.0
+	rs, pass = EvaluatePhaseGates(DefaultGates(), phases)
+	if pass {
+		t.Errorf("a gated steady phase over its bound must fail the run: %+v", rs)
+	}
+}
+
 func TestEvaluateGates(t *testing.T) {
 	res := OpenLoopResult{
 		Deliver: LatencySummary{Count: 10, P50: 0.001, P90: 0.002, P99: 0.004},

@@ -41,6 +41,40 @@ func DefaultGates() []Gate {
 	}
 }
 
+// PhaseGateResult is one gate evaluated against one phase of a
+// windowed run.
+type PhaseGateResult struct {
+	Phase string `json:"phase"`
+	GateResult
+}
+
+func (r PhaseGateResult) String() string {
+	return fmt.Sprintf("[%s] %s", r.Phase, r.GateResult)
+}
+
+// EvaluatePhaseGates checks the gates against every *gated* phase of a
+// windowed run (drill phases are reported, not gated — see
+// PhaseWindow.Gated). The verdict is the AND over all gated phases:
+// the steady-state service around a drill must hold its SLO even
+// while the drill window itself is allowed to stall.
+func EvaluatePhaseGates(gates []Gate, phases []PhaseLatency) ([]PhaseGateResult, bool) {
+	all := true
+	var out []PhaseGateResult
+	for _, p := range phases {
+		if !p.Gated {
+			continue
+		}
+		rs, ok := EvaluateGates(gates, OpenLoopResult{Deliver: p.Deliver, Pickup: p.Pickup})
+		for _, r := range rs {
+			out = append(out, PhaseGateResult{Phase: p.Name, GateResult: r})
+		}
+		if !ok {
+			all = false
+		}
+	}
+	return out, all
+}
+
 // quantileOf picks the requested quantile out of a summary; the
 // summaries pre-compute p50/p90/p99, which is the menu gates can use.
 func quantileOf(s LatencySummary, q float64) (float64, bool) {

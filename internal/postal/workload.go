@@ -1,0 +1,141 @@
+package postal
+
+import "math/rand"
+
+// This file is the multi-tenant workload model of the load harness:
+// which mailbox each request hits, and whether it is an SMTP-style
+// delivery or a POP3-style pickup session. The paper's §9.3 workload
+// is uniform over 100 users with an equal mix; a production mail
+// system serves millions of mailboxes where a small hot set takes
+// most of the traffic, so the harness generalizes both axes — a
+// zipfian hot/cold skew over 10k–1M mailboxes and a configurable
+// deliver:pickup ratio — while staying seeded and deterministic, so a
+// drill run names a workload precisely enough to replay it.
+
+// Skew names for Workload.Skew.
+const (
+	// SkewUniform draws every mailbox with equal probability — the
+	// paper's §9.3 model and the default.
+	SkewUniform = "uniform"
+	// SkewZipf draws mailboxes zipfian: rank r is hit with probability
+	// ∝ (1+r)^-s, so a small hot set takes most of the traffic. Ranks
+	// map to mailbox IDs through a seeded rotation, so the hot set is
+	// not always mailbox 0..k but is identical for every worker of a
+	// run and for every run with the same seed.
+	SkewZipf = "zipf"
+)
+
+// DefaultZipfS is the default zipf exponent: mildly skewed (the
+// stdlib sampler requires s > 1; 1.1 puts roughly two thirds of the
+// traffic on the hottest 1% of a 100k-mailbox population).
+const DefaultZipfS = 1.1
+
+// Workload is the multi-tenant model of a load: how many mailboxes,
+// how the per-request mailbox is drawn, and the op mix. The zero
+// value (after fill) is the paper's workload: uniform, 50/50.
+type Workload struct {
+	// Users is the mailbox population.
+	Users uint64 `json:"users"`
+	// Skew is SkewUniform or SkewZipf ("" = uniform).
+	Skew string `json:"skew"`
+	// ZipfS is the zipf exponent (> 1); 0 means DefaultZipfS. Ignored
+	// under SkewUniform.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// Mix is the fraction of requests that are deliveries, in [0,1];
+	// 0 means 0.5. (A pure-pickup workload is Mix set very small but
+	// nonzero; exactly 0 keeps the zero value meaning "default".)
+	Mix float64 `json:"mix"`
+}
+
+func (w Workload) fill() Workload {
+	if w.Users == 0 {
+		w.Users = 100
+	}
+	if w.Skew == "" {
+		w.Skew = SkewUniform
+	}
+	if w.ZipfS == 0 {
+		w.ZipfS = DefaultZipfS
+	}
+	if w.Mix == 0 {
+		w.Mix = 0.5
+	}
+	return w
+}
+
+// Valid reports whether the workload names a known skew and a sane
+// exponent and mix.
+func (w Workload) Valid() bool {
+	w = w.fill()
+	if w.Skew != SkewUniform && w.Skew != SkewZipf {
+		return false
+	}
+	if w.Skew == SkewZipf && w.ZipfS <= 1 {
+		return false
+	}
+	return w.Mix >= 0 && w.Mix <= 1
+}
+
+// Sampler draws the (mailbox, op) sequence for one worker. Two
+// samplers built with the same (workload, runSeed, worker) draw the
+// same sequence; samplers of different workers share the same
+// rank→mailbox rotation (the hot set is a property of the run, not of
+// a worker) but draw independent streams.
+type Sampler struct {
+	w    Workload
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	rot  uint64
+}
+
+// NewSampler builds the sampler for one worker of a run.
+func NewSampler(w Workload, runSeed int64, worker int) *Sampler {
+	w = w.fill()
+	s := &Sampler{
+		w: w,
+		// The per-worker stream seeding matches the rest of the
+		// package (Run, OpenLoop): seed + worker·7919.
+		rng: rand.New(rand.NewSource(runSeed + int64(worker)*7919)),
+		rot: splitmix64(uint64(runSeed)) % w.Users,
+	}
+	if w.Skew == SkewZipf {
+		s.zipf = rand.NewZipf(s.rng, w.ZipfS, 1, w.Users-1)
+	}
+	return s
+}
+
+// splitmix64 is the finalizer used for the rank rotation — one fixed,
+// documented mix so the rotation is a pure function of the run seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Rng exposes the sampler's stream for auxiliary draws that must stay
+// part of the worker's deterministic sequence (message bodies).
+func (s *Sampler) Rng() *rand.Rand { return s.rng }
+
+// NextIsDeliver draws the op for the next request.
+func (s *Sampler) NextIsDeliver() bool {
+	return s.rng.Float64() < s.w.Mix
+}
+
+// NextUser draws the mailbox for the next request.
+func (s *Sampler) NextUser() uint64 {
+	if s.zipf == nil {
+		return uint64(s.rng.Int63n(int64(s.w.Users)))
+	}
+	return s.MailboxOfRank(s.zipf.Uint64())
+}
+
+// MailboxOfRank maps popularity rank r (0 = hottest) to its mailbox
+// ID: a rotation by a seeded offset. A rotation is the simplest
+// bijection — it keeps the skew mass exact per rank while detaching
+// the hot set from the low mailbox IDs — and being a pure function of
+// the run seed it lets a test (or an operator reading a bench record)
+// recompute exactly which mailboxes were hot.
+func (s *Sampler) MailboxOfRank(r uint64) uint64 {
+	return (r + s.rot) % s.w.Users
+}

@@ -1,0 +1,125 @@
+package postal
+
+import "testing"
+
+// TestSamplerDeterministic: the whole point of a seeded workload is
+// that a bench record's (skew, seed, users) triple names the exact
+// request sequence. Same inputs, same draws — and a different seed or
+// worker index diverges.
+func TestSamplerDeterministic(t *testing.T) {
+	for _, skew := range []string{SkewUniform, SkewZipf} {
+		w := Workload{Users: 100000, Skew: skew}
+		a := NewSampler(w, 42, 3)
+		b := NewSampler(w, 42, 3)
+		diverged := false
+		other := NewSampler(w, 43, 3)
+		for i := 0; i < 2000; i++ {
+			ad, bd := a.NextIsDeliver(), b.NextIsDeliver()
+			au, bu := a.NextUser(), b.NextUser()
+			if ad != bd || au != bu {
+				t.Fatalf("%s: draw %d diverged under the same seed: (%v,%d) vs (%v,%d)", skew, i, ad, au, bd, bu)
+			}
+			other.NextIsDeliver()
+			if other.NextUser() != au {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Errorf("%s: different seeds drew identical user sequences", skew)
+		}
+	}
+}
+
+// TestZipfHotSetMass: under zipf skew the hottest 1% of mailboxes (by
+// rank, mapped through the seeded rotation) must carry the majority
+// of the traffic, and the same hot set under uniform skew must carry
+// roughly its fair 1% share — the two ends the harness interpolates.
+func TestZipfHotSetMass(t *testing.T) {
+	const users = 100000
+	const draws = 200000
+
+	mass := func(skew string) float64 {
+		s := NewSampler(Workload{Users: users, Skew: skew}, 7, 0)
+		hot := make(map[uint64]bool, users/100)
+		for r := uint64(0); r < users/100; r++ {
+			hot[s.MailboxOfRank(r)] = true
+		}
+		n := 0
+		for i := 0; i < draws; i++ {
+			if hot[s.NextUser()] {
+				n++
+			}
+		}
+		return float64(n) / draws
+	}
+
+	if m := mass(SkewZipf); m < 0.40 {
+		t.Errorf("zipf: hottest 1%% of mailboxes carries only %.1f%% of traffic, want > 40%%", m*100)
+	}
+	if m := mass(SkewUniform); m > 0.05 {
+		t.Errorf("uniform: hottest 1%% of mailboxes carries %.1f%% of traffic, want about 1%%", m*100)
+	}
+}
+
+// TestZipfStableAcrossScale: the skew must not collapse toward
+// uniform as the population grows — at 10k, 100k, and 1M mailboxes
+// the hot 1% keeps a majority of the mass. This is what makes
+// "zipf, seed s, N users" a meaningful label on a bench record at any
+// N in the harness's range.
+func TestZipfStableAcrossScale(t *testing.T) {
+	const draws = 100000
+	for _, users := range []uint64{10000, 100000, 1000000} {
+		s := NewSampler(Workload{Users: users, Skew: SkewZipf}, 11, 0)
+		hotRanks := users / 100
+		n := 0
+		for i := 0; i < draws; i++ {
+			// Rank r maps to mailbox (r+rot)%users; invert the rotation
+			// instead of materializing a 10k-element hot set map.
+			u := s.NextUser()
+			if (u+users-s.rot)%users < hotRanks {
+				n++
+			}
+		}
+		if m := float64(n) / draws; m < 0.40 {
+			t.Errorf("users=%d: hot 1%% mass %.1f%%, want > 40%% at every scale", users, m*100)
+		}
+	}
+}
+
+// TestSamplerMix: the deliver fraction tracks Workload.Mix.
+func TestSamplerMix(t *testing.T) {
+	for _, mix := range []float64{0.2, 0.5, 0.9} {
+		s := NewSampler(Workload{Users: 100, Mix: mix}, 5, 0)
+		n := 0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			if s.NextIsDeliver() {
+				n++
+			}
+			s.NextUser()
+		}
+		got := float64(n) / draws
+		if got < mix-0.02 || got > mix+0.02 {
+			t.Errorf("mix %.2f: measured deliver fraction %.3f", mix, got)
+		}
+	}
+}
+
+// TestWorkloadValid: the CLI leans on Valid to reject misspelled
+// skews and out-of-range exponents before booting a 100k-user store.
+func TestWorkloadValid(t *testing.T) {
+	for _, tc := range []struct {
+		w  Workload
+		ok bool
+	}{
+		{Workload{}, true},
+		{Workload{Skew: SkewZipf}, true},
+		{Workload{Skew: "zipfian"}, false},
+		{Workload{Skew: SkewZipf, ZipfS: 0.99}, false},
+		{Workload{Mix: 1.5}, false},
+	} {
+		if got := tc.w.Valid(); got != tc.ok {
+			t.Errorf("Valid(%+v) = %v, want %v", tc.w, got, tc.ok)
+		}
+	}
+}
