@@ -149,6 +149,64 @@ func appendBenchRun(path string, run benchRun) error {
 	return os.WriteFile(path, out.Bytes(), 0o644)
 }
 
+// gateDrillRegressions gates each drill's wall-clock duration against
+// the history already accreted at path: prior successful executions of
+// the same drill on the same deployment with the same population are
+// the baseline, and — once at least three samples exist, so one noisy
+// run cannot set the bar — a duration over twice their median is a
+// regression. Recovery time is a durability property with a perf
+// budget: a crash recovery or disk-full resume that quietly doubles is
+// a bug the zero-loss audit alone would never catch. Called before the
+// current run is appended, so a run never gates against itself; no
+// history (or too little) gates nothing.
+func gateDrillRegressions(path string, run benchRun) []string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var top struct {
+		Runs []benchRun `json:"runs"`
+	}
+	if err := json.Unmarshal(b, &top); err != nil {
+		return nil
+	}
+	hist := map[string][]float64{}
+	for _, r := range top.Runs {
+		if r.Deployment != run.Deployment || r.Users != run.Users {
+			continue
+		}
+		for _, d := range r.Drills {
+			if d.OK {
+				hist[d.Name] = append(hist[d.Name], d.DurSec)
+			}
+		}
+	}
+	var regressions []string
+	for _, d := range run.Drills {
+		samples := hist[d.Name]
+		if len(samples) < 3 {
+			continue
+		}
+		med := median(samples)
+		if d.DurSec > 2*med {
+			regressions = append(regressions,
+				fmt.Sprintf("drill %s took %.3fs, over 2x the %.3fs median of %d prior runs (%s deployment, %d users)",
+					d.Name, d.DurSec, med, len(samples), run.Deployment, run.Users))
+		}
+	}
+	return regressions
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
 // runTraceProfile runs the traced open-loop profile against the
 // verified library: a fixed offered rate, per-request root spans, and
 // the per-stage latency breakdown from the span durations. It returns

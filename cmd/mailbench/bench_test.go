@@ -178,3 +178,60 @@ func TestDeploymentFor(t *testing.T) {
 		}
 	}
 }
+
+// TestGateDrillRegressions pins the drill-duration gate: ≥3 prior
+// samples of the same drill (same deployment, same population) set a
+// median baseline, and a current duration over 2x it is a regression.
+// Mismatched deployments/populations, failed prior drills, and thin
+// history contribute nothing.
+func TestGateDrillRegressions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	hist := func(dep string, users uint64, name string, durs ...float64) {
+		for _, d := range durs {
+			run := benchRun{Deployment: dep, Users: users,
+				Drills: []drillRecord{{Name: name, DurSec: d, OK: true}}}
+			if err := appendBenchRun(path, run); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hist("plain", 200, "crash", 0.10, 0.12, 0.11)
+	hist("plain", 200, "diskfull", 0.30, 0.30, 0.34)
+	// Noise that must not count: other deployment, other population,
+	// and a failed drill with an absurd duration.
+	hist("replicated", 200, "crash", 9, 9, 9)
+	hist("plain", 5000, "crash", 9, 9, 9)
+	if err := appendBenchRun(path, benchRun{Deployment: "plain", Users: 200,
+		Drills: []drillRecord{{Name: "crash", DurSec: 50, OK: false}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	cur := benchRun{Deployment: "plain", Users: 200, Drills: []drillRecord{
+		{Name: "crash", DurSec: 0.20, OK: true},    // under 2x the 0.11 median
+		{Name: "diskfull", DurSec: 0.70, OK: true}, // over 2x the 0.30 median
+		{Name: "partition", DurSec: 9, OK: true},   // no history at all
+	}}
+	regs := gateDrillRegressions(path, cur)
+	if len(regs) != 1 || !strings.Contains(regs[0], "diskfull") {
+		t.Fatalf("regressions = %v, want exactly the diskfull one", regs)
+	}
+
+	// Two samples are not a baseline.
+	thin := filepath.Join(t.TempDir(), "thin.json")
+	hist2 := benchRun{Deployment: "plain", Users: 200,
+		Drills: []drillRecord{{Name: "crash", DurSec: 0.1, OK: true}}}
+	path2 := thin
+	for i := 0; i < 2; i++ {
+		if err := appendBenchRun(path2, hist2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if regs := gateDrillRegressions(path2, cur); len(regs) != 0 {
+		t.Fatalf("thin history gated: %v", regs)
+	}
+
+	// No file at all gates nothing.
+	if regs := gateDrillRegressions(filepath.Join(t.TempDir(), "none.json"), cur); regs != nil {
+		t.Fatalf("missing history gated: %v", regs)
+	}
+}

@@ -50,6 +50,7 @@ const (
 	drillFault     = "fault"     // crash-restart into a seeded transient-fault burst
 	drillCorrupt   = "corrupt"   // flip live bytes on one replica, heal-scrub under load
 	drillPartition = "partition" // cut the replication link, heal, catch-up resync
+	drillDiskFull  = "diskfull"  // force the no-space latch: fill, shed, free, recover
 )
 
 // loadConfig is the flag surface of a load run.
@@ -113,11 +114,13 @@ func deploymentFor(drills []string) (string, error) {
 	has := map[string]bool{}
 	for _, d := range drills {
 		switch d {
-		case drillCrash, drillFault, drillCorrupt, drillPartition:
+		case drillCrash, drillFault, drillCorrupt, drillPartition, drillDiskFull:
+			// diskfull works on every deployment (the shed surface is on
+			// the adapter itself) and forces none.
 			has[d] = true
 		default:
-			return "", fmt.Errorf("unknown drill %q (valid: %s, %s, %s, %s)",
-				d, drillCrash, drillFault, drillCorrupt, drillPartition)
+			return "", fmt.Errorf("unknown drill %q (valid: %s, %s, %s, %s, %s)",
+				d, drillCrash, drillFault, drillCorrupt, drillPartition, drillDiskFull)
 		}
 	}
 	if has[drillPartition] && (has[drillCorrupt] || has[drillFault]) {
@@ -453,6 +456,61 @@ func (h *loadHarness) execDrill(name string, at time.Duration, dwell time.Durati
 		tr.Partition(false)
 		rec.OK = true
 		rec.Detail = fmt.Sprintf("replication link cut %v, healed", cut.Round(time.Millisecond))
+	case drillDiskFull:
+		// Fill: force the store's no-space signal (the drill analog of a
+		// full disk), so admission control sheds every delivery while the
+		// load keeps arriving. Shed probes are composed and would be
+		// tracked if they slipped through — an ack while "full" must
+		// survive the audit like any other ack.
+		sampler := postal.NewSampler(postal.Workload{Users: h.cfg.users}, h.cfg.seed+13, 1<<20)
+		h.mu.RLock()
+		h.primary.ForceNoSpace()
+		probe := postal.Compose(sampler.Rng(), 64)
+		perr := h.primary.DeliverTraced(nil, 0, probe)
+		if perr == nil {
+			h.acked.Store(string(probe), true)
+		}
+		st := h.primary.ShedStatus()
+		h.mu.RUnlock()
+		shedOK := perr != nil && isInsufficientStorage(perr) && st != nil && st.Shedding
+
+		// Dwell full for a slice of the drill window: the open-loop
+		// workload keeps offering and must be refused, not hung or lost.
+		hold := dwell / 3
+		if hold > 500*time.Millisecond {
+			hold = 500 * time.Millisecond
+		}
+		time.Sleep(hold)
+
+		// Free: release the latch and measure time back to the first
+		// committed delivery — the recovery the bench gate watches.
+		h.mu.RLock()
+		h.primary.ReleaseNoSpace()
+		h.mu.RUnlock()
+		freed := time.Now()
+		recovered := false
+		for time.Since(freed) < 10*time.Second {
+			msg := postal.Compose(sampler.Rng(), 64)
+			h.mu.RLock()
+			err := h.primary.DeliverTraced(nil, 0, msg)
+			h.mu.RUnlock()
+			if err == nil {
+				h.acked.Store(string(msg), true)
+				recovered = true
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		rec.OK = shedOK && recovered
+		switch {
+		case !shedOK:
+			rec.Detail = fmt.Sprintf("store did not shed while full (probe err %v, status %+v)", perr, st)
+		case !recovered:
+			rec.Detail = "no delivery committed within 10s of freeing space"
+		default:
+			rec.Detail = fmt.Sprintf("shed while full (452-class), held %v, recovered %v after free",
+				hold.Round(time.Millisecond), time.Since(freed).Round(time.Millisecond))
+		}
 	}
 	rec.DurSec = time.Since(start).Seconds()
 	h.drillMu.Lock()
@@ -651,6 +709,12 @@ func runLoad(cfg loadConfig) (*loadOutcome, error) {
 
 	out := &loadOutcome{Deployment: deployment, Res: res, Drills: h.drills}
 
+	// Any durability or drill failure below is deterministic in the
+	// flags; stamp the failure with the exact command that replays it.
+	fail := func(err error) error {
+		return fmt.Errorf("%w\n  seed %d; replay: %s", err, cfg.seed, replayCommand(cfg))
+	}
+
 	// SLO verdict: with drills, the gated steady phases decide; a bare
 	// -load run gates the whole run like the trace profile does.
 	out.Gates, out.SLOPass = postal.EvaluateGates(postal.DefaultGates(), res)
@@ -663,28 +727,28 @@ func runLoad(cfg loadConfig) (*loadOutcome, error) {
 		s := resync.Seconds()
 		out.Audit.ResyncSec = &s
 		if err != nil {
-			return out, err
+			return out, fail(err)
 		}
 	}
 	audit, auditErr := h.audit()
 	audit.ResyncSec = out.Audit.ResyncSec
 	out.Audit = audit
 	if auditErr != nil {
-		return out, auditErr
+		return out, fail(auditErr)
 	}
 	for _, d := range out.Drills {
 		if !d.OK {
-			return out, fmt.Errorf("drill %s at %.1fs failed: %s", d.Name, d.AtSec, d.Detail)
+			return out, fail(fmt.Errorf("drill %s at %.1fs failed: %s", d.Name, d.AtSec, d.Detail))
 		}
 	}
 	if deployment == "replicated" {
 		same, err := h.storesIdentical()
 		if err != nil {
-			return out, err
+			return out, fail(err)
 		}
 		out.Audit.StoresIdentical = &same
 		if !same {
-			return out, fmt.Errorf("stores diverged after resync")
+			return out, fail(fmt.Errorf("stores diverged after resync"))
 		}
 	}
 	return out, nil
@@ -764,6 +828,34 @@ func autoDuration(users uint64) time.Duration {
 	default:
 		return 60 * time.Second
 	}
+}
+
+// isInsufficientStorage reports whether err is a storage-capacity
+// refusal, via the same structural marker the SMTP front end keys
+// its 452 on (mailboatd.ErrNoSpace / ErrOverloaded carry it).
+func isInsufficientStorage(err error) bool {
+	is, ok := err.(interface{ InsufficientStorage() bool })
+	return ok && is.InsufficientStorage()
+}
+
+// replayCommand renders the verbatim command line that reproduces
+// this run: the workload, the drill schedule, and every fault seed
+// are pure functions of these flags, so a failure message carrying
+// this line is a complete bug report.
+func replayCommand(cfg loadConfig) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mailbench -load -seed %d -users %d -rate %g -duration %s -skew %s -mix %g",
+		cfg.seed, cfg.users, cfg.rate, cfg.duration, cfg.skew, cfg.mix)
+	if cfg.skew == postal.SkewZipf {
+		fmt.Fprintf(&b, " -zipf-s %g", cfg.zipfS)
+	}
+	if len(cfg.drills) > 0 {
+		fmt.Fprintf(&b, " -drill %s", strings.Join(cfg.drills, ","))
+	}
+	if cfg.noFsync {
+		b.WriteString(" -no-fsync")
+	}
+	return b.String()
 }
 
 // parseDrills splits and normalizes the -drill flag.

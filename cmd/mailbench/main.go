@@ -10,7 +10,7 @@
 //	          [-dir path] [-seed N] [-json path] [-corrupt] [-partition]
 //	          [-no-fsync] [-trace] [-rate N] [-profile-duration d]
 //	          [-bench path] [-slo] [-load] [-duration d] [-skew uniform|zipf]
-//	          [-zipf-s S] [-mix F] [-drill crash,fault,corrupt,partition]
+//	          [-zipf-s S] [-mix F] [-drill crash,fault,corrupt,partition,diskfull]
 //
 // By default the mailboat backends run with the full checked sync
 // discipline (fsync spool data, fsync the mailbox directory before
@@ -55,14 +55,23 @@
 // of the sweep: an open-loop multi-tenant workload — -users mailboxes
 // under -skew uniform|zipf (exponent -zipf-s) with a -mix fraction of
 // deliveries — at -rate req/s for -duration, while the -drill list
-// (crash, fault, corrupt, partition; comma-separated, evenly spaced
-// through the run) executes against the live store. Latency is
-// bucketed into steady vs drill phases by scheduled start; the gated
-// steady phases decide the SLO verdict, and a post-run audit enforces
-// zero acked-mail loss, no resurrected deletes, hash-clean reads,
-// and (replicated) byte-identical stores. Every run appends a
-// schema-v3 record to -bench. See docs/DURABILITY.md for the claims
-// each drill substantiates.
+// (crash, fault, corrupt, partition, diskfull; comma-separated,
+// evenly spaced through the run) executes against the live store.
+// The diskfull drill forces the store's no-space signal mid-load
+// (fill), asserts every delivery is refused with the 452-class
+// insufficient-storage marker rather than hung or lost (shed), then
+// releases the signal (free) and measures time back to the first
+// committed delivery (recover). Latency is bucketed into steady vs
+// drill phases by scheduled start; the gated steady phases decide
+// the SLO verdict, and a post-run audit enforces zero acked-mail
+// loss, no resurrected deletes, hash-clean reads, and (replicated)
+// byte-identical stores. Every run appends a schema-v3 record to
+// -bench, and each drill's duration is gated against the run history
+// in that file (a drill 2x slower than the median of prior runs on
+// the same deployment and population fails the run under -slo).
+// Audit and drill failures print the seed and the verbatim replay
+// command. See docs/DURABILITY.md for the claims each drill
+// substantiates.
 //
 // Servers: mailboat (verified library, direct calls — the paper's
 // measurement method), gomail, cmail (simulated), and mailboat-net (the
@@ -108,7 +117,7 @@ func main() {
 	skew := flag.String("skew", postal.SkewUniform, "mailbox popularity skew for -load and -trace: uniform or zipf")
 	zipfS := flag.Float64("zipf-s", postal.DefaultZipfS, "zipf exponent (> 1) when -skew zipf")
 	mix := flag.Float64("mix", 0.5, "fraction of requests that are deliveries, in [0,1]")
-	drillFlag := flag.String("drill", "", "comma-separated mid-load drills for -load: crash, fault, corrupt, partition")
+	drillFlag := flag.String("drill", "", "comma-separated mid-load drills for -load: crash, fault, corrupt, partition, diskfull")
 	flag.Parse()
 
 	if *loadMode || *drillFlag != "" {
@@ -152,12 +161,19 @@ func main() {
 			Drills:     out.Drills,
 			Audit:      &out.Audit,
 		}
+		// Gate drill durations against the history BEFORE appending this
+		// run, so a run never dilutes the baseline it is judged by.
+		regressions := gateDrillRegressions(*benchPath, run)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "mailbench: drill regression: %s\n  seed %d; replay: %s\n",
+				r, cfg.seed, replayCommand(cfg))
+		}
 		if err := appendBenchRun(*benchPath, run); err != nil {
 			fmt.Fprintf(os.Stderr, "mailbench: writing %s: %v\n", *benchPath, err)
 			os.Exit(1)
 		}
 		fmt.Printf("bench history appended to %s\n", *benchPath)
-		if !out.SLOPass && *sloStrict {
+		if (!out.SLOPass || len(regressions) > 0) && *sloStrict {
 			os.Exit(1)
 		}
 		return

@@ -9,6 +9,7 @@
 //	mailboat [-dir path] [-mirror path] [-users N] [-smtp addr] [-pop3 addr]
 //	         [-admin addr] [-max-conns N] [-timeout d] [-grace d] [-no-fsync]
 //	         [-retries N] [-backoff d] [-checksum] [-scrub-interval d]
+//	         [-quota N] [-max-inflight N] [-shed-low N] [-shed-high N]
 //	         [-fault-seed N] [-fault-rate N] [-fault-max N]
 //	         [-replica addr | -backup-of addr] [-repl-listen addr]
 //
@@ -49,6 +50,22 @@
 // listener runs one on demand, and /healthz answers 503 while the last
 // scrub reports unhealed damage.
 //
+// -quota caps each mailbox's stored bytes: an over-quota delivery is
+// refused up front with SMTP 452 (insufficient system storage) and the
+// store untouched; deleting mail over POP3 credits the bytes back.
+// Usage is re-derived from the store on every boot.
+//
+// -shed-low/-shed-high and -max-inflight are the overload-shedding
+// policy: when the file system backing -dir drops below -shed-low free
+// bytes (measured with statfs, cached), or more than -max-inflight
+// deliveries are in flight, new deliveries are refused with SMTP 452
+// instead of being raced into ENOSPC, and /healthz answers 503 with
+// the shed snapshot so load balancers steer mail elsewhere. Shedding
+// stops once free space rises above -shed-high (hysteresis; default
+// 2x -shed-low). Reads (POP3) are never shed — mail already stored
+// costs no new space to serve. The gfs_space_free_bytes and
+// shed_deliveries_total metrics track the policy on /metrics.
+//
 // -replica and -backup-of run a primary/backup replicated pair — the
 // same protocol the mb/repl checker scenarios verify, over a
 // length-prefixed TCP transport. The primary (-replica pointing at the
@@ -79,6 +96,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -142,6 +160,10 @@ func main() {
 	replicaAddr := flag.String("replica", "", "run as replication PRIMARY: the backup's -repl-listen address to replicate to")
 	backupOf := flag.String("backup-of", "", "run as replication BACKUP of the primary at this address (requires -repl-listen; no SMTP/POP3)")
 	replListen := flag.String("repl-listen", "", "replication protocol listen address (required with -backup-of)")
+	quota := flag.Uint64("quota", 0, "per-mailbox byte quota (0 = unlimited); over-quota deliveries are refused with SMTP 452")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently admitted deliveries; excess sheds with SMTP 452 (0 = unlimited)")
+	shedLow := flag.Uint64("shed-low", 0, "free-byte low watermark: shed deliveries (SMTP 452, /healthz 503) when the store's file system has less free space (0 = off)")
+	shedHigh := flag.Uint64("shed-high", 0, "free-byte high watermark: stop shedding once free space rises above this (default 2x -shed-low)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault-drill schedule seed")
 	faultRate := flag.Uint64("fault-rate", 0, "inject a fault into 1 in N file-system calls (0 = drills off)")
 	faultMax := flag.Uint64("fault-max", 0, "cap on total injected faults (0 = unlimited)")
@@ -183,6 +205,10 @@ func main() {
 		Checksum:       *checksum,
 		ScrubEvery:     *scrubEvery,
 		Tracer:         tracer,
+		QuotaBytes:     *quota,
+		MaxInFlight:    *maxInFlight,
+		ShedLowWater:   *shedLow,
+		ShedHighWater:  *shedHigh,
 	}
 	if *faultRate > 0 {
 		opts.Fault = &mailboatd.FaultOptions{
@@ -220,6 +246,24 @@ func main() {
 	}
 	if *checksum {
 		log.Printf("mailboat: CHECKSUMMED store (scrub interval %v)", *scrubEvery)
+	}
+	if *quota > 0 {
+		log.Printf("mailboat: per-mailbox quota %d bytes", *quota)
+	}
+	if *shedLow > 0 || *maxInFlight > 0 {
+		inflight := "unbounded in-flight deliveries"
+		if *maxInFlight > 0 {
+			inflight = fmt.Sprintf("max %d deliveries in flight", *maxInFlight)
+		}
+		water := "no free-space watermark"
+		if *shedLow > 0 {
+			high := *shedHigh
+			if high < *shedLow {
+				high = 2 * *shedLow
+			}
+			water = fmt.Sprintf("low %d / high %d free bytes", *shedLow, high)
+		}
+		log.Printf("mailboat: SHED POLICY active (%s, %s)", water, inflight)
 	}
 	if *replicaAddr != "" {
 		log.Printf("mailboat: PRIMARY replicating to backup at %s", *replicaAddr)
@@ -269,7 +313,7 @@ func main() {
 		// non-mirrored stores keeps the 200 "ok" contract). The adapter
 		// is the scrub runner; on a store without an integrity layer
 		// POST /scrub answers 409 and /healthz is unaffected.
-		as := &http.Server{Addr: *adminAddr, Handler: admin.Handler(reg, healthz, adapter.MirrorStatus, adapter, tracer, adapter.ReplHealth)}
+		as := &http.Server{Addr: *adminAddr, Handler: admin.Handler(reg, healthz, adapter.MirrorStatus, adapter, tracer, adapter.ReplHealth, adapter.ShedStatus)}
 		go func() { errs <- as.ListenAndServe() }()
 		defer as.Close()
 		log.Printf("mailboat: admin HTTP on %s (/metrics, /healthz, /version, /traces, /debug/pprof)", *adminAddr)

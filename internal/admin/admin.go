@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/gfs"
+	"repro/internal/mailboatd"
 	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/trace"
@@ -34,9 +35,10 @@ type ScrubRunner interface {
 // rides along (role, epoch, last-resync time), so a healthy 200 still
 // tells the operator which half of the pair they are probing.
 type healthStatus struct {
-	Status      string       `json:"status"`
-	Version     Version      `json:"version"`
-	Replication *repl.Health `json:"replication,omitempty"`
+	Status      string                `json:"status"`
+	Version     Version               `json:"version"`
+	Replication *repl.Health          `json:"replication,omitempty"`
+	Shed        *mailboatd.ShedStatus `json:"shed,omitempty"`
 }
 
 // scrubStatus is the JSON shape /scrub serves.
@@ -69,6 +71,14 @@ type scrubStatus struct {
 // ?format=json for tooling) and GET /traces/slow the slowest retained
 // trace per operation kind. Without a tracer both answer 404.
 //
+// shed, when non-nil, reports the store's delivery admission state
+// (mailboatd.Adapter.ShedStatus fits the signature). While the store
+// is shedding deliveries — watermark breach, disk-full latch, or a
+// forced drill — /healthz answers 503 with the snapshot as JSON, so
+// load balancers steer mail to a node with space; the healthy 200
+// includes the same snapshot (free bytes, in-flight count) for
+// observability. Reads keep being served either way.
+//
 // replica, when non-nil, reports the node's replication health
 // (mailboatd.Adapter.ReplHealth fits the signature). A healthy (or
 // absent: nil return) snapshot keeps the 200 contract and is included
@@ -76,7 +86,7 @@ type scrubStatus struct {
 // degraded states are observable before they page; while the pair is
 // degraded (backup unreachable, fenced dead, or a catch-up resync in
 // flight), /healthz answers 503 with the snapshot as JSON.
-func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorStatus, scrub ScrubRunner, tracer *trace.Tracer, replica func() *repl.Health) http.Handler {
+func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorStatus, scrub ScrubRunner, tracer *trace.Tracer, replica func() *repl.Health, shed func() *mailboatd.ShedStatus) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -110,6 +120,16 @@ func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorS
 				return
 			}
 		}
+		var sst *mailboatd.ShedStatus
+		if shed != nil {
+			sst = shed()
+			if sst != nil && sst.Shedding {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				json.NewEncoder(w).Encode(sst)
+				return
+			}
+		}
 		var rst *repl.Health
 		if replica != nil {
 			rst = replica()
@@ -121,7 +141,7 @@ func Handler(reg *obs.Registry, healthz func() error, mirror func() *gfs.MirrorS
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(healthStatus{Status: "ok", Version: version, Replication: rst})
+		json.NewEncoder(w).Encode(healthStatus{Status: "ok", Version: version, Replication: rst, Shed: sst})
 	})
 	if tracer != nil {
 		mux.HandleFunc("/traces", tracesRecent(tracer))

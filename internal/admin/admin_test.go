@@ -54,7 +54,7 @@ func TestAdminEndToEnd(t *testing.T) {
 	go ps.Serve(pl)
 	t.Cleanup(func() { ps.Close() })
 
-	srv := httptest.NewServer(admin.Handler(reg, func() error { return nil }, adapter.MirrorStatus, adapter, nil, nil))
+	srv := httptest.NewServer(admin.Handler(reg, func() error { return nil }, adapter.MirrorStatus, adapter, nil, nil, adapter.ShedStatus))
 	t.Cleanup(srv.Close)
 
 	// Drive one delivery and one pickup over the wire.
@@ -125,7 +125,7 @@ func TestAdminMirrorDegradedHealthz(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil, nil))
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil, nil, adapter.ShedStatus))
 	t.Cleanup(srv.Close)
 
 	checkHealthy(t, get(t, srv.URL+"/healthz", http.StatusOK))
@@ -176,7 +176,7 @@ func TestAdminMirrorDegradedHealthz(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(adapter2.Close)
-	srv2 := httptest.NewServer(admin.Handler(reg2, nil, adapter2.MirrorStatus, adapter2, nil, nil))
+	srv2 := httptest.NewServer(admin.Handler(reg2, nil, adapter2.MirrorStatus, adapter2, nil, nil, adapter2.ShedStatus))
 	t.Cleanup(srv2.Close)
 	checkHealthy(t, get(t, srv2.URL+"/healthz", http.StatusOK))
 	metrics2 := get(t, srv2.URL+"/metrics", http.StatusOK)
@@ -205,7 +205,7 @@ func TestAdminScrubEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(adapter.Close)
-	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil, nil))
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil, nil, adapter.ShedStatus))
 	t.Cleanup(srv.Close)
 
 	if err := adapter.Deliver(0, []byte("scrub me")); err != nil {
@@ -284,16 +284,53 @@ func TestScrubWithoutIntegrityLayer(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(adapter.Close)
-	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil, nil))
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil, nil, adapter.ShedStatus))
 	t.Cleanup(srv.Close)
 	post(t, srv.URL+"/scrub?heal=1", http.StatusConflict)
 	checkHealthy(t, get(t, srv.URL+"/healthz", http.StatusOK))
 }
 
+// TestHealthzWhileShedding: while the store sheds deliveries for
+// space, /healthz answers 503 with the shed snapshot as JSON — the
+// signal a load balancer uses to steer mail to a node with space —
+// and returns to 200 (with the snapshot riding along) once released.
+func TestHealthzWhileShedding(t *testing.T) {
+	reg := obs.NewRegistry()
+	adapter, err := mailboatd.NewWithOptions(t.TempDir(), mailboatd.Options{Users: 1, Seed: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(adapter.Close)
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, nil, nil, adapter.ShedStatus))
+	t.Cleanup(srv.Close)
+
+	checkHealthy(t, get(t, srv.URL+"/healthz", http.StatusOK))
+
+	adapter.ForceNoSpace()
+	var st mailboatd.ShedStatus
+	body := get(t, srv.URL+"/healthz", http.StatusServiceUnavailable)
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("shedding /healthz body %q: %v", body, err)
+	}
+	if !st.Shedding || st.Reason == "" {
+		t.Fatalf("shedding /healthz snapshot = %+v", st)
+	}
+	metrics := get(t, srv.URL+"/metrics", http.StatusOK)
+	if !strings.Contains(metrics, "shed_active 1") {
+		t.Errorf("/metrics missing shed_active 1 while shedding")
+	}
+
+	adapter.ReleaseNoSpace()
+	body = get(t, srv.URL+"/healthz", http.StatusOK)
+	if !strings.Contains(body, `"shed"`) {
+		t.Errorf("healthy /healthz should include the shed snapshot: %q", body)
+	}
+}
+
 func TestHealthzFailure(t *testing.T) {
 	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), func() error {
 		return errors.New("listener down")
-	}, nil, nil, nil, nil))
+	}, nil, nil, nil, nil, nil))
 	defer srv.Close()
 	if body := get(t, srv.URL+"/healthz", http.StatusServiceUnavailable); !strings.Contains(body, "listener down") {
 		t.Errorf("/healthz body: %q", body)
@@ -301,7 +338,7 @@ func TestHealthzFailure(t *testing.T) {
 }
 
 func TestPprofIndex(t *testing.T) {
-	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil, nil, nil, nil, nil))
+	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil, nil, nil, nil, nil, nil))
 	defer srv.Close()
 	if body := get(t, srv.URL+"/debug/pprof/", http.StatusOK); !strings.Contains(body, "goroutine") {
 		t.Errorf("pprof index: %q", body)

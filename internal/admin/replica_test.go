@@ -57,7 +57,7 @@ func TestAdminReplicaHealth(t *testing.T) {
 		t.Fatalf("replicated Deliver: %v", err)
 	}
 
-	srv := httptest.NewServer(admin.Handler(reg, nil, primary.MirrorStatus, primary, nil, primary.ReplHealth))
+	srv := httptest.NewServer(admin.Handler(reg, nil, primary.MirrorStatus, primary, nil, primary.ReplHealth, primary.ShedStatus))
 	t.Cleanup(srv.Close)
 
 	// Healthy: 200 with the replication snapshot riding along.

@@ -40,7 +40,7 @@ func checkHealthy(t *testing.T, body string) {
 }
 
 func TestVersionEndpoint(t *testing.T) {
-	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil, nil, nil, nil, nil))
+	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil, nil, nil, nil, nil, nil))
 	defer srv.Close()
 	var v admin.Version
 	if err := json.Unmarshal([]byte(get(t, srv.URL+"/version", http.StatusOK)), &v); err != nil {
@@ -59,7 +59,7 @@ func TestVersionEndpoint(t *testing.T) {
 // TestTracesDisabled: without a tracer the endpoints are absent, not
 // half-broken.
 func TestTracesDisabled(t *testing.T) {
-	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil, nil, nil, nil, nil))
+	srv := httptest.NewServer(admin.Handler(obs.NewRegistry(), nil, nil, nil, nil, nil, nil))
 	defer srv.Close()
 	get(t, srv.URL+"/traces", http.StatusNotFound)
 	get(t, srv.URL+"/traces/slow", http.StatusNotFound)
@@ -108,7 +108,7 @@ func TestTracedDeliveryEndToEnd(t *testing.T) {
 	go ps.Serve(pl)
 	t.Cleanup(func() { ps.Close() })
 
-	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, tracer, nil))
+	srv := httptest.NewServer(admin.Handler(reg, nil, adapter.MirrorStatus, adapter, tracer, nil, adapter.ShedStatus))
 	t.Cleanup(srv.Close)
 
 	s := dialLine(t, sl.Addr().String())

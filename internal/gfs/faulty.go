@@ -53,6 +53,21 @@ const (
 	// transient classes above. UniformRates deliberately leaves its rate
 	// at 0: permanent death must be opted into explicitly.
 	FaultFailStop
+	// FaultNoSpace is the disk-full class: a *durable* latch like
+	// FaultFailStop, but scoped to space — once injected, every write
+	// that consumes space (Create, Append, Link) fails ENOSPC-style
+	// without touching the inner backend, while reads, listings, opens
+	// and deletes keep working. The latch clears when space is freed: a
+	// successful Delete through this layer, or the operator surface
+	// (FreeSpace). Like the other durable class it is opted into
+	// explicitly (UniformRates leaves it at 0, nil-Eligible chooser
+	// policies skip it) and enumerated under its own "nospace" tag.
+	FaultNoSpace
+	// FaultNoFiles is the fd-exhaustion class: Open and Create fail
+	// transiently (EMFILE/ENFILE-style — the table was full *right then*),
+	// with no durable effect. Opt-in like the other post-v1 classes so
+	// existing seeded schedules and scenario spaces stay byte-stable.
+	FaultNoFiles
 	// NumFaultOps is the number of fault classes.
 	NumFaultOps
 )
@@ -76,6 +91,10 @@ func (op FaultOp) String() string {
 		return "corrupt"
 	case FaultFailStop:
 		return "fail-stop"
+	case FaultNoSpace:
+		return "no-space"
+	case FaultNoFiles:
+		return "no-files"
 	default:
 		return fmt.Sprintf("FaultOp(%d)", int(op))
 	}
@@ -194,14 +213,24 @@ type SeededPolicy struct {
 	perClass [NumFaultOps]uint64
 }
 
+// optInClass reports whether a fault class must be opted into
+// explicitly — nil-Eligible chooser policies, nil-Ops AlwaysPolicy and
+// UniformRates all skip these. The durable latches (fail-stop,
+// no-space), silent corruption, and fd exhaustion change what a
+// scenario is *about*; a uniform transient drill should degrade the
+// store, not kill it, fill it, or rot its bytes.
+func optInClass(op FaultOp) bool {
+	return op == FaultFailStop || op == FaultCorrupt || op == FaultNoSpace || op == FaultNoFiles
+}
+
 // UniformRates returns a Rates array failing every transient class 1 in
-// n calls. FaultFailStop and FaultCorrupt stay at 0: a uniform drill
-// should degrade the store, not kill it or silently rot its bytes —
-// the permanent and silent classes are opted into per class.
+// n calls. FaultFailStop, FaultCorrupt, FaultNoSpace and FaultNoFiles
+// stay at 0: the opt-in classes (see optInClass) are enabled per class,
+// never implied.
 func UniformRates(n uint64) [NumFaultOps]uint64 {
 	var r [NumFaultOps]uint64
 	for op := FaultOp(0); op < NumFaultOps; op++ {
-		if op != FaultFailStop && op != FaultCorrupt {
+		if !optInClass(op) {
 			r[op] = n
 		}
 	}
@@ -267,7 +296,7 @@ func (p *ChooserPolicy) Decide(t T, op FaultOp, index uint64) bool {
 		return false
 	}
 	if p.Eligible == nil {
-		if op == FaultFailStop || op == FaultCorrupt {
+		if optInClass(op) {
 			return false
 		}
 	} else if !p.Eligible[op] {
@@ -284,6 +313,8 @@ func (p *ChooserPolicy) Decide(t T, op FaultOp, index uint64) bool {
 		tag = "failstop"
 	case FaultCorrupt:
 		tag = "corrupt"
+	case FaultNoSpace:
+		tag = "nospace"
 	}
 	if mt.Choose(2, tag) == 1 {
 		p.used++
@@ -301,15 +332,15 @@ type NeverPolicy struct{}
 func (NeverPolicy) Decide(T, FaultOp, uint64) bool { return false }
 
 // AlwaysPolicy faults every eligible call of the classes in Ops (all
-// *transient* classes when Ops is nil — FaultFailStop and FaultCorrupt,
-// as everywhere, must be opted into explicitly) — for tests exercising
-// retry exhaustion.
+// *transient* classes when Ops is nil — the opt-in classes, as
+// everywhere, must be listed explicitly) — for tests exercising retry
+// exhaustion.
 type AlwaysPolicy struct{ Ops map[FaultOp]bool }
 
 // Decide implements Policy.
 func (p AlwaysPolicy) Decide(_ T, op FaultOp, _ uint64) bool {
 	if p.Ops == nil {
-		return op != FaultFailStop && op != FaultCorrupt
+		return !optInClass(op)
 	}
 	return p.Ops[op]
 }
@@ -351,6 +382,16 @@ type Faulty struct {
 	// policy while alive — so seeded fail-stop schedules are a pure
 	// function of (seed, index) exactly like the transient classes.
 	failStopped bool
+
+	// noSpace is the disk-full latch: once set (by the policy injecting
+	// FaultNoSpace, or by NoSpaceNow), every space-consuming write
+	// (Create, Append, Link) fails without reaching the inner backend
+	// until space is freed — a successful Delete through this layer, or
+	// FreeSpace. While latched, writes do NOT consult the policy: like
+	// the fail-stop latch, a durable class charges the budget once at
+	// injection and never again, so a latch surviving a crash is not
+	// double-counted on replay.
+	noSpace bool
 }
 
 // NewFaulty wraps inner with the given fault policy.
@@ -423,6 +464,91 @@ func (f *Faulty) Revive() {
 	f.failStopped = false
 }
 
+// NoSpace reports whether the backend is latched full. mailboat uses it
+// (via an interface assertion, like FailStopped) to fail fast instead
+// of burning its retry budget against a full disk, and the shed policy
+// uses it as its modeled-space signal.
+func (f *Faulty) NoSpace() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.noSpace
+}
+
+// NoSpaceNow latches the backend full immediately, bypassing the
+// policy — the operational fill switch for drills and soak tests. It
+// records a no-space event like a policy-injected fill.
+func (f *Faulty) NoSpaceNow(detail string) {
+	f.mu.Lock()
+	already := f.noSpace
+	f.noSpace = true
+	if !already {
+		f.faults[FaultNoSpace]++
+		f.log = append(f.log, FaultEvent{Op: FaultNoSpace, Index: f.calls[FaultNoSpace], Detail: detail})
+	}
+	f.mu.Unlock()
+	if !already {
+		f.Metrics.FaultInjected(FaultNoSpace)
+	}
+}
+
+// FreeSpace clears the no-space latch without a delete — the operator
+// freed space elsewhere. Like Revive it refunds no policy budget: a
+// ChooserPolicy that filled the disk once stays spent, which is what
+// bounds checker scenarios to one fill.
+func (f *Faulty) FreeSpace() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.noSpace = false
+}
+
+// spaceFreed clears the latch after an operation that released space
+// (a successful Delete): the disk is no longer full. Deterministic —
+// no choice point — so it costs the checker nothing.
+func (f *Faulty) spaceFreed() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.noSpace = false
+}
+
+// noSpaceGate is the per-write disk-full gate, consulted by the
+// space-consuming operations (Create, Append, Link) after the
+// fail-stop gate. It reports true when the write must fail
+// ENOSPC-style: either the latch is already set (no policy consult, no
+// index allocated — see the noSpace field's double-count note), or
+// this write is the policy-chosen moment the disk fills. Each unlatched
+// write is one decision point with its own index, so seeded schedules
+// replay and the checker enumerates "the disk fills at write i" for
+// every i under the "nospace" tag.
+func (f *Faulty) noSpaceGate(t T, detail string) bool {
+	f.mu.Lock()
+	if f.noSpace {
+		f.mu.Unlock()
+		if mt, ok := t.(*machine.T); ok {
+			mt.Step("fs.enospc")
+		}
+		return true
+	}
+	idx := f.calls[FaultNoSpace]
+	f.calls[FaultNoSpace]++
+	f.mu.Unlock()
+
+	if !f.policy.Decide(t, FaultNoSpace, idx) {
+		return false
+	}
+	if mt, ok := t.(*machine.T); ok {
+		mt.Step("fs.nospace")
+		mt.Tracef("fs.nospace #%d %s", idx, detail)
+	}
+	f.mu.Lock()
+	f.noSpace = true
+	f.faults[FaultNoSpace]++
+	f.log = append(f.log, FaultEvent{Op: FaultNoSpace, Index: idx, Detail: detail})
+	f.mu.Unlock()
+	f.Metrics.FaultInjected(FaultNoSpace)
+	trace.Event(t, "fault injected: %s %s", FaultNoSpace, detail)
+	return true
+}
+
 // failStop is the per-operation fail-stop gate, consulted by every
 // operation before anything else (including the classes that are never
 // transiently faulted — a dead disk fails reads, listings and stats
@@ -492,9 +618,17 @@ func (f *Faulty) begin(t T, op FaultOp, detail string) bool {
 // NewLock implements System (never faulted: locks are volatile memory).
 func (f *Faulty) NewLock(t T, name string) Lock { return f.inner.NewLock(t, name) }
 
-// Create implements System.
+// Create implements System. It passes three fault gates: the fail-stop
+// latch, the no-space latch (creating an entry consumes space), and the
+// transient fd-exhaustion class, before the ordinary FaultCreate class.
 func (f *Faulty) Create(t T, dir, name string) (FD, bool) {
 	if f.failStop(t, "create "+dir+"/"+name) {
+		return nil, false
+	}
+	if f.noSpaceGate(t, "create "+dir+"/"+name) {
+		return nil, false
+	}
+	if f.begin(t, FaultNoFiles, "create "+dir+"/"+name) {
 		return nil, false
 	}
 	if f.begin(t, FaultCreate, dir+"/"+name) {
@@ -503,13 +637,17 @@ func (f *Faulty) Create(t T, dir, name string) (FD, bool) {
 	return f.inner.Create(t, dir, name)
 }
 
-// Open implements System (no transient failure class; absent-file
-// failure is already part of the API). A fail-stopped backend fails
-// every Open. Open is the FaultCorrupt decision point: each open of a
-// file is one chance for its stored bytes to have silently rotted
+// Open implements System. A fail-stopped backend fails every Open;
+// FaultNoFiles fails it transiently (the descriptor table was full
+// right then — retry later); absent-file failure is already part of
+// the API. Open is also the FaultCorrupt decision point: each open of
+// a file is one chance for its stored bytes to have silently rotted
 // before the (still successful) open observes them.
 func (f *Faulty) Open(t T, dir, name string) (FD, bool) {
 	if f.failStop(t, "open "+dir+"/"+name) {
+		return nil, false
+	}
+	if f.begin(t, FaultNoFiles, "open "+dir+"/"+name) {
 		return nil, false
 	}
 	f.corrupt(t, dir, name)
@@ -549,9 +687,13 @@ func (f *Faulty) corrupt(t T, dir, name string) {
 	f.Metrics.FaultInjected(FaultCorrupt)
 }
 
-// Append implements System.
+// Append implements System. Appending consumes space, so it passes the
+// no-space gate before the transient FaultAppend class.
 func (f *Faulty) Append(t T, fd FD, data []byte) bool {
 	if f.failStop(t, "append") {
+		return false
+	}
+	if f.noSpaceGate(t, fmt.Sprintf("append %d bytes", len(data))) {
 		return false
 	}
 	if f.begin(t, FaultAppend, fmt.Sprintf("%d bytes", len(data))) {
@@ -619,7 +761,9 @@ func (f *Faulty) SyncDir(t T, dir string) bool {
 	return f.inner.SyncDir(t, dir)
 }
 
-// Delete implements System.
+// Delete implements System. Deletes are never blocked by the no-space
+// latch — removing data is how a full disk recovers — and a successful
+// delete releases space, clearing the latch.
 func (f *Faulty) Delete(t T, dir, name string) bool {
 	if f.failStop(t, "delete "+dir+"/"+name) {
 		return false
@@ -627,12 +771,20 @@ func (f *Faulty) Delete(t T, dir, name string) bool {
 	if f.begin(t, FaultDelete, dir+"/"+name) {
 		return false
 	}
-	return f.inner.Delete(t, dir, name)
+	ok := f.inner.Delete(t, dir, name)
+	if ok {
+		f.spaceFreed()
+	}
+	return ok
 }
 
-// Link implements System.
+// Link implements System. A new directory entry consumes space, so
+// Link passes the no-space gate.
 func (f *Faulty) Link(t T, oldDir, oldName, newDir, newName string) bool {
 	if f.failStop(t, "link "+oldDir+"/"+oldName+" -> "+newDir+"/"+newName) {
+		return false
+	}
+	if f.noSpaceGate(t, "link "+oldDir+"/"+oldName+" -> "+newDir+"/"+newName) {
 		return false
 	}
 	if f.begin(t, FaultLink, oldDir+"/"+oldName+" -> "+newDir+"/"+newName) {

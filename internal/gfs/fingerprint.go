@@ -102,16 +102,18 @@ func (fs *Model) appendInode(b []byte, canon map[inodeID]uint64, ino inodeID) []
 
 // AppendCheckerState appends the Faulty state that a *checker-driven*
 // (ChooserPolicy) fault stack's future behavior depends on: the
-// permanent fail-stop latch. The per-class invocation counters are
-// deliberately excluded — ChooserPolicy ignores call indices (it
-// decides through the Chooser under a budget), so two executions whose
-// counters differ but whose latches agree behave identically from here.
-// Seeded policies DO depend on indices; scenarios using SeededPolicy
-// under the checker must not enable dedup (leave Fingerprint nil).
+// durable latches (permanent fail-stop, disk-full). The per-class
+// invocation counters are deliberately excluded — ChooserPolicy
+// ignores call indices (it decides through the Chooser under a
+// budget), so two executions whose counters differ but whose latches
+// agree behave identically from here. Seeded policies DO depend on
+// indices; scenarios using SeededPolicy under the checker must not
+// enable dedup (leave Fingerprint nil).
 func (f *Faulty) AppendCheckerState(b []byte) []byte {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return machine.AppendBool(b, f.failStopped)
+	b = machine.AppendBool(b, f.failStopped)
+	return machine.AppendBool(b, f.noSpace)
 }
 
 // AppendState appends the policy's spent budgets — the only mutable

@@ -47,6 +47,14 @@ type Model struct {
 	// metrics, when set, receives crash-time drop accounting
 	// (un-synced bytes and directory operations lost). Nil-safe.
 	metrics *FSMetrics
+
+	// capacity, when nonzero, bounds the modeled disk: Create, Append
+	// and Link fail (ENOSPC-style false, never a model fault) once the
+	// space they would consume exceeds it. Space is charged per
+	// directory entry (SpaceEntryCost) plus the contents of every
+	// reachable inode, so Delete credits space back the moment the last
+	// entry goes — the accounting side of the FaultNoSpace latch.
+	capacity uint64
 }
 
 // dirOp is one pending directory mutation under writeback: an entry
@@ -121,6 +129,41 @@ func NewWritebackModel(m *machine.Machine, dirs []string) *Model {
 // Sync calls themselves are counted by the Observed middleware, not
 // here, so sharing one FSMetrics across the stack never double-counts.
 func (fs *Model) SetMetrics(m *FSMetrics) { fs.metrics = m }
+
+// SpaceEntryCost is the modeled metadata cost, in bytes, of one
+// directory entry — what Create and Link charge against the capacity
+// budget before any data is appended.
+const SpaceEntryCost = 16
+
+// SetCapacity bounds the modeled disk at the given byte budget
+// (0 = unlimited, the default). A scenario-setup constant, not durable
+// state: it is excluded from fingerprints like the rest of the
+// configuration.
+func (fs *Model) SetCapacity(bytes uint64) { fs.capacity = bytes }
+
+// SpaceUsed returns the bytes currently charged against the capacity:
+// SpaceEntryCost per directory entry plus the contents of every inode
+// reachable from at least one entry. Deleting an entry credits its
+// cost (and, for the last link, the inode's bytes) back immediately.
+func (fs *Model) SpaceUsed() uint64 {
+	var used uint64
+	counted := map[inodeID]bool{}
+	for _, d := range fs.dirs {
+		for _, ino := range d {
+			used += SpaceEntryCost
+			if !counted[ino] {
+				counted[ino] = true
+				used += uint64(len(fs.inodes[ino]))
+			}
+		}
+	}
+	return used
+}
+
+// spaceFor reports whether extra more bytes fit under the capacity.
+func (fs *Model) spaceFor(extra uint64) bool {
+	return fs.capacity == 0 || fs.SpaceUsed()+extra <= fs.capacity
+}
 
 // Crash implements machine.Device: file data is durable, descriptors
 // are volatile (they are version-stamped, so the version bump kills
@@ -292,6 +335,10 @@ func (fs *Model) Create(t T, dir, name string) (FD, bool) {
 		mt.Tracef("fs.create %s/%s -> exists", dir, name)
 		return nil, false
 	}
+	if !fs.spaceFor(SpaceEntryCost) {
+		mt.Tracef("fs.create %s/%s -> ENOSPC (%d used of %d)", dir, name, fs.SpaceUsed(), fs.capacity)
+		return nil, false
+	}
 	ino := fs.next
 	fs.next++
 	fs.inodes[ino] = nil
@@ -326,6 +373,10 @@ func (fs *Model) Append(t T, fd FD, data []byte) bool {
 	f := fs.fd(mt, "append", fd, true)
 	if len(data) > MaxAppend {
 		mt.Failf("fs.append of %d bytes exceeds the %d-byte atomic limit", len(data), MaxAppend)
+	}
+	if !fs.spaceFor(uint64(len(data))) {
+		mt.Tracef("fs.append %s -> ENOSPC (%d used of %d)", f.name, fs.SpaceUsed(), fs.capacity)
+		return false
 	}
 	fs.inodes[f.ino] = append(fs.inodes[f.ino], data...)
 	if fs.buffered {
@@ -449,6 +500,10 @@ func (fs *Model) Link(t T, oldDir, oldName, newDir, newName string) bool {
 	}
 	if _, exists := nd[newName]; exists {
 		mt.Tracef("fs.link %s/%s -> %s/%s: target exists", oldDir, oldName, newDir, newName)
+		return false
+	}
+	if !fs.spaceFor(SpaceEntryCost) {
+		mt.Tracef("fs.link %s/%s -> %s/%s: ENOSPC (%d used of %d)", oldDir, oldName, newDir, newName, fs.SpaceUsed(), fs.capacity)
 		return false
 	}
 	nd[newName] = ino

@@ -1,0 +1,153 @@
+package gfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestOSListFallbackVsConcurrentEviction races the two List paths —
+// cached-root ReadDir and the by-path fallback — against writers that
+// churn a tiny handle budget hard enough that handles are evicted (and
+// closed) mid-listing. Run under -race this pins the refcounting: an
+// eviction must never close a root a List is streaming from, and every
+// file written during the churn must be visible to a quiesced sweep.
+func TestOSListFallbackVsConcurrentEviction(t *testing.T) {
+	th := NewNative(1)
+	dirs := make([]string, 24)
+	for i := range dirs {
+		dirs[i] = fmt.Sprintf("l%02d", i)
+	}
+	o, err := NewOSLimited(t.TempDir(), dirs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.CloseAll()
+
+	var wg sync.WaitGroup
+	var created atomic.Int64
+	errCh := make(chan string, 256)
+	// Writers churn the LRU: every create in a cold dir evicts the
+	// coldest cached handle.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wth := NewNative(int64(100 + w))
+			for i := 0; i < 40; i++ {
+				d := dirs[(w*40+i)%len(dirs)]
+				fd, ok := o.Create(wth, d, fmt.Sprintf("w%d-%d", w, i))
+				if !ok {
+					errCh <- "create " + d
+					continue
+				}
+				o.Append(wth, fd, []byte("x"))
+				o.Close(wth, fd)
+				created.Add(1)
+			}
+		}(w)
+	}
+	// Readers sweep every directory continuously: hot dirs hit the
+	// cached root (pinned against eviction mid-ReadDir), cold dirs take
+	// the by-path fallback — both racing the writers' evictions.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rth := NewNative(int64(200 + r))
+			for i := 0; i < 20; i++ {
+				for _, d := range dirs {
+					o.List(rth, d)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for e := range errCh {
+		t.Errorf("op failed under eviction pressure: %s", e)
+	}
+	if got := len(o.roots); got > 2 {
+		t.Errorf("cache holds %d handles, budget 2", got)
+	}
+	total := 0
+	for _, d := range dirs {
+		total += len(o.List(th, d))
+	}
+	if int64(total) != created.Load() {
+		t.Errorf("quiesced sweep found %d files, want %d", total, created.Load())
+	}
+}
+
+// TestOSVanishedDirWithCachedHandle pins what happens when a cached
+// directory's backing path is removed out from under the cache (a
+// disk-level fault, or an operator mistake): ops through the still-open
+// handle and through the post-eviction reopen both report failure —
+// never a panic — List degrades to empty via both paths, and recreating
+// the path restores service once the dead handle has been evicted.
+func TestOSVanishedDirWithCachedHandle(t *testing.T) {
+	th := NewNative(1)
+	root := t.TempDir()
+	o, err := NewOSLimited(root, []string{"a", "b"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.CloseAll()
+
+	// Cache "a" (budget 1: it is the only cached handle now) and then
+	// remove its backing directory.
+	if fd, ok := o.Create(th, "a", "pre"); !ok {
+		t.Fatal("create before removal failed")
+	} else {
+		o.Close(th, fd)
+	}
+	if err := os.RemoveAll(filepath.Join(root, "a")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cached fd-based handle outlives the unlinked directory: writes
+	// into it fail cleanly, and the cached-root List path reports empty.
+	if _, ok := o.Create(th, "a", "during"); ok {
+		t.Fatal("create in a vanished directory succeeded")
+	}
+	if ls := o.List(th, "a"); len(ls) != 0 {
+		t.Fatalf("cached-root list of a vanished directory: %v", ls)
+	}
+
+	// Touch "b" to evict "a" (budget 1). The next op on "a" must reopen
+	// by path, fail, and report failure; the by-path List fallback also
+	// reports empty.
+	if fd, ok := o.Create(th, "b", "evictor"); !ok {
+		t.Fatal("create in b failed")
+	} else {
+		o.Close(th, fd)
+	}
+	if _, cached := o.roots["a"]; cached {
+		t.Fatal("a still cached after eviction churn; test setup broken")
+	}
+	if _, ok := o.Create(th, "a", "post-evict"); ok {
+		t.Fatal("create after eviction of a vanished directory succeeded")
+	}
+	if ls := o.List(th, "a"); len(ls) != 0 {
+		t.Fatalf("by-path list of a vanished directory: %v", ls)
+	}
+	if o.SyncDir(th, "a") {
+		t.Fatal("SyncDir on a vanished directory reported success")
+	}
+
+	// Recreate the path: the lazy reopen finds it and service resumes.
+	if err := os.MkdirAll(filepath.Join(root, "a"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fd, ok := o.Create(th, "a", "replaced")
+	if !ok {
+		t.Fatal("create after recreating the directory failed")
+	}
+	o.Close(th, fd)
+	if ls := o.List(th, "a"); len(ls) != 1 || ls[0] != "replaced" {
+		t.Fatalf("list after recreation: %v", ls)
+	}
+}

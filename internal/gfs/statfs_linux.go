@@ -1,0 +1,18 @@
+//go:build linux
+
+package gfs
+
+import "syscall"
+
+// StatFS reports the free and total bytes of the file system backing
+// the store, via statfs(2). ok=false means the syscall failed; callers
+// (the shed policy) must fall back to the modeled space signal rather
+// than assume a full or empty disk.
+func (o *OS) StatFS() (free, total uint64, ok bool) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(o.path, &st); err != nil {
+		return 0, 0, false
+	}
+	bs := uint64(st.Bsize)
+	return uint64(st.Bavail) * bs, uint64(st.Blocks) * bs, true
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package gfs
+
+// StatFS reports no real space information on platforms without a
+// wired statfs(2); ok=false makes callers fall back to the modeled
+// space signal.
+func (o *OS) StatFS() (free, total uint64, ok bool) { return 0, 0, false }

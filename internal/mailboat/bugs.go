@@ -149,6 +149,53 @@ func (mb *Mailboat) DeliverForgetSpoolDelete(t gfs.T, user uint64, msg []byte) {
 	// BUG (benign for refinement): spool entry not deleted.
 }
 
+// DeliverAckOnNoSpace is the ack-after-ENOSPC bug: it runs the real
+// spool-write-link protocol, but when an attempt fails on a full disk
+// it acknowledges anyway, reasoning that the sender will surely retry
+// "later" and the mailbox will surely have room "then". Nothing was
+// published — the spool write never even landed — yet the client hears
+// yes: acked-but-absent, the exact loss the clean-abort contract (fail
+// the delivery, surface a temp-failure code) exists to prevent. The
+// exhaustion property convicts it at the post-recovery audit.
+func (mb *Mailboat) DeliverAckOnNoSpace(t gfs.T, user uint64, msg []byte) bool {
+	for attempt := 0; attempt < 3; attempt++ {
+		if mb.deliverAttempt(t, nil, user, msg) {
+			return true
+		}
+		if mb.storeNoSpace() {
+			// BUG: the store said no — disk full, nothing durable — but
+			// the ack goes out anyway.
+			return true
+		}
+	}
+	return false
+}
+
+// DeliverGreedySpoolGC is the gc-eats-live-spool bug: when a delivery
+// hits a full disk it "helpfully" sweeps the entire spool directory to
+// free space before retrying, reasoning that spool files are garbage —
+// recovery deletes them, after all. The flaw is that recovery runs
+// single-threaded, where every spool file really is an orphan; during
+// operation a spool file may belong to a concurrent delivery that has
+// written it but not yet linked it. Eating one makes that delivery's
+// link target vanish out from under it — a protocol violation the
+// model's link-source assertion catches red-handed.
+func (mb *Mailboat) DeliverGreedySpoolGC(t gfs.T, user uint64, msg []byte) bool {
+	for attempt := 0; attempt < 3; attempt++ {
+		if mb.deliverAttempt(t, nil, user, msg) {
+			return true
+		}
+		if mb.storeNoSpace() {
+			// BUG: only recovery may sweep the spool; these files may be
+			// live (spooled but not yet linked) under concurrent delivery.
+			for _, name := range mb.sys.List(t, SpoolDir) {
+				mb.sys.Delete(t, SpoolDir, name)
+			}
+		}
+	}
+	return false
+}
+
 // readWhole reads an entire file in 512-byte chunks, the same loop the
 // real Pickup uses. Used by the buggy replay recovery below.
 func readWhole(t gfs.T, sys gfs.System, dir, name string) ([]byte, bool) {

@@ -25,6 +25,7 @@ package mailboat
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -82,6 +83,14 @@ type Config struct {
 	// threads; modeled threads never sleep — the model checker owns
 	// time there. 0 disables backoff.
 	DeliverBackoff time.Duration
+	// QuotaBytes, when nonzero, bounds each user's mailbox to that many
+	// message bytes. A delivery that would exceed the quota is refused
+	// up front as a clean spec-level transient failure (the mailbox is
+	// untouched and the sender hears a temp-failure code) — one tenant
+	// cannot fill the disk out from under the rest. Usage is derived
+	// from the store at Init/Recover and tracked per delivery/delete;
+	// 0 disables quotas entirely (no tracking, no extra I/O).
+	QuotaBytes uint64
 	// Metrics, when non-nil, records spec-level operation outcomes
 	// (deliver attempts/retries/failures, pickup volume, recovery spool
 	// sweeps). Leave nil under the model checker: disabled metrics cost
@@ -96,6 +105,14 @@ type Config struct {
 // means the store is persistently failing — a transient fault to
 // surface, not an excuse to spin forever.
 const nameAttempts = 128
+
+// openAttempts bounds Pickup's per-message open retries. Opens can fail
+// transiently (descriptor exhaustion — gfs.Faulty's FaultNoFiles — or a
+// passing EMFILE on the real OS) and a listed name cannot vanish under
+// the pickup lock, so a couple of retries turn a spurious skip into the
+// read the listing promised; a persistent failure still skips rather
+// than stalling the mailbox.
+const openAttempts = 4
 
 // UserDir returns user u's mailbox directory name.
 func UserDir(u uint64) string { return "user" + strconv.FormatUint(u, 10) }
@@ -129,6 +146,25 @@ type Mailboat struct {
 	g          *core.Ctx
 	boxMasters []*core.SetMaster
 	boxLeases  []*core.SetLease
+
+	// quota is the per-user byte accounting behind Config.QuotaBytes;
+	// nil when quotas are disabled. Shared (not copied) by WithSystem,
+	// so the fault-wrapped steady-state store and the bare recovery
+	// store agree on usage.
+	quota *quotaState
+}
+
+// quotaState tracks per-user mailbox bytes under Config.QuotaBytes.
+// Deliver reserves optimistically before spooling (lock-free delivery
+// must not fill a mailbox it already knows is full), commits the
+// published name's size on link, and refunds on failure; Delete credits
+// the deleted message's bytes back. The mutex is a plain Go lock: the
+// sections it guards contain no machine steps, so the checker's
+// schedules are unaffected.
+type quotaState struct {
+	mu    sync.Mutex
+	used  []uint64
+	sizes []map[string]uint64 // per user: mailbox name -> message bytes
 }
 
 // Init initializes the library (Figure 10's Init): it allocates the
@@ -151,7 +187,101 @@ func Init(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config) *Mailboat {
 			g.DepositSetMaster(modelT(t), mb.boxMasters[u])
 		}
 	}
+	mb.initQuota(t)
 	return mb
+}
+
+// initQuota derives per-user usage from the store: the size of every
+// mailbox entry. Runs single-threaded at Init/Recover before the store
+// takes traffic; a no-op (and no extra I/O) when quotas are disabled.
+func (mb *Mailboat) initQuota(t gfs.T) {
+	if mb.cfg.QuotaBytes == 0 {
+		return
+	}
+	q := &quotaState{
+		used:  make([]uint64, mb.cfg.Users),
+		sizes: make([]map[string]uint64, mb.cfg.Users),
+	}
+	for u := uint64(0); u < mb.cfg.Users; u++ {
+		q.sizes[u] = map[string]uint64{}
+		for _, name := range mb.sys.List(t, UserDir(u)) {
+			fd, ok := mb.sys.Open(t, UserDir(u), name)
+			if !ok {
+				continue
+			}
+			n := mb.sys.Size(t, fd)
+			mb.sys.Close(t, fd)
+			q.sizes[u][name] = n
+			q.used[u] += n
+		}
+	}
+	mb.quota = q
+}
+
+// QuotaUsed reports user's tracked mailbox bytes (0 when quotas are
+// disabled), for tests and operator surfaces.
+func (mb *Mailboat) QuotaUsed(user uint64) uint64 {
+	if mb.quota == nil {
+		return 0
+	}
+	mb.quota.mu.Lock()
+	defer mb.quota.mu.Unlock()
+	return mb.quota.used[user]
+}
+
+// quotaReserve charges n bytes against user's quota, refusing (with no
+// charge) when it would overflow. Reservation happens before spooling:
+// lock-free concurrent deliveries must not all squeeze past the same
+// almost-full reading.
+func (mb *Mailboat) quotaReserve(user uint64, n uint64) bool {
+	if mb.quota == nil {
+		return true
+	}
+	q := mb.quota
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.used[user]+n > mb.cfg.QuotaBytes {
+		return false
+	}
+	q.used[user] += n
+	return true
+}
+
+// quotaRelease refunds a reservation whose delivery failed.
+func (mb *Mailboat) quotaRelease(user uint64, n uint64) {
+	if mb.quota == nil {
+		return
+	}
+	q := mb.quota
+	q.mu.Lock()
+	q.used[user] -= n
+	q.mu.Unlock()
+}
+
+// quotaCommit records the published name of a reserved delivery so a
+// later Delete can credit the right number of bytes back.
+func (mb *Mailboat) quotaCommit(user uint64, name string, n uint64) {
+	if mb.quota == nil {
+		return
+	}
+	q := mb.quota
+	q.mu.Lock()
+	q.sizes[user][name] = n
+	q.mu.Unlock()
+}
+
+// quotaCredit returns a deleted message's bytes to user's quota.
+func (mb *Mailboat) quotaCredit(user uint64, name string) {
+	if mb.quota == nil {
+		return
+	}
+	q := mb.quota
+	q.mu.Lock()
+	if n, ok := q.sizes[user][name]; ok {
+		q.used[user] -= n
+		delete(q.sizes[user], name)
+	}
+	q.mu.Unlock()
 }
 
 // WithSystem returns a Mailboat sharing this one's state (locks and
@@ -187,26 +317,49 @@ func (mb *Mailboat) Deliver(t gfs.T, j *core.JTok, user uint64, msg []byte) bool
 	sp := trace.Enter(t, "mailboat.deliver")
 	defer trace.Exit(t, sp)
 	start := mb.cfg.Metrics.start()
+	if !mb.quotaReserve(user, uint64(len(msg))) {
+		// Over quota: a clean up-front refusal with the mailbox
+		// untouched — the same spec-level transient-failure outcome as
+		// retry exhaustion, so refinement is unaffected and the caller
+		// surfaces a temp-failure code.
+		trace.Event(t, "deliver refused: user %d over quota", user)
+		if mb.g != nil && j != nil {
+			mb.g.StepSim(modelT(t), j, false)
+		}
+		mb.cfg.Metrics.observeQuotaRejected()
+		mb.cfg.Metrics.observeDeliver(start, 0, false)
+		return false
+	}
 	retries := mb.cfg.DeliverRetries
 	if retries <= 0 {
 		retries = 3
 	}
+	attempts := 0
 	for attempt := 0; attempt < retries; attempt++ {
 		if attempt > 0 {
+			if mb.storeNoSpace() {
+				// The store is latched full: no retry can succeed until
+				// space is freed, so stop burning attempts and report
+				// the clean abort now.
+				trace.Event(t, "deliver abandoned: store out of space")
+				break
+			}
 			trace.Event(t, "deliver retry: attempt %d", attempt+1)
 			mb.backoff(t, attempt)
 		}
+		attempts++
 		if mb.deliverAttempt(t, j, user, msg) {
-			mb.cfg.Metrics.observeDeliver(start, attempt+1, true)
+			mb.cfg.Metrics.observeDeliver(start, attempts, true)
 			return true
 		}
 	}
 	// Giving up on a transient failure is itself a spec-level outcome:
 	// Deliver fails, the mailbox is unchanged.
+	mb.quotaRelease(user, uint64(len(msg)))
 	if mb.g != nil && j != nil {
 		mb.g.StepSim(modelT(t), j, false)
 	}
-	mb.cfg.Metrics.observeDeliver(start, retries, false)
+	mb.cfg.Metrics.observeDeliver(start, attempts, false)
 	return false
 }
 
@@ -251,6 +404,13 @@ func (mb *Mailboat) spoolWrite(t gfs.T, msg []byte) (sname string, ok bool) {
 			spool, created = fd, true
 			break
 		}
+		if mb.storeNoSpace() {
+			// A failed create on a full disk is not a name collision:
+			// every retry fails the same way until space is freed, so
+			// abort instead of walking the whole name space.
+			trace.Event(t, "spool create abandoned: store out of space")
+			return "", false
+		}
 	}
 	if !created {
 		return "", false
@@ -290,37 +450,48 @@ func (mb *Mailboat) publishLink(t gfs.T, j *core.JTok, user uint64, sname string
 	for i := 0; i < nameAttempts; i++ {
 		id := t.RandUint64(mb.cfg.RandBound)
 		mname := MsgName(id)
-		if mb.sys.Link(t, SpoolDir, sname, UserDir(user), mname) {
-			if mb.g != nil {
-				// Ghost-atomic with the link: the directory-entry
-				// insertion needs no lease (§8.3 — inserts preserve
-				// every lower bound), and Deliver's spec step is
-				// simulated now that the message is visible,
-				// instantiating the spec's fresh-ID existential with
-				// the name the link actually claimed.
-				mb.boxMasters[user].Insert(modelT(t), mname, nil)
-				if j != nil {
-					mb.g.StepSimWhere(modelT(t), j, true, func(s spec.State) bool {
-						got, ok := s.(State).Boxes[user][mname]
-						return ok && got == string(msg)
-					})
-				}
+		if !mb.sys.Link(t, SpoolDir, sname, UserDir(user), mname) {
+			if mb.storeNoSpace() {
+				// The link failed for space, not a name collision; stop
+				// here. Deleting the spool file below releases space, so
+				// the clean abort itself helps the disk recover.
+				trace.Event(t, "publish link abandoned: store out of space")
+				break
 			}
-			if mb.cfg.SyncDirs {
-				// The link is visible but not yet durable: barrier the
-				// mailbox directory before acking, so a crash after the
-				// true return cannot take the message back. A store that
-				// fail-stopped under the barrier can never ack: report
-				// failure (the node is dead; no client hears from it).
-				if !mb.syncDirBarrier(t, UserDir(user)) {
-					mb.sys.Delete(t, SpoolDir, sname)
-					return false
-				}
-			}
-			// The spool entry is no longer needed.
-			mb.sys.Delete(t, SpoolDir, sname)
-			return true
+			continue
 		}
+		if mb.g != nil {
+			// Ghost-atomic with the link: the directory-entry
+			// insertion needs no lease (§8.3 — inserts preserve
+			// every lower bound), and Deliver's spec step is
+			// simulated now that the message is visible,
+			// instantiating the spec's fresh-ID existential with
+			// the name the link actually claimed.
+			mb.boxMasters[user].Insert(modelT(t), mname, nil)
+			if j != nil {
+				mb.g.StepSimWhere(modelT(t), j, true, func(s spec.State) bool {
+					got, ok := s.(State).Boxes[user][mname]
+					return ok && got == string(msg)
+				})
+			}
+		}
+		if mb.cfg.SyncDirs {
+			// The link is visible but not yet durable: barrier the
+			// mailbox directory before acking, so a crash after the
+			// true return cannot take the message back. A store that
+			// fail-stopped under the barrier can never ack: report
+			// failure (the node is dead; no client hears from it).
+			if !mb.syncDirBarrier(t, UserDir(user)) {
+				mb.sys.Delete(t, SpoolDir, sname)
+				return false
+			}
+		}
+		// The spool entry is no longer needed, and the committed
+		// delivery's bytes are pinned to the name the link claimed so a
+		// later Delete credits the quota correctly.
+		mb.quotaCommit(user, mname, uint64(len(msg)))
+		mb.sys.Delete(t, SpoolDir, sname)
+		return true
 	}
 	mb.sys.Delete(t, SpoolDir, sname)
 	return false
@@ -367,6 +538,16 @@ func (mb *Mailboat) storeDead() bool {
 	return ok && fs.FailStopped()
 }
 
+// storeNoSpace reports whether the store has latched disk-full
+// (gfs.Faulty's FaultNoSpace). Unlike a fail-stop the latch is
+// recoverable — freeing space (deleting files) clears it — but while it
+// holds, every write fails the same way, so retry loops should abort
+// rather than spin. Layers without the latch never report full.
+func (mb *Mailboat) storeNoSpace() bool {
+	fs, ok := mb.sys.(interface{ NoSpace() bool })
+	return ok && fs.NoSpace()
+}
+
 // Pickup lists and reads user's mailbox (Figure 10's Pickup),
 // implicitly acquiring the user's pickup/delete lock; the caller must
 // eventually call Unlock. Deliveries may run concurrently; the listing
@@ -405,10 +586,22 @@ func (mb *Mailboat) Pickup(t gfs.T, j *core.JTok, user uint64) []Message {
 	rsp := trace.Enter(t, "mailbox.read")
 	msgs := make([]Message, 0, len(names))
 	for _, name := range names {
-		fd, ok := mb.sys.Open(t, UserDir(user), name)
-		if !ok {
+		var fd gfs.FD
+		opened := false
+		for a := 0; a < openAttempts; a++ {
+			if a > 0 {
+				trace.Event(t, "pickup open retry: %s attempt %d", name, a+1)
+				mb.backoff(t, a)
+			}
+			if f, ok := mb.sys.Open(t, UserDir(user), name); ok {
+				fd, opened = f, true
+				break
+			}
+		}
+		if !opened {
 			// The lock excludes deletes and links never replace
-			// existing names, so listed names cannot vanish.
+			// existing names, so listed names cannot vanish; only a
+			// persistently failing open skips the message.
 			continue
 		}
 		// Read in chunks, advancing by however many bytes actually
@@ -450,6 +643,9 @@ func (mb *Mailboat) Delete(t gfs.T, j *core.JTok, user uint64, id string) bool {
 		// the user was told it is gone. On a fail-stopped store the
 		// barrier is unreachable forever: refuse the ack.
 		ok = mb.syncDirBarrier(t, UserDir(user))
+	}
+	if ok {
+		mb.quotaCredit(user, id)
 	}
 	if mb.g != nil {
 		if ok {
@@ -511,9 +707,22 @@ func Recover(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config, old *Mailboat) *M
 		sc.Scrub(t, true)
 		trace.Exit(t, ssp)
 	}
+	// The spool sweep is also the store's garbage collector for disk
+	// space: every orphan belongs to a delivery that never linked, so
+	// deleting it both restores TmpInv and returns its bytes to the
+	// store (on gfs.Faulty, a successful delete clears a latched
+	// disk-full condition). Orphan sizes are only measured when metrics
+	// are on, so the checker path issues exactly the seed's I/O.
 	wsp := trace.Enter(t, "recover.sweep")
 	swept, sweepFailed := 0, 0
+	var reclaimed uint64
 	for _, name := range sys.List(t, SpoolDir) {
+		if cfg.Metrics != nil {
+			if fd, ok := sys.Open(t, SpoolDir, name); ok {
+				reclaimed += sys.Size(t, fd)
+				sys.Close(t, fd)
+			}
+		}
 		if sys.Delete(t, SpoolDir, name) {
 			swept++
 		} else {
@@ -521,7 +730,7 @@ func Recover(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config, old *Mailboat) *M
 		}
 	}
 	trace.Exit(t, wsp)
-	cfg.Metrics.observeRecover(swept, sweepFailed)
+	cfg.Metrics.observeRecover(swept, sweepFailed, reclaimed)
 	if g == nil {
 		return Init(t, nil, sys, cfg)
 	}
@@ -537,6 +746,7 @@ func Recover(t gfs.T, g *core.Ctx, sys gfs.System, cfg Config, old *Mailboat) *M
 		mb.boxMasters[u], mb.boxLeases[u] = old.boxMasters[u].Resynthesize(modelT(t))
 		g.DepositSetMaster(modelT(t), mb.boxMasters[u])
 	}
+	mb.initQuota(t)
 	return mb
 }
 

@@ -36,10 +36,16 @@ type Metrics struct {
 	DeleteFailed *obs.Counter
 
 	// Recovery: runs and the spool entries cleaned up (§8.3's TmpInv
-	// made measurable: how much half-delivered garbage each crash left).
-	Recoveries         *obs.Counter
-	RecoverSpoolSwept  *obs.Counter
-	RecoverSweepFailed *obs.Counter
+	// made measurable: how much half-delivered garbage each crash left,
+	// and how many bytes sweeping it returned to the store).
+	Recoveries            *obs.Counter
+	RecoverSpoolSwept     *obs.Counter
+	RecoverSweepFailed    *obs.Counter
+	RecoverReclaimedBytes *obs.Counter
+
+	// Quota: deliveries refused up front because the recipient's mailbox
+	// is at its Config.QuotaBytes budget.
+	QuotaRejected *obs.Counter
 }
 
 // NewMetrics registers the library's metric families in r.
@@ -61,6 +67,10 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"Leftover spool files removed by recovery (half-finished deliveries)."),
 		RecoverSweepFailed: r.Counter("mailboat_recover_spool_sweep_failed_total",
 			"Spool files recovery could not remove (transient delete failures)."),
+		RecoverReclaimedBytes: r.Counter("mailboat_gc_reclaimed_bytes_total",
+			"Bytes returned to the store by recovery's orphan-spool sweep."),
+		QuotaRejected: r.Counter("mailboat_quota_rejections_total",
+			"Deliveries refused up front because the recipient is over quota."),
 	}
 }
 
@@ -119,11 +129,20 @@ func (m *Metrics) observeDelete(ok bool) {
 }
 
 // observeRecover records one recovery run and its spool sweep tallies.
-func (m *Metrics) observeRecover(swept, failed int) {
+func (m *Metrics) observeRecover(swept, failed int, reclaimed uint64) {
 	if m == nil {
 		return
 	}
 	m.Recoveries.Inc()
 	m.RecoverSpoolSwept.Add(uint64(swept))
 	m.RecoverSweepFailed.Add(uint64(failed))
+	m.RecoverReclaimedBytes.Add(reclaimed)
+}
+
+// observeQuotaRejected records one up-front quota refusal.
+func (m *Metrics) observeQuotaRejected() {
+	if m == nil {
+		return
+	}
+	m.QuotaRejected.Inc()
 }

@@ -88,6 +88,14 @@ const (
 	// entries survived — serves the message the user already deleted.
 	// Only meaningful with Writeback.
 	VariantRecoverTrustsCache
+	// VariantDeliverAckOnNoSpace acknowledges a delivery the full disk
+	// refused (nothing published) — acked-but-absent. Only meaningful
+	// with NoSpaceGC.
+	VariantDeliverAckOnNoSpace
+	// VariantDeliverGreedySpoolGC sweeps the whole spool directory when
+	// a delivery hits a full disk, eating concurrent deliveries' live
+	// spooled-but-unlinked files. Only meaningful with NoSpaceGC.
+	VariantDeliverGreedySpoolGC
 )
 
 // ScenarioOptions shapes the workload.
@@ -155,6 +163,21 @@ type ScenarioOptions struct {
 	// recovery, replicas byte-identical, no leaked descriptors).
 	// Exclusive with BufferedFS and FaultBudget.
 	Mirror bool
+	// NoSpaceGC runs the resource-exhaustion property scenario: the
+	// store sits behind gfs.Faulty with the disk-full latch armed
+	// (combine with FaultBudget 1 and FaultOps [FaultNoSpace]), so the
+	// chooser may latch the store ENOSPC at any eligible write — every
+	// subsequent write fails until a delete frees space. Deliveries run
+	// history-free, tracking which were acknowledged, and after the
+	// final recovery Post asserts the exhaustion contract: no acked
+	// delivery is missing (ENOSPC may refuse work, never take back an
+	// ack), no served bytes were never delivered, and writability
+	// matches the latch — once recovery's orphan-spool GC (or a clean
+	// abort's own spool delete) has freed space the store must accept
+	// fresh mail, and while still full it must refuse cleanly with the
+	// mailbox unchanged. Ghost-free: the property, not refinement, is
+	// the claim. Exclusive with Mirror, Corrupt, BufferedFS, Writeback.
+	NoSpaceGC bool
 	// Corrupt arms the silent-corruption fault class: the store runs
 	// behind gfs.Checksummed over a gfs.Faulty whose chooser-driven
 	// policy may durably corrupt one file's bytes (bit flip or
@@ -174,11 +197,14 @@ type ScenarioOptions struct {
 
 // Scenario builds the checkable scenario for the chosen variant.
 func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
-	ghost := v == VariantVerified && !o.Mirror && !o.Corrupt && !o.Writeback
+	ghost := v == VariantVerified && !o.Mirror && !o.Corrupt && !o.Writeback && !o.NoSpaceGC
 	// The single-backend corruption scenario checks detection, not
 	// refinement: it records no history (deliveries and pickups run
 	// outside the harness) and asserts its property directly in Post.
 	detectOnly := o.Corrupt && !o.Mirror
+	// The resource-exhaustion scenario likewise checks a property (no
+	// acked loss, GC reclaims, writability tracks the latch) in Post.
+	nospaceOnly := o.NoSpaceGC
 	// The prefix-contract scenario likewise checks a property, not
 	// refinement: barrier-free delivery cannot refine the spec (acked
 	// mail may be taken back), so the claim under check is the weaker
@@ -198,6 +224,23 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 	}
 
 	deliver := func(t *machine.T, w *World, h *explore.Harness, op OpDeliver) {
+		if nospaceOnly {
+			// History-free: the acked set is the property's ground truth,
+			// exactly as in detection mode.
+			var delivered bool
+			switch v {
+			case VariantDeliverAckOnNoSpace:
+				delivered = w.MB.DeliverAckOnNoSpace(t, op.User, []byte(op.Msg))
+			case VariantDeliverGreedySpoolGC:
+				delivered = w.MB.DeliverGreedySpoolGC(t, op.User, []byte(op.Msg))
+			default:
+				delivered = w.MB.Deliver(t, nil, op.User, []byte(op.Msg))
+			}
+			if delivered {
+				w.Acked[op.Msg] = true
+			}
+			return
+		}
 		if detectOnly {
 			// No history: track the acknowledgement instead. An acked
 			// payload is the detection property's obligation — it may
@@ -370,6 +413,9 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 				w.F[0] = gfs.NewFaulty(w.FS, pol)
 				w.Sys = w.F[0]
 			}
+			if o.NoSpaceGC {
+				w.Acked = map[string]bool{}
+			}
 			if ghost {
 				w.G = core.NewCtx(m)
 				w.G.InitSim(sp, sp.Init())
@@ -429,6 +475,10 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 		},
 		Post: func(t *machine.T, wAny any, h *explore.Harness) {
 			w := wAny.(*World)
+			if nospaceOnly {
+				postNoSpace(t, w, o)
+				return
+			}
 			if detectOnly {
 				postDetect(t, w, o)
 				return
@@ -491,7 +541,7 @@ func Scenario(name string, v Variant, o ScenarioOptions) *explore.Scenario {
 		return b
 	}
 
-	if detectOnly || prefixOnly {
+	if detectOnly || prefixOnly || nospaceOnly {
 		s.Invariant = func(m *machine.Machine, wAny any) error {
 			w := wAny.(*World)
 			if n := w.FS.OpenFDs(); n != 0 {
@@ -614,6 +664,65 @@ func postDetect(t *machine.T, w *World, o ScenarioOptions) {
 	for _, msg := range acked {
 		if !present[msg] && w.Chk.Detected() == 0 {
 			t.Failf("silent loss: acked delivery %q missing with no integrity detection", msg)
+		}
+	}
+}
+
+// postNoSpace is the Post hook for resource-exhaustion scenarios
+// (NoSpaceGC): the disk-full contract, audited after the final
+// recovery. (1) No acked loss: every acknowledged delivery is still
+// readable — ENOSPC may refuse work, but an ack, once given, is owed
+// forever. (2) No fabrication: every byte sequence a pickup serves was
+// actually delivered. (3) Writability tracks the latch: recovery's
+// orphan-spool sweep is the store's garbage collector — each orphan it
+// deletes returns space (clearing the latch on gfs.Faulty) — so once
+// the latch has cleared a probe delivery must succeed, and while it
+// still holds the probe must fail cleanly with nothing published.
+func postNoSpace(t *machine.T, w *World, o ScenarioOptions) {
+	allowed := map[string]bool{}
+	for _, d := range o.Delivers {
+		allowed[d.Msg] = true
+	}
+	present := map[string]bool{}
+	for u := uint64(0); u < o.Config.Users; u++ {
+		msgs := w.MB.Pickup(t, nil, u)
+		w.MB.Unlock(t, nil, u)
+		for _, msg := range msgs {
+			if !allowed[msg.Contents] {
+				t.Failf("nospace: pickup served bytes never delivered: %q", msg.Contents)
+			}
+			present[msg.Contents] = true
+		}
+	}
+	acked := make([]string, 0, len(w.Acked))
+	for msg := range w.Acked {
+		acked = append(acked, msg)
+	}
+	sort.Strings(acked)
+	for _, msg := range acked {
+		if !present[msg] {
+			t.Failf("acked loss: delivery %q acknowledged but missing after disk-full", msg)
+		}
+	}
+	// The probe: latched before the probe means it must fail (nothing
+	// published); a failed probe with the latch clear — both before and
+	// after, since the chooser may spend a leftover budget on the probe
+	// itself — means the store wrongly refused writable space.
+	latched := w.F[0].NoSpace()
+	ok := w.MB.Deliver(t, nil, 0, []byte("probe"))
+	if latched && ok {
+		t.Failf("nospace: store accepted a delivery while the disk-full latch holds")
+	}
+	if !ok && !latched && !w.F[0].NoSpace() {
+		t.Failf("nospace: store refused a delivery with space free")
+	}
+	if !ok {
+		msgs := w.MB.Pickup(t, nil, 0)
+		w.MB.Unlock(t, nil, 0)
+		for _, m := range msgs {
+			if m.Contents == "probe" {
+				t.Failf("nospace: refused probe delivery appeared in the mailbox anyway")
+			}
 		}
 	}
 }

@@ -108,6 +108,24 @@ type Options struct {
 	// redundancy and composing it with the same-machine layers is
 	// future work.
 	Replica *ReplicaOptions
+	// QuotaBytes caps each mailbox's stored bytes (0 = unlimited). A
+	// delivery that would push the recipient over quota is refused up
+	// front as a transient failure with the store untouched; deleting
+	// mail credits the bytes back. Usage is re-derived from the store
+	// at every recovery, so the bound survives crashes.
+	QuotaBytes uint64
+	// MaxInFlight caps concurrently admitted deliveries; excess
+	// deliveries are refused immediately with ErrOverloaded (surfaced
+	// as SMTP 452) instead of queueing into the store. 0 = unlimited.
+	MaxInFlight int
+	// ShedLowWater and ShedHighWater are free-byte watermarks on the
+	// file system backing the store (read via statfs, cached): when
+	// free space drops below ShedLowWater the adapter sheds deliveries
+	// with ErrNoSpace, and resumes only once free space rises above
+	// ShedHighWater (hysteresis; defaults to 2x low when unset). 0
+	// disables the watermark policy. Reads are never shed.
+	ShedLowWater  uint64
+	ShedHighWater uint64
 	// Tracer, when non-nil, records request-scoped span trees: the
 	// front ends open a root span per verb and hand it to the adapter's
 	// *Traced entry points, which run the library on a per-request
@@ -183,6 +201,11 @@ type Adapter struct {
 
 	tracer *trace.Tracer
 
+	// shed is the delivery admission controller (overload and
+	// disk-full shedding); always non-nil after construction so the
+	// ForceNoSpace drill surface exists on every deployment.
+	shed *shedder
+
 	scrubMu   sync.Mutex // serializes scrub passes
 	lastMu    sync.Mutex
 	lastScrub gfs.ScrubReport
@@ -215,6 +238,7 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 		SyncDirs:       o.SyncDirs,
 		DeliverRetries: o.DeliverRetries,
 		DeliverBackoff: o.DeliverBackoff,
+		QuotaBytes:     o.QuotaBytes,
 	}
 	if o.Replica != nil {
 		if o.MirrorRoot != "" || o.Fault != nil || o.Checksum {
@@ -289,6 +313,7 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 		if o.ScrubEvery > 0 {
 			a.startScrubber(o.ScrubEvery)
 		}
+		a.initShed(o)
 		return a, nil
 	}
 	sys := gfs.System(fs)
@@ -326,6 +351,7 @@ func NewWithOptions(root string, o Options) (*Adapter, error) {
 	if o.ScrubEvery > 0 {
 		a.startScrubber(o.ScrubEvery)
 	}
+	a.initShed(o)
 	return a, nil
 }
 
@@ -393,6 +419,7 @@ func newMirrored(root string, o Options, cfg mailboat.Config) (*Adapter, error) 
 	if o.ScrubEvery > 0 {
 		a.startScrubber(o.ScrubEvery)
 	}
+	a.initShed(o)
 	return a, nil
 }
 
@@ -601,13 +628,27 @@ func (a *Adapter) Deliver(user uint64, msg []byte) error {
 }
 
 // DeliverTraced is Deliver under a front-end root span (nil = untraced;
-// it implements smtp.TracedDeliverer).
+// it implements smtp.TracedDeliverer). Admission control runs first:
+// a delivery shed for overload or space returns ErrOverloaded or
+// ErrNoSpace (both carrying the InsufficientStorage marker the front
+// ends turn into SMTP 452) without touching the store.
 func (a *Adapter) DeliverTraced(sp *trace.Span, user uint64, msg []byte) error {
+	if err := a.shed.admit(); err != nil {
+		a.ops.deliverTransient.Inc()
+		return err
+	}
+	defer a.shed.release()
 	if a.node != nil {
 		return a.deliverReplicated(sp, user, msg)
 	}
 	if !a.mb.Deliver(a.thread(sp), nil, user, msg) {
 		a.ops.deliverTransient.Inc()
+		if a.shed.noSpaceNow() {
+			// The retry loop died against a full store (the latch can
+			// trip mid-delivery, after admission): report it as the
+			// storage refusal it is, not a generic transient.
+			return ErrNoSpace
+		}
 		return ErrTransient
 	}
 	a.ops.deliverOK.Inc()

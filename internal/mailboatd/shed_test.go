@@ -1,0 +1,151 @@
+package mailboatd
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// insufficientStorage mirrors the front ends' structural detection of
+// storage-capacity refusals.
+func insufficientStorage(err error) bool {
+	is, ok := err.(interface{ InsufficientStorage() bool })
+	return ok && is.InsufficientStorage()
+}
+
+// TestShedErrorsCarryStorageMarker pins the contract the SMTP front
+// end relies on: both admission refusals carry the
+// InsufficientStorage marker (so DATA answers 452, not 451), and the
+// plain transient error does not.
+func TestShedErrorsCarryStorageMarker(t *testing.T) {
+	if !insufficientStorage(ErrNoSpace) {
+		t.Error("ErrNoSpace lacks the InsufficientStorage marker")
+	}
+	if !insufficientStorage(ErrOverloaded) {
+		t.Error("ErrOverloaded lacks the InsufficientStorage marker")
+	}
+	if insufficientStorage(ErrTransient) {
+		t.Error("ErrTransient must NOT carry the InsufficientStorage marker")
+	}
+}
+
+// TestForceNoSpaceShedsAndRecovers drives the disk-full drill surface
+// through the whole SMTP stack: force the latch, watch DATA answer 452
+// with the store untouched, release, and watch delivery resume.
+func TestForceNoSpaceShedsAndRecovers(t *testing.T) {
+	a, smtpAddr, popAddr := startStack(t, t.TempDir())
+
+	a.ForceNoSpace()
+	st := a.ShedStatus()
+	if st == nil || !st.Shedding || st.Reason != "forced" {
+		t.Fatalf("ShedStatus while forced = %+v", st)
+	}
+	if err := a.Deliver(1, []byte("shed me")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("Deliver while forced = %v, want ErrNoSpace", err)
+	}
+
+	s := dialLine(t, smtpAddr)
+	s.cmd(t, "", "220")
+	s.cmd(t, "HELO test", "250")
+	s.cmd(t, "MAIL FROM:<a@x>", "250")
+	s.cmd(t, "RCPT TO:<user1@x>", "250")
+	s.cmd(t, "DATA", "354")
+	fmt.Fprintf(s.conn, "full disk mail\r\n.\r\n")
+	if resp, err := s.r.ReadString('\n'); err != nil || !strings.HasPrefix(resp, "452") {
+		t.Fatalf("DATA while shedding: %q %v, want 452", resp, err)
+	}
+
+	// The refusal left the store untouched; reads are never shed.
+	p := dialLine(t, popAddr)
+	p.cmd(t, "", "+OK")
+	p.cmd(t, "USER user1", "+OK")
+	p.cmd(t, "PASS x", "+OK maildrop has 0")
+	p.cmd(t, "QUIT", "+OK")
+
+	a.ReleaseNoSpace()
+	if st := a.ShedStatus(); st.Shedding {
+		t.Fatalf("still shedding after release: %+v", st)
+	}
+	s.cmd(t, "MAIL FROM:<a@x>", "250")
+	s.cmd(t, "RCPT TO:<user1@x>", "250")
+	s.cmd(t, "DATA", "354")
+	fmt.Fprintf(s.conn, "space freed\r\n.\r\n")
+	if resp, err := s.r.ReadString('\n'); err != nil || !strings.HasPrefix(resp, "250") {
+		t.Fatalf("DATA after release: %q %v, want 250", resp, err)
+	}
+	s.cmd(t, "QUIT", "221")
+	if n := a.ShedStatus().Rejected; n < 2 {
+		t.Errorf("rejected counter = %d, want >= 2 (direct + SMTP shed)", n)
+	}
+}
+
+// TestMaxInFlightSheds pins the admission cap: with the cap occupied,
+// a delivery is refused with ErrOverloaded without touching the store,
+// and admitting releases its slot on completion.
+func TestMaxInFlightSheds(t *testing.T) {
+	a, err := NewWithOptions(t.TempDir(), Options{Users: 2, Seed: 1, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Occupy the only slot, as a stuck in-flight delivery would.
+	a.shed.inFlight.Add(1)
+	if err := a.Deliver(0, []byte("overload")); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Deliver at capacity = %v, want ErrOverloaded", err)
+	}
+	a.shed.inFlight.Add(-1)
+
+	if err := a.Deliver(0, []byte("fits now")); err != nil {
+		t.Fatalf("Deliver with a free slot: %v", err)
+	}
+	if got := a.shed.inFlight.Load(); got != 0 {
+		t.Fatalf("in-flight after completion = %d, want 0 (slot leaked)", got)
+	}
+}
+
+// TestWatermarkHysteresis drives the statfs-keyed policy through a
+// fake space trajectory: shedding starts below the low watermark,
+// holds until free space crosses the HIGH watermark (no flapping in
+// the band between them), then stops.
+func TestWatermarkHysteresis(t *testing.T) {
+	free := uint64(100)
+	s := &shedder{
+		low:  10,
+		high: 20,
+		statfs: func() (uint64, uint64, bool) {
+			return free, 1000, true
+		},
+	}
+	at := func(f uint64, want bool, when string) {
+		t.Helper()
+		free = f
+		s.checkedAt = time.Time{} // expire the statfs cache
+		if got := s.noSpaceNow(); got != want {
+			t.Errorf("%s (free=%d): shedding=%v, want %v", when, f, got, want)
+		}
+	}
+	at(100, false, "plenty of space")
+	at(11, false, "just above low")
+	at(9, true, "crossed low")
+	at(15, true, "in the hysteresis band while shedding")
+	at(19, true, "just below high while shedding")
+	at(25, false, "crossed high")
+	at(15, false, "in the band while not shedding")
+}
+
+// TestWatermarkStatfsUnavailable: a backend with no statfs (non-Linux,
+// or a modeled store) must not shed — the watermark policy disables
+// itself rather than failing closed on missing data.
+func TestWatermarkStatfsUnavailable(t *testing.T) {
+	s := &shedder{
+		low:    10,
+		high:   20,
+		statfs: func() (uint64, uint64, bool) { return 0, 0, false },
+	}
+	if s.noSpaceNow() {
+		t.Error("shedding with no statfs signal")
+	}
+}

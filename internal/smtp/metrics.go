@@ -23,6 +23,7 @@ type Metrics struct {
 
 	commands map[string]*obs.Counter
 	TempFail *obs.Counter
+	Full     *obs.Counter
 	CmdTime  *obs.Histogram
 }
 
@@ -34,6 +35,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		Active:   r.Gauge("smtp_connections_active", "SMTP connections currently being served."),
 		Panics:   r.Counter("smtp_handler_panics_total", "Connection handlers killed by a recovered panic."),
 		TempFail: r.Counter("smtp_tempfail_responses_total", "451 responses sent (transient store failure surfaced to the sender)."),
+		Full:     r.Counter("smtp_insufficient_storage_responses_total", "452 responses sent (store out of space or shedding load)."),
 		CmdTime:  r.Histogram("smtp_command_seconds", "Latency from command receipt to response flush.", obs.DefLatencyBuckets),
 		commands: map[string]*obs.Counter{},
 	}
@@ -103,4 +105,12 @@ func (m *Metrics) tempFailure() {
 		return
 	}
 	m.TempFail.Inc()
+}
+
+// insufficientStorage counts one 452 response.
+func (m *Metrics) insufficientStorage() {
+	if m == nil {
+		return
+	}
+	m.Full.Inc()
 }

@@ -43,6 +43,16 @@ type TracedDeliverer interface {
 	DeliverTraced(sp *trace.Span, user uint64, msg []byte) error
 }
 
+// insufficientStorage reports whether err is a storage-capacity
+// refusal (disk full, over quota, or load shed) rather than a generic
+// transient failure. Detection is structural so the front end does not
+// depend on the store package; mailboatd's ErrNoSpace and
+// ErrOverloaded both carry the marker.
+func insufficientStorage(err error) bool {
+	is, ok := err.(interface{ InsufficientStorage() bool })
+	return ok && is.InsufficientStorage()
+}
+
 // ParseRecipient extracts the mailbox index from an address like
 // "user7@example.com" (angle brackets optional).
 func ParseRecipient(addr string, users uint64) (uint64, error) {
@@ -303,7 +313,7 @@ func (s *Server) command(st *session, verb, arg string, readLine func() (string,
 		// store's work, not the client's typing speed.
 		root := s.Tracer.Start("deliver", "smtp.DATA")
 		td, traced := s.backend.(TracedDeliverer)
-		failed := false
+		failed, full := false, false
 		for _, user := range st.rcpts {
 			var err error
 			if root != nil && traced {
@@ -313,20 +323,34 @@ func (s *Server) command(st *session, verb, arg string, readLine func() (string,
 			}
 			if err != nil {
 				failed = true
+				if insufficientStorage(err) {
+					full = true
+				}
 			}
 		}
-		if failed {
+		switch {
+		case full:
+			root.Note("delivery shed for storage (452)")
+		case failed:
 			root.Note("delivery failed transiently (451)")
 		}
 		root.End()
 		*st = session{}
-		if failed {
+		switch {
+		case full:
+			// The store is out of space or shedding load: RFC 5321's
+			// 452 (insufficient system storage) tells the sender to
+			// retry later. The message was NOT acknowledged, and the
+			// store was left untouched.
+			s.Metrics.insufficientStorage()
+			say(452, "insufficient system storage, try again later")
+		case failed:
 			// Transient store failure: degrade gracefully with 451
 			// so the sender retries, instead of dropping the
 			// connection. The message was NOT acknowledged.
 			s.Metrics.tempFailure()
 			say(451, "local error in processing, try again later")
-		} else {
+		default:
 			say(250, "delivered")
 		}
 	case "RSET":

@@ -168,6 +168,47 @@ func Verified() []Entry {
 			Opts: explore.Options{MaxExecutions: 20000},
 		},
 		{
+			// Disk-full as a first-class fault: the chooser may latch the
+			// store ENOSPC at any eligible write (budget 1), after which
+			// every write fails until a delete frees space. The annotated
+			// implementation must abort cleanly — never ack-then-lose —
+			// under concurrent delivery and pickup, and full refinement
+			// holds: an aborted delivery is the spec's transient failure,
+			// nothing more. Exhaustive (the search completes) at this
+			// budget; the crash × latch interaction is gc-reclaims' job.
+			Pattern: "mailboat-nospace",
+			Scenario: mailboat.Scenario("mb/nospace+clean-abort", mailboat.VariantVerified, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 3},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "a"}},
+				PickupUsers: []uint64{0},
+				PostPickups: true,
+				FaultBudget: 1,
+				FaultOps:    []gfs.FaultOp{gfs.FaultNoSpace},
+			}),
+			Opts: explore.Options{MaxExecutions: 40000},
+		},
+		{
+			// The exhaustion contract as a property, with the latch crossing
+			// TWO crash/recovery boundaries (also the regression gate for
+			// durable-latch budget accounting: a latched class replayed
+			// across eras must not re-spend the chooser budget). Acked mail
+			// survives ENOSPC, recovery's orphan-spool sweep doubles as the
+			// garbage collector that returns space, and post-recovery
+			// writability tracks the latch — freed space must accept a
+			// probe delivery, a still-full store must refuse it cleanly.
+			// Exhaustive at this budget.
+			Pattern: "mailboat-nospace",
+			Scenario: mailboat.Scenario("mb/nospace+gc-reclaims", mailboat.VariantVerified, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 3},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "a"}},
+				MaxCrashes:  2,
+				FaultBudget: 1,
+				FaultOps:    []gfs.FaultOp{gfs.FaultNoSpace},
+				NoSpaceGC:   true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
 			// Table 3 parity with rd/failover, on the full server: the
 			// mirrored store must refine the spec while the explorer kills
 			// one replica at any operation and crashes at any step, with
@@ -442,6 +483,41 @@ func Bugs() []Entry {
 				Writeback:   true,
 			}),
 			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			// Acking a delivery the full disk refused: nothing was
+			// published — the spool write never landed — but the client
+			// hears yes. Convicted by the exhaustion property's acked-loss
+			// audit after the final recovery.
+			Pattern:       "mailboat-nospace",
+			WantViolation: true,
+			Scenario: mailboat.Scenario("mb/nospace-bug:ack-after-enospc", mailboat.VariantDeliverAckOnNoSpace, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 3},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "a"}},
+				MaxCrashes:  1,
+				FaultBudget: 1,
+				FaultOps:    []gfs.FaultOp{gfs.FaultNoSpace},
+				NoSpaceGC:   true,
+			}),
+			Opts: explore.Options{MaxExecutions: 20000},
+		},
+		{
+			// A delivery-time "GC" that sweeps the whole spool directory on
+			// ENOSPC: recovery may sweep (it runs single-threaded, where
+			// every spool file is an orphan), but during operation a spool
+			// file may be a concurrent delivery's live, not-yet-linked
+			// message — eating it makes that delivery's link source vanish,
+			// which the model's link assertion catches red-handed.
+			Pattern:       "mailboat-nospace",
+			WantViolation: true,
+			Scenario: mailboat.Scenario("mb/nospace-bug:gc-eats-live-spool", mailboat.VariantDeliverGreedySpoolGC, mailboat.ScenarioOptions{
+				Config:      mailboat.Config{Users: 1, RandBound: 4},
+				Delivers:    []mailboat.OpDeliver{{User: 0, Msg: "a"}, {User: 0, Msg: "b"}},
+				FaultBudget: 1,
+				FaultOps:    []gfs.FaultOp{gfs.FaultNoSpace},
+				NoSpaceGC:   true,
+			}),
+			Opts: explore.Options{MaxExecutions: 40000},
 		},
 		{
 			// The replication layer's analogue of acking before fsync: the
